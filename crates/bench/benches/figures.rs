@@ -1,0 +1,71 @@
+//! One Criterion group per paper artefact: how long regenerating each
+//! table/figure takes from study data, plus a small end-to-end study.
+//!
+//! The scientific content (paper-vs-measured values) is produced by the
+//! `experiments` binary and asserted by `tests/paper_shapes.rs`; these
+//! benches track the *cost* of the analysis pipeline and of the
+//! simulation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir_bench::{bench_measurement_data, bench_scenario, bench_selection_data};
+use ir_core::SessionConfig;
+use ir_experiments::{fig1, fig2, fig3, fig4, fig5, fig6, runner, table1, table2, table3};
+use ir_workload::Schedule;
+use std::hint::black_box;
+
+fn artefacts(c: &mut Criterion) {
+    let m = bench_measurement_data();
+    let s = bench_selection_data();
+
+    c.bench_function("fig1_improvement_histogram", |b| {
+        b.iter(|| black_box(fig1::report(black_box(&m))))
+    });
+    c.bench_function("fig2_per_client_histograms", |b| {
+        b.iter(|| black_box(fig2::report(black_box(&m))))
+    });
+    c.bench_function("table1_penalty_stats", |b| {
+        b.iter(|| black_box(table1::report(black_box(&m))))
+    });
+    c.bench_function("table2_top_intermediates", |b| {
+        b.iter(|| black_box(table2::report(black_box(&m))))
+    });
+    c.bench_function("fig3_improvement_vs_throughput", |b| {
+        b.iter(|| black_box(fig3::report(black_box(&m))))
+    });
+    c.bench_function("fig4_indirect_over_time", |b| {
+        b.iter(|| black_box(fig4::report(black_box(&m))))
+    });
+    c.bench_function("fig5_node_utilization", |b| {
+        b.iter(|| black_box(fig5::report(black_box(&m))))
+    });
+    c.bench_function("fig6_random_set_size", |b| {
+        b.iter(|| black_box(fig6::report(black_box(&s))))
+    });
+    c.bench_function("table3_utilization_vs_improvement", |b| {
+        b.iter(|| black_box(table3::report(black_box(&s))))
+    });
+}
+
+fn studies(c: &mut Criterion) {
+    // End-to-end: scenario construction + a short measurement study.
+    let mut g = c.benchmark_group("study");
+    g.sample_size(10);
+    g.bench_function("measurement_6x6x4_transfers", |b| {
+        let scenario = bench_scenario();
+        b.iter(|| {
+            black_box(runner::run_measurement_study(
+                black_box(&scenario),
+                0,
+                Schedule::measurement_study().spread(4),
+                SessionConfig::paper_defaults(),
+            ))
+        })
+    });
+    g.bench_function("scenario_construction_planetlab", |b| {
+        b.iter(|| black_box(ir_workload::planetlab_study(black_box(2007))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, artefacts, studies);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Substrate microbenchmarks: the hot paths under the experiment
+//! harness.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir_http::{encode_request, parse_request, ByteRange, Request};
+use ir_simnet::bandwidth::{BandwidthProcess, RegimeSwitchingProcess};
+use ir_simnet::events::EventQueue;
+use ir_simnet::fairshare::{max_min_rates, AllocFlow};
+use ir_simnet::prelude::*;
+use ir_stats::{mann_kendall, Histogram, Summary};
+use ir_tcp::{transfer_time, TcpConfig, TcpRateCap};
+use std::hint::black_box;
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                // Scatter times deterministically.
+                q.push(SimTime::from_micros((i * 7919) % 65_536), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn fairshare(c: &mut Criterion) {
+    // 32 flows over 16 links, random-ish sparse incidence.
+    let caps: Vec<f64> = (0..16).map(|i| 1e5 + (i as f64) * 3e4).collect();
+    let flows: Vec<AllocFlow> = (0..32)
+        .map(|i| AllocFlow {
+            links: vec![i % 16, (i * 7 + 3) % 16],
+            cap: if i % 5 == 0 { 5e4 } else { f64::INFINITY },
+        })
+        .collect();
+    c.bench_function("max_min_rates_32f_16l", |b| {
+        b.iter(|| black_box(max_min_rates(black_box(&caps), black_box(&flows))))
+    });
+}
+
+fn flow_engine(c: &mut Criterion) {
+    c.bench_function("engine_probe_race_2MB", |b| {
+        let mut topo = Topology::new();
+        let cl = topo.add_node("c", NodeKind::Client);
+        let v = topo.add_node("v", NodeKind::Intermediate);
+        let s = topo.add_node("s", NodeKind::Server);
+        let l0 = topo.add_link_shared(cl, s, SimDuration::from_millis(90), Sharing::PerFlow);
+        let l1 = topo.add_link_shared(cl, v, SimDuration::from_millis(85), Sharing::PerFlow);
+        let l2 = topo.add_link_shared(v, s, SimDuration::from_millis(10), Sharing::PerFlow);
+        let direct = topo.route(&[cl, s]).unwrap();
+        let indirect = topo.route(&[cl, v, s]).unwrap();
+        let mut base = Network::new(topo, 1.0);
+        base.set_link_process(
+            l0,
+            Box::new(RegimeSwitchingProcess::new(
+                vec![8e4, 1.4e5],
+                SimDuration::from_secs(120),
+                0.1,
+                5,
+            )),
+        );
+        base.set_link_process(l1, Box::new(ConstantProcess::new(2e5)));
+        base.set_link_process(l2, Box::new(ConstantProcess::new(1e7)));
+        let cfg = TcpConfig::for_rtt(SimDuration::from_millis(190)).with_loss(0.0);
+        b.iter(|| {
+            let mut net = base.clone();
+            let a = net.start_flow(direct.clone(), 102_400, Box::new(TcpRateCap::new(cfg)));
+            let bflow = net.start_flow(indirect.clone(), 102_400, Box::new(TcpRateCap::new(cfg)));
+            let win = net
+                .run_until_first_of(&[a, bflow], SimTime::from_secs(600))
+                .unwrap();
+            let rem = net.start_flow(
+                if win.id == a { direct.clone() } else { indirect.clone() },
+                2_000_000,
+                Box::new(TcpRateCap::new(cfg)),
+            );
+            black_box(net.run_flow(rem, SimTime::from_secs(6000)))
+        })
+    });
+}
+
+fn tcp_model(c: &mut Criterion) {
+    let cfg = TcpConfig::for_rtt(SimDuration::from_millis(120)).with_loss(0.005);
+    c.bench_function("tcp_transfer_time_2MB", |b| {
+        b.iter(|| {
+            let mut p = ConstantProcess::new(2e5);
+            black_box(transfer_time(
+                2_000_000,
+                SimTime::ZERO,
+                cfg,
+                &mut p,
+                SimDuration::from_secs(600),
+            ))
+        })
+    });
+}
+
+fn bandwidth_process(c: &mut Criterion) {
+    c.bench_function("regime_process_materialise_10h", |b| {
+        b.iter(|| {
+            let mut p = RegimeSwitchingProcess::new(
+                vec![5e4, 1e5, 2e5],
+                SimDuration::from_secs(300),
+                0.2,
+                black_box(11),
+            );
+            black_box(p.rate_at(SimTime::from_secs(36_000)))
+        })
+    });
+}
+
+fn http_codec(c: &mut Criterion) {
+    let req = Request::get("http://origin:8080/big/file.bin")
+        .with_header("Host", "origin:8080")
+        .with_header("Range", ByteRange::first(102_400).to_string())
+        .with_header("User-Agent", "ir-client/0.1");
+    let mut encoded = BytesMut::new();
+    encode_request(&req, &mut encoded);
+    c.bench_function("http_encode_request", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(256);
+            encode_request(black_box(&req), &mut buf);
+            black_box(buf)
+        })
+    });
+    c.bench_function("http_parse_request", |b| {
+        b.iter(|| black_box(parse_request(black_box(&encoded))))
+    });
+    c.bench_function("range_parse", |b| {
+        b.iter(|| black_box(ByteRange::parse(black_box("bytes=102400-1048575"))))
+    });
+}
+
+fn statistics(c: &mut Criterion) {
+    let data: Vec<f64> = (0..10_000)
+        .map(|i| ((i as f64) * 0.7).sin() * 50.0 + 49.0)
+        .collect();
+    c.bench_function("summary_10k", |b| {
+        b.iter(|| black_box(Summary::of(black_box(&data))))
+    });
+    c.bench_function("histogram_10k", |b| {
+        b.iter(|| black_box(Histogram::of(-100.0, 200.0, 30, black_box(&data))))
+    });
+    let series: Vec<f64> = data.iter().take(500).copied().collect();
+    c.bench_function("mann_kendall_500", |b| {
+        b.iter(|| black_box(mann_kendall(black_box(&series))))
+    });
+}
+
+fn token_bucket(c: &mut Criterion) {
+    use ir_relay::{RateSchedule, TokenBucket};
+    use std::time::{Duration, Instant};
+    c.bench_function("token_bucket_take", |b| {
+        let mut bucket = TokenBucket::new(RateSchedule::constant(1e9), 1e6);
+        let t0 = Instant::now();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(bucket.take_at(1000, t0 + Duration::from_micros(k)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    event_queue,
+    fairshare,
+    flow_engine,
+    tcp_model,
+    bandwidth_process,
+    http_codec,
+    statistics,
+    token_bucket
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Path specifications: direct vs indirect-via-a-relay.
+
+use ir_simnet::topology::{NodeId, Route, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An end-to-end path choice between a client and a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathSpec {
+    /// The downloading client.
+    pub client: NodeId,
+    /// The origin server.
+    pub server: NodeId,
+    /// `None` for the default Internet path; `Some(relay)` to route via
+    /// an intermediate overlay node.
+    pub via: Option<NodeId>,
+}
+
+impl PathSpec {
+    /// The direct path.
+    pub fn direct(client: NodeId, server: NodeId) -> Self {
+        PathSpec {
+            client,
+            server,
+            via: None,
+        }
+    }
+
+    /// An indirect path through `via`.
+    pub fn indirect(client: NodeId, server: NodeId, via: NodeId) -> Self {
+        assert_ne!(via, client, "relay cannot be the client");
+        assert_ne!(via, server, "relay cannot be the server");
+        PathSpec {
+            client,
+            server,
+            via: Some(via),
+        }
+    }
+
+    /// True if this is an indirect path.
+    pub fn is_indirect(&self) -> bool {
+        self.via.is_some()
+    }
+
+    /// Resolves this spec to a concrete route in `topo`.
+    ///
+    /// Returns `None` if the required links are missing from the
+    /// topology.
+    pub fn resolve(&self, topo: &Topology) -> Option<Route> {
+        match self.via {
+            None => topo.route(&[self.client, self.server]),
+            Some(via) => topo.route(&[self.client, via, self.server]),
+        }
+    }
+
+    /// Human-readable description using node names from `topo`.
+    pub fn describe(&self, topo: &Topology) -> String {
+        let c = &topo.node(self.client).name;
+        let s = &topo.node(self.server).name;
+        match self.via {
+            None => format!("{c} -> {s} (direct)"),
+            Some(v) => format!("{c} -> {} -> {s}", topo.node(v).name),
+        }
+    }
+}
+
+impl fmt::Display for PathSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.via {
+            None => write!(f, "direct({}->{})", self.client.0, self.server.0),
+            Some(v) => write!(f, "via({}->{}->{})", self.client.0, v.0, self.server.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_simnet::time::SimDuration;
+    use ir_simnet::topology::NodeKind;
+
+    fn topo() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let c = t.add_node("Berlin", NodeKind::Client);
+        let v = t.add_node("Texas", NodeKind::Intermediate);
+        let s = t.add_node("eBay", NodeKind::Server);
+        t.add_link(c, s, SimDuration::from_millis(80));
+        t.add_link(c, v, SimDuration::from_millis(60));
+        t.add_link(v, s, SimDuration::from_millis(15));
+        (t, c, v, s)
+    }
+
+    #[test]
+    fn direct_and_indirect_resolve() {
+        let (t, c, v, s) = topo();
+        let d = PathSpec::direct(c, s);
+        assert!(!d.is_indirect());
+        assert_eq!(d.resolve(&t).unwrap().len(), 1);
+        let i = PathSpec::indirect(c, s, v);
+        assert!(i.is_indirect());
+        assert_eq!(i.resolve(&t).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn missing_link_resolves_none() {
+        let (t, c, _, s) = topo();
+        // s -> c has no link.
+        let back = PathSpec::direct(s, c);
+        assert!(back.resolve(&t).is_none());
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let (t, c, v, s) = topo();
+        assert_eq!(PathSpec::direct(c, s).describe(&t), "Berlin -> eBay (direct)");
+        assert_eq!(
+            PathSpec::indirect(c, s, v).describe(&t),
+            "Berlin -> Texas -> eBay"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "relay cannot be the client")]
+    fn relay_cannot_be_endpoint() {
+        let (_, c, _, s) = topo();
+        PathSpec::indirect(c, s, c);
+    }
+}

@@ -1,0 +1,465 @@
+//! Intermediate-node selection policies.
+//!
+//! A policy decides, per transfer, **which relays are candidates** (the
+//! paper's "random set", §4.1); the probe race then picks among the
+//! candidates plus the direct path. Policies may learn from outcomes
+//! via [`SelectionPolicy::observe`] — the utilization-weighted policy
+//! is exactly the extension the paper's §6 proposes ("use the
+//! utilization data to weight the likelihood of a node appearing in the
+//! random set").
+
+use crate::record::TransferRecord;
+use ir_simnet::topology::NodeId;
+use ir_stats::sampling::weighted_index;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Context for a candidate-selection decision.
+#[derive(Debug, Clone)]
+pub struct SelectCtx<'a> {
+    /// The client about to transfer.
+    pub client: NodeId,
+    /// The destination server.
+    pub server: NodeId,
+    /// Every relay available to this client (the paper's "full set").
+    pub full_set: &'a [NodeId],
+    /// Sequence number of this transfer for this client (0-based).
+    pub transfer_index: u64,
+}
+
+/// A relay-candidate selection policy.
+pub trait SelectionPolicy: Send {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Relays to probe for this transfer. Empty means direct-only.
+    fn candidates(&mut self, ctx: &SelectCtx<'_>) -> Vec<NodeId>;
+
+    /// Learns from a completed transfer.
+    fn observe(&mut self, _rec: &TransferRecord) {}
+}
+
+/// Never uses relays: the paper's control process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectOnly;
+
+impl SelectionPolicy for DirectOnly {
+    fn name(&self) -> &'static str {
+        "direct-only"
+    }
+    fn candidates(&mut self, _ctx: &SelectCtx<'_>) -> Vec<NodeId> {
+        Vec::new()
+    }
+}
+
+/// Always probes one fixed relay — the §2.2 configuration ("a single
+/// indirect path that we determined a priori to be a good one").
+#[derive(Debug, Clone, Copy)]
+pub struct StaticSingle(pub NodeId);
+
+impl SelectionPolicy for StaticSingle {
+    fn name(&self) -> &'static str {
+        "static-single"
+    }
+    fn candidates(&mut self, _ctx: &SelectCtx<'_>) -> Vec<NodeId> {
+        vec![self.0]
+    }
+}
+
+/// Probes every relay in the full set (the k = 35 end of Fig 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullSet;
+
+impl SelectionPolicy for FullSet {
+    fn name(&self) -> &'static str {
+        "full-set"
+    }
+    fn candidates(&mut self, ctx: &SelectCtx<'_>) -> Vec<NodeId> {
+        ctx.full_set.to_vec()
+    }
+}
+
+/// The paper's §4 policy: a uniform random subset of size `k` drawn per
+/// transfer.
+#[derive(Debug, Clone)]
+pub struct RandomSet {
+    k: usize,
+    rng: StdRng,
+}
+
+impl RandomSet {
+    /// Creates a random-set policy of size `k`, seeded for determinism.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "random set must be non-empty");
+        RandomSet {
+            k,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The set size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl SelectionPolicy for RandomSet {
+    fn name(&self) -> &'static str {
+        "random-set"
+    }
+    fn candidates(&mut self, ctx: &SelectCtx<'_>) -> Vec<NodeId> {
+        let k = self.k.min(ctx.full_set.len());
+        let mut set: Vec<NodeId> = ctx
+            .full_set
+            .choose_multiple(&mut self.rng, k)
+            .copied()
+            .collect();
+        set.sort();
+        set
+    }
+}
+
+/// The §6 extension: subset sampling weighted by historical
+/// utilization, with Laplace smoothing so unexplored relays keep a
+/// nonzero chance.
+#[derive(Debug, Clone)]
+pub struct UtilizationWeighted {
+    k: usize,
+    rng: StdRng,
+    appeared: HashMap<NodeId, u64>,
+    chosen: HashMap<NodeId, u64>,
+}
+
+impl UtilizationWeighted {
+    /// Creates a utilization-weighted policy of subset size `k`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "subset must be non-empty");
+        UtilizationWeighted {
+            k,
+            rng: StdRng::seed_from_u64(seed),
+            appeared: HashMap::new(),
+            chosen: HashMap::new(),
+        }
+    }
+
+    /// The smoothed utilization weight of a relay:
+    /// `(chosen + 1) / (appeared + 2)`.
+    pub fn weight(&self, via: NodeId) -> f64 {
+        let a = self.appeared.get(&via).copied().unwrap_or(0) as f64;
+        let c = self.chosen.get(&via).copied().unwrap_or(0) as f64;
+        (c + 1.0) / (a + 2.0)
+    }
+}
+
+impl SelectionPolicy for UtilizationWeighted {
+    fn name(&self) -> &'static str {
+        "utilization-weighted"
+    }
+
+    fn candidates(&mut self, ctx: &SelectCtx<'_>) -> Vec<NodeId> {
+        let k = self.k.min(ctx.full_set.len());
+        // Weighted sampling without replacement.
+        let mut pool: Vec<NodeId> = ctx.full_set.to_vec();
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let weights: Vec<f64> = pool.iter().map(|&v| self.weight(v)).collect();
+            let idx = weighted_index(&mut self.rng, &weights);
+            out.push(pool.swap_remove(idx));
+        }
+        out.sort();
+        out
+    }
+
+    fn observe(&mut self, rec: &TransferRecord) {
+        for &via in &rec.candidates {
+            *self.appeared.entry(via).or_insert(0) += 1;
+        }
+        if let Some(via) = rec.selected.via {
+            *self.chosen.entry(via).or_insert(0) += 1;
+        }
+    }
+}
+
+/// ε-greedy single-relay bandit (extension / ablation baseline): with
+/// probability ε probe a random relay, otherwise the relay with the
+/// best mean observed improvement.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+    rng: StdRng,
+    sum: HashMap<NodeId, f64>,
+    n: HashMap<NodeId, u64>,
+}
+
+impl EpsilonGreedy {
+    /// Creates an ε-greedy policy.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "bad epsilon");
+        EpsilonGreedy {
+            epsilon,
+            rng: StdRng::seed_from_u64(seed),
+            sum: HashMap::new(),
+            n: HashMap::new(),
+        }
+    }
+
+    fn mean(&self, via: NodeId) -> Option<f64> {
+        let n = *self.n.get(&via)?;
+        Some(self.sum[&via] / n as f64)
+    }
+}
+
+impl SelectionPolicy for EpsilonGreedy {
+    fn name(&self) -> &'static str {
+        "epsilon-greedy"
+    }
+
+    fn candidates(&mut self, ctx: &SelectCtx<'_>) -> Vec<NodeId> {
+        use rand::Rng;
+        if ctx.full_set.is_empty() {
+            return Vec::new();
+        }
+        // Explore unvisited arms first, then ε-greedy.
+        if let Some(&unvisited) = ctx.full_set.iter().find(|v| !self.n.contains_key(v)) {
+            return vec![unvisited];
+        }
+        let explore = self.rng.gen::<f64>() < self.epsilon;
+        let pick = if explore {
+            *ctx.full_set
+                .choose(&mut self.rng)
+                .expect("non-empty full set")
+        } else {
+            *ctx.full_set
+                .iter()
+                .max_by(|a, b| {
+                    self.mean(**a)
+                        .unwrap_or(f64::NEG_INFINITY)
+                        .partial_cmp(&self.mean(**b).unwrap_or(f64::NEG_INFINITY))
+                        .unwrap()
+                })
+                .expect("non-empty full set")
+        };
+        vec![pick]
+    }
+
+    fn observe(&mut self, rec: &TransferRecord) {
+        // Attribute the observed improvement to the probed relay
+        // (candidates are singletons for this policy).
+        for &via in &rec.candidates {
+            let imp = rec.improvement();
+            if imp.is_finite() {
+                *self.sum.entry(via).or_insert(0.0) += imp;
+                *self.n.entry(via).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+/// UCB1 single-relay bandit (extension / ablation baseline).
+#[derive(Debug, Clone, Default)]
+pub struct Ucb1 {
+    sum: HashMap<NodeId, f64>,
+    n: HashMap<NodeId, u64>,
+    total: u64,
+}
+
+impl Ucb1 {
+    /// Creates a UCB1 policy.
+    pub fn new() -> Self {
+        Ucb1::default()
+    }
+
+    fn score(&self, via: NodeId) -> f64 {
+        match self.n.get(&via) {
+            None => f64::INFINITY, // unexplored first
+            Some(&n) => {
+                let mean = self.sum[&via] / n as f64;
+                mean + (2.0 * (self.total.max(1) as f64).ln() / n as f64).sqrt()
+            }
+        }
+    }
+}
+
+impl SelectionPolicy for Ucb1 {
+    fn name(&self) -> &'static str {
+        "ucb1"
+    }
+
+    fn candidates(&mut self, ctx: &SelectCtx<'_>) -> Vec<NodeId> {
+        if ctx.full_set.is_empty() {
+            return Vec::new();
+        }
+        let best = *ctx
+            .full_set
+            .iter()
+            .max_by(|a, b| self.score(**a).partial_cmp(&self.score(**b)).unwrap())
+            .expect("non-empty full set");
+        vec![best]
+    }
+
+    fn observe(&mut self, rec: &TransferRecord) {
+        for &via in &rec.candidates {
+            let imp = rec.improvement();
+            if imp.is_finite() {
+                *self.sum.entry(via).or_insert(0.0) += imp;
+                *self.n.entry(via).or_insert(0) += 1;
+                self.total += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::PathSpec;
+    use ir_simnet::time::SimTime;
+
+    fn ctx<'a>(full: &'a [NodeId]) -> SelectCtx<'a> {
+        SelectCtx {
+            client: NodeId(0),
+            server: NodeId(1),
+            full_set: full,
+            transfer_index: 0,
+        }
+    }
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    fn rec_with(via: Option<NodeId>, cands: &[NodeId], sel: f64, dir: f64) -> TransferRecord {
+        TransferRecord {
+            client: NodeId(100),
+            server: NodeId(101),
+            started: SimTime::ZERO,
+            file_bytes: 1,
+            selected: match via {
+                None => PathSpec::direct(NodeId(100), NodeId(101)),
+                Some(v) => PathSpec::indirect(NodeId(100), NodeId(101), v),
+            },
+            candidates: cands.to_vec(),
+            direct_throughput: dir,
+            selected_throughput: sel,
+            probe_throughput: sel,
+            selected_path_rate: sel,
+            probe_timeout: false,
+        }
+    }
+
+    #[test]
+    fn direct_only_has_no_candidates() {
+        let full = nodes(&[2, 3]);
+        assert!(DirectOnly.candidates(&ctx(&full)).is_empty());
+    }
+
+    #[test]
+    fn static_single_always_same() {
+        let full = nodes(&[2, 3]);
+        let mut p = StaticSingle(NodeId(3));
+        assert_eq!(p.candidates(&ctx(&full)), nodes(&[3]));
+    }
+
+    #[test]
+    fn full_set_returns_everything() {
+        let full = nodes(&[2, 3, 4]);
+        assert_eq!(FullSet.candidates(&ctx(&full)), full);
+    }
+
+    #[test]
+    fn random_set_size_and_membership() {
+        let full = nodes(&[10, 11, 12, 13, 14, 15]);
+        let mut p = RandomSet::new(3, 7);
+        for _ in 0..50 {
+            let c = p.candidates(&ctx(&full));
+            assert_eq!(c.len(), 3);
+            let mut d = c.clone();
+            d.dedup();
+            assert_eq!(d.len(), 3, "duplicates in {c:?}");
+            assert!(c.iter().all(|v| full.contains(v)));
+        }
+    }
+
+    #[test]
+    fn random_set_clamps_to_full_set() {
+        let full = nodes(&[1, 2]);
+        let mut p = RandomSet::new(10, 1);
+        assert_eq!(p.candidates(&ctx(&full)).len(), 2);
+    }
+
+    #[test]
+    fn random_set_deterministic_per_seed() {
+        let full = nodes(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let a: Vec<_> = {
+            let mut p = RandomSet::new(3, 42);
+            (0..10).map(|_| p.candidates(&ctx(&full))).collect()
+        };
+        let b: Vec<_> = {
+            let mut p = RandomSet::new(3, 42);
+            (0..10).map(|_| p.candidates(&ctx(&full))).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn utilization_weighted_learns_preference() {
+        let full = nodes(&[1, 2]);
+        let mut p = UtilizationWeighted::new(1, 3);
+        // Relay 1 always chosen when it appears; relay 2 never.
+        for _ in 0..30 {
+            p.observe(&rec_with(Some(NodeId(1)), &nodes(&[1]), 2.0, 1.0));
+            p.observe(&rec_with(None, &nodes(&[2]), 1.0, 1.0));
+        }
+        assert!(p.weight(NodeId(1)) > 0.9);
+        assert!(p.weight(NodeId(2)) < 0.1);
+        // Sampling should now heavily favour relay 1.
+        let picks: Vec<_> = (0..200).map(|_| p.candidates(&ctx(&full))[0]).collect();
+        let ones = picks.iter().filter(|&&v| v == NodeId(1)).count();
+        assert!(ones > 150, "only {ones}/200 favoured");
+    }
+
+    #[test]
+    fn epsilon_greedy_explores_then_exploits() {
+        let full = nodes(&[1, 2, 3]);
+        let mut p = EpsilonGreedy::new(0.0, 9); // pure exploit after init
+        // First three picks visit each arm once.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..3 {
+            let c = p.candidates(&ctx(&full));
+            assert_eq!(c.len(), 1);
+            seen.insert(c[0]);
+            // Arm 2 performs best.
+            let reward = if c[0] == NodeId(2) { 1.0 } else { 0.1 };
+            p.observe(&rec_with(Some(c[0]), &c, 1.0 + reward, 1.0));
+        }
+        assert_eq!(seen.len(), 3);
+        // Now it should lock onto arm 2.
+        for _ in 0..10 {
+            assert_eq!(p.candidates(&ctx(&full)), nodes(&[2]));
+        }
+    }
+
+    #[test]
+    fn ucb1_visits_all_arms_then_prefers_best() {
+        let full = nodes(&[1, 2, 3]);
+        let mut p = Ucb1::new();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..60 {
+            let c = p.candidates(&ctx(&full));
+            *counts.entry(c[0]).or_insert(0) += 1;
+            let reward = if c[0] == NodeId(3) { 0.8 } else { 0.05 };
+            p.observe(&rec_with(Some(c[0]), &c, 1.0 + reward, 1.0));
+        }
+        assert!(counts[&NodeId(3)] > counts[&NodeId(1)]);
+        assert!(counts[&NodeId(3)] > counts[&NodeId(2)]);
+    }
+
+    #[test]
+    fn bandits_handle_empty_full_set() {
+        let full: Vec<NodeId> = Vec::new();
+        assert!(EpsilonGreedy::new(0.1, 1).candidates(&ctx(&full)).is_empty());
+        assert!(Ucb1::new().candidates(&ctx(&full)).is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Throughput predictors.
+//!
+//! The paper's predictor is deliberately simple: "download a small
+//! amount of data over both … paths, and … use the measured throughputs
+//! as predictors of the throughputs for the entire download" (§2.1).
+//! That is [`FirstPortion`]. The imperfection of this predictor is a
+//! *finding* of the paper (§4.3: "not a perfect way of making
+//! decisions"), so we also provide an EWMA-blended predictor as an
+//! extension for the ablation benchmarks.
+
+use crate::path::PathSpec;
+use std::collections::HashMap;
+
+/// Predicts a path's whole-transfer throughput from a probe measurement
+/// (and possibly history).
+pub trait Predictor: Send {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Predicted whole-transfer throughput (bytes/sec) for `path` given
+    /// the just-measured probe throughput.
+    fn predict(&mut self, path: &PathSpec, probe_rate: f64) -> f64;
+
+    /// Feeds back the realized throughput of a completed transfer on
+    /// `path` so history-based predictors can learn.
+    fn observe(&mut self, path: &PathSpec, realized_rate: f64);
+}
+
+/// The paper's predictor: the probe rate *is* the prediction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstPortion;
+
+impl Predictor for FirstPortion {
+    fn name(&self) -> &'static str {
+        "first-portion"
+    }
+    fn predict(&mut self, _path: &PathSpec, probe_rate: f64) -> f64 {
+        probe_rate
+    }
+    fn observe(&mut self, _path: &PathSpec, _realized: f64) {}
+}
+
+/// Blends the probe with an exponentially weighted moving average of
+/// past realized throughputs on the same path:
+/// `prediction = w·probe + (1-w)·ewma` (falling back to the probe when
+/// the path has no history).
+#[derive(Debug, Clone)]
+pub struct EwmaBlend {
+    /// Weight on the fresh probe (1.0 degenerates to [`FirstPortion`]).
+    probe_weight: f64,
+    /// EWMA decay for history updates.
+    alpha: f64,
+    history: HashMap<PathSpec, f64>,
+}
+
+impl EwmaBlend {
+    /// Creates a blended predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are in `[0, 1]`.
+    pub fn new(probe_weight: f64, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&probe_weight), "bad probe weight");
+        assert!((0.0..=1.0).contains(&alpha), "bad alpha");
+        EwmaBlend {
+            probe_weight,
+            alpha,
+            history: HashMap::new(),
+        }
+    }
+
+    /// Current EWMA estimate for a path, if any.
+    pub fn history(&self, path: &PathSpec) -> Option<f64> {
+        self.history.get(path).copied()
+    }
+}
+
+impl Predictor for EwmaBlend {
+    fn name(&self) -> &'static str {
+        "ewma-blend"
+    }
+
+    fn predict(&mut self, path: &PathSpec, probe_rate: f64) -> f64 {
+        match self.history.get(path) {
+            None => probe_rate,
+            Some(&h) => self.probe_weight * probe_rate + (1.0 - self.probe_weight) * h,
+        }
+    }
+
+    fn observe(&mut self, path: &PathSpec, realized: f64) {
+        let e = self.history.entry(*path).or_insert(realized);
+        *e = self.alpha * realized + (1.0 - self.alpha) * *e;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_simnet::topology::NodeId;
+
+    fn path(via: Option<u32>) -> PathSpec {
+        PathSpec {
+            client: NodeId(0),
+            server: NodeId(1),
+            via: via.map(NodeId),
+        }
+    }
+
+    #[test]
+    fn first_portion_is_identity() {
+        let mut p = FirstPortion;
+        assert_eq!(p.predict(&path(None), 123.0), 123.0);
+        p.observe(&path(None), 999.0); // no effect
+        assert_eq!(p.predict(&path(None), 5.0), 5.0);
+    }
+
+    #[test]
+    fn ewma_falls_back_to_probe_without_history() {
+        let mut p = EwmaBlend::new(0.5, 0.3);
+        assert_eq!(p.predict(&path(Some(7)), 200.0), 200.0);
+    }
+
+    #[test]
+    fn ewma_blends_after_observations() {
+        let mut p = EwmaBlend::new(0.5, 1.0); // history = last observation
+        let pa = path(Some(3));
+        p.observe(&pa, 100.0);
+        // prediction = 0.5*300 + 0.5*100 = 200.
+        assert!((p.predict(&pa, 300.0) - 200.0).abs() < 1e-12);
+        // Different path unaffected.
+        assert_eq!(p.predict(&path(Some(4)), 300.0), 300.0);
+    }
+
+    #[test]
+    fn ewma_decay() {
+        let mut p = EwmaBlend::new(0.0, 0.5);
+        let pa = path(None);
+        p.observe(&pa, 100.0); // init 100
+        p.observe(&pa, 200.0); // 0.5*200+0.5*100 = 150
+        assert!((p.history(&pa).unwrap() - 150.0).abs() < 1e-12);
+        // probe_weight 0 → prediction is pure history.
+        assert!((p.predict(&pa, 1e9) - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad probe weight")]
+    fn rejects_bad_weight() {
+        EwmaBlend::new(1.5, 0.5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the session protocol over constant-rate worlds,
+//! where ground truth is computable by hand.
+
+use ir_core::{
+    run_session, FirstPortion, PathSpec, SessionConfig, SimTransport, StaticSingle,
+    TransferRecord, UtilizationTracker,
+};
+use ir_simnet::bandwidth::ConstantProcess;
+use ir_simnet::sim::Network;
+use ir_simnet::time::SimDuration;
+use ir_simnet::topology::{NodeKind, Sharing, Topology};
+use proptest::prelude::*;
+
+/// client -> server (direct at `direct`), client -> relay -> server
+/// (overlay leg at `overlay`, relay-server leg fast).
+fn world(direct: f64, overlay: f64) -> (SimTransport, ir_simnet::topology::NodeId, ir_simnet::topology::NodeId, ir_simnet::topology::NodeId) {
+    let mut t = Topology::new();
+    let c = t.add_node("c", NodeKind::Client);
+    let v = t.add_node("v", NodeKind::Intermediate);
+    let s = t.add_node("s", NodeKind::Server);
+    let l0 = t.add_link_shared(c, s, SimDuration::from_millis(80), Sharing::PerFlow);
+    let l1 = t.add_link_shared(c, v, SimDuration::from_millis(75), Sharing::PerFlow);
+    let l2 = t.add_link_shared(v, s, SimDuration::from_millis(8), Sharing::PerFlow);
+    let mut net = Network::new(t, 1.0);
+    net.set_link_process(l0, Box::new(ConstantProcess::new(direct)));
+    net.set_link_process(l1, Box::new(ConstantProcess::new(overlay)));
+    net.set_link_process(l2, Box::new(ConstantProcess::new(50e6)));
+    (SimTransport::new(net), c, v, s)
+}
+
+fn run_one(direct: f64, overlay: f64) -> TransferRecord {
+    let (mut tp, c, v, s) = world(direct, overlay);
+    let mut policy = StaticSingle(v);
+    let mut predictor = FirstPortion;
+    run_session(
+        &mut tp,
+        &mut policy,
+        &mut predictor,
+        c,
+        s,
+        &[v],
+        0,
+        &SessionConfig::paper_defaults(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn clearly_better_overlay_is_chosen(
+        direct in 30_000.0f64..150_000.0,
+        factor in 2.5f64..8.0,
+    ) {
+        let rec = run_one(direct, direct * factor);
+        prop_assert!(rec.chose_indirect(), "2.5x+ faster relay not chosen");
+        prop_assert!(rec.improvement() > 0.2, "improvement {}", rec.improvement());
+        prop_assert!(!rec.probe_timeout);
+    }
+
+    #[test]
+    fn clearly_worse_overlay_is_rejected(
+        direct in 100_000.0f64..400_000.0,
+        factor in 0.05f64..0.4,
+    ) {
+        let rec = run_one(direct, direct * factor);
+        prop_assert!(!rec.chose_indirect(), "slow relay chosen");
+        // Direct selected: treatment ~= control; no large deviation.
+        prop_assert!(rec.improvement().abs() < 0.25, "improvement {}", rec.improvement());
+    }
+
+    #[test]
+    fn improvement_tracks_rate_ratio_on_constant_paths(
+        direct in 40_000.0f64..120_000.0,
+        factor in 2.0f64..6.0,
+    ) {
+        let rec = run_one(direct, direct * factor);
+        prop_assert!(rec.chose_indirect());
+        // With constant rates, improvement ≈ factor − 1 up to TCP and
+        // probe overheads (which only push it down, never up, and by a
+        // bounded amount).
+        let imp = rec.improvement();
+        prop_assert!(imp <= factor - 1.0 + 0.15, "imp {imp} vs factor {factor}");
+        prop_assert!(imp >= (factor - 1.0) * 0.4 - 0.1, "imp {imp} too low for factor {factor}");
+    }
+
+    #[test]
+    fn throughputs_never_exceed_link_rates(
+        direct in 30_000.0f64..300_000.0,
+        overlay in 30_000.0f64..300_000.0,
+    ) {
+        let rec = run_one(direct, overlay);
+        let cap = direct.max(overlay) + 1.0;
+        prop_assert!(rec.direct_throughput <= direct + 1.0);
+        prop_assert!(rec.selected_throughput <= cap);
+        if rec.selected_path_rate.is_finite() {
+            prop_assert!(rec.selected_path_rate <= cap);
+        }
+        prop_assert!(rec.direct_throughput > 0.0);
+    }
+
+    #[test]
+    fn utilization_tracker_is_consistent_with_records(
+        outcomes in prop::collection::vec(any::<bool>(), 1..50),
+    ) {
+        use ir_simnet::topology::NodeId;
+        let client = NodeId(0);
+        let server = NodeId(1);
+        let via = NodeId(2);
+        let mut tracker = UtilizationTracker::new();
+        let mut chosen = 0u64;
+        for &pick in &outcomes {
+            let selected = if pick {
+                chosen += 1;
+                PathSpec::indirect(client, server, via)
+            } else {
+                PathSpec::direct(client, server)
+            };
+            tracker.observe(&TransferRecord {
+                client,
+                server,
+                started: ir_simnet::time::SimTime::ZERO,
+                file_bytes: 1,
+                selected,
+                candidates: vec![via],
+                direct_throughput: 1.0,
+                selected_throughput: 1.0,
+                probe_throughput: 1.0,
+                selected_path_rate: 1.0,
+                probe_timeout: false,
+            });
+        }
+        let u = tracker.utilization(client, via).unwrap();
+        prop_assert!((u - chosen as f64 / outcomes.len() as f64).abs() < 1e-12);
+        prop_assert_eq!(tracker.appeared_count(client, via), outcomes.len() as u64);
+        prop_assert_eq!(tracker.chosen_count(client, via), chosen);
+    }
+}

@@ -1,0 +1,170 @@
+//! Fig 2 — per-client improvement histograms.
+//!
+//! The paper shows a selection of per-client histograms and observes
+//! that "the separate behaviors of the majority of the client nodes are
+//! roughly similar to the cumulative distribution … most of the percent
+//! improvement is somewhere between 0% and 100%, and peaks somewhere
+//! near 50% (though not in all cases, as with France)".
+
+use crate::report::{csv, Check, Report};
+use crate::runner::MeasurementData;
+use ir_simnet::topology::NodeId;
+use ir_stats::{Ecdf, Histogram, Summary};
+use std::collections::BTreeMap;
+
+/// Clients the paper's Fig 2 highlights (any subset present in the data
+/// is rendered).
+pub const HIGHLIGHTED: &[&str] = &["Australia 2", "Berlin", "Brazil", "France", "Israel", "Sweden"];
+
+/// Per-client improvement samples (indirect-chosen, percent).
+fn per_client(data: &MeasurementData) -> BTreeMap<NodeId, Vec<f64>> {
+    let mut map: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
+    for r in data.all_records() {
+        if r.chose_indirect() {
+            let v = r.improvement_pct();
+            if v.is_finite() {
+                map.entry(r.client).or_default().push(v);
+            }
+        }
+    }
+    map
+}
+
+/// Builds the Fig 2 report.
+pub fn report(data: &MeasurementData) -> Report {
+    let samples = per_client(data);
+    let mut body = String::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut majority_in_band = 0usize;
+    let mut clients_counted = 0usize;
+
+    let mut stats_table = ir_stats::TextTable::new()
+        .title("per-client improvement (indirect-chosen transfers)")
+        .header(["client", "n", "mean%", "median%", "frac [0,100]%"]);
+
+    for &client in &data.clients {
+        let Some(vals) = samples.get(&client) else {
+            continue;
+        };
+        if vals.len() < 3 {
+            continue;
+        }
+        let s = Summary::of(vals).expect("non-empty");
+        let e = Ecdf::new(vals);
+        let frac = e.mass_in(0.0, 100.0) * 100.0;
+        clients_counted += 1;
+        if frac >= 50.0 {
+            majority_in_band += 1;
+        }
+        stats_table.row([
+            data.name(client).to_string(),
+            vals.len().to_string(),
+            format!("{:+.1}", s.mean),
+            format!("{:+.1}", s.median),
+            format!("{frac:.0}"),
+        ]);
+        rows.push(vec![
+            data.name(client).to_string(),
+            vals.len().to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.median),
+            format!("{:.2}", frac),
+        ]);
+    }
+    body.push_str(&stats_table.render());
+    body.push('\n');
+
+    // ASCII histograms for the paper's highlighted clients.
+    for name in HIGHLIGHTED {
+        let Some(&client) = data
+            .clients
+            .iter()
+            .find(|&&c| data.name(c) == *name)
+        else {
+            continue;
+        };
+        if let Some(vals) = samples.get(&client) {
+            if vals.len() >= 3 {
+                body.push_str(&format!("\n{name} (n = {}):\n", vals.len()));
+                body.push_str(&Histogram::of(-100.0, 200.0, 15, vals).render_ascii(32));
+            }
+        }
+    }
+
+    let majority_pct = if clients_counted == 0 {
+        0.0
+    } else {
+        majority_in_band as f64 / clients_counted as f64 * 100.0
+    };
+
+    // Full per-client histogram series (long format) for plotting.
+    let mut hist_rows: Vec<Vec<String>> = Vec::new();
+    for (&client, vals) in &samples {
+        if vals.len() < 3 {
+            continue;
+        }
+        let h = Histogram::of(-100.0, 200.0, 30, vals);
+        for (center, count) in h.series() {
+            hist_rows.push(vec![
+                data.name(client).to_string(),
+                format!("{center}"),
+                count.to_string(),
+            ]);
+        }
+    }
+
+    Report {
+        id: "fig2",
+        title: "Fig 2: per-client improvement histograms".into(),
+        body,
+        csv: vec![
+            (
+                "per_client".into(),
+                csv(
+                    &["client", "n", "mean_pct", "median_pct", "frac_0_100_pct"],
+                    &rows,
+                ),
+            ),
+            (
+                "histograms".into(),
+                csv(&["client", "bin_center_pct", "count"], &hist_rows),
+            ),
+        ],
+        checks: vec![Check::banded(
+            "clients with majority of mass in [0,100] (%)",
+            100.0, // the paper: "the majority of the client nodes"
+            majority_pct,
+            60.0,
+            100.0,
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_measurement_study;
+    use ir_core::SessionConfig;
+    use ir_workload::Schedule;
+
+    #[test]
+    fn fig2_renders_per_client_stats() {
+        let sc = ir_workload::build(
+            13,
+            &ir_workload::roster::CLIENTS[..5],
+            &ir_workload::roster::INTERMEDIATES[..4],
+            &ir_workload::roster::SERVERS[..1],
+            ir_workload::Calibration::default(),
+            false,
+        );
+        let data = run_measurement_study(
+            &sc,
+            0,
+            Schedule::measurement_study().truncated(8),
+            SessionConfig::paper_defaults(),
+        );
+        let r = report(&data);
+        assert!(r.render().contains("per-client improvement"));
+        assert!(!r.csv[0].1.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Fig 3 — improvement vs client direct-path throughput.
+//!
+//! The paper's claim: "throughput performance improvement decreases as
+//! client throughput on the direct path increases", i.e. the scatter of
+//! (direct throughput, improvement) slopes downward. We verify with
+//! Pearson correlation, an OLS fit, and the robust Theil–Sen slope over
+//! the same per-(client, top-3 relay) populations the paper plots.
+
+use crate::report::{csv, Check, Report};
+use crate::runner::MeasurementData;
+use ir_stats::{ols, pearson, theil_sen};
+use ir_workload::MBPS;
+
+/// The scatter: (direct throughput in Mbps, improvement %) over
+/// indirect-chosen transfers through each client's top-3 relays.
+pub fn scatter(data: &MeasurementData) -> Vec<(f64, f64)> {
+    let util = data.utilization();
+    let mut pts = Vec::new();
+    for &client in &data.clients {
+        let top: Vec<_> = util
+            .top_for_client(client)
+            .into_iter()
+            .take(3)
+            .map(|(v, _)| v)
+            .collect();
+        for r in data.all_records() {
+            if r.client != client || !r.chose_indirect() {
+                continue;
+            }
+            let Some(via) = r.selected.via else { continue };
+            if !top.contains(&via) {
+                continue;
+            }
+            let imp = r.improvement_pct();
+            if imp.is_finite() && r.direct_throughput > 0.0 {
+                pts.push((r.direct_throughput / MBPS, imp));
+            }
+        }
+    }
+    pts
+}
+
+/// Builds the Fig 3 report.
+pub fn report(data: &MeasurementData) -> Report {
+    let pts = scatter(data);
+    assert!(pts.len() >= 8, "too few scatter points ({})", pts.len());
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+
+    let r = pearson(&xs, &ys);
+    let fit = ols(&xs, &ys).expect("non-degenerate scatter");
+    let ts = theil_sen(&xs, &ys).expect("non-degenerate scatter");
+
+    let mut body = String::new();
+    body.push_str(&format!(
+        "scatter: {n} points (indirect-chosen transfers via each client's top-3 relays)\n\
+         Pearson r:        {r:+.3}\n\
+         OLS slope:        {slope:+.1} %/Mbps (r² = {r2:.3})\n\
+         Theil–Sen slope:  {ts:+.1} %/Mbps\n\n",
+        n = pts.len(),
+        slope = fit.slope,
+        r2 = fit.r2
+    ));
+
+    // Binned means make the trend visible in text.
+    let mut table = ir_stats::TextTable::new()
+        .title("mean improvement by direct-throughput band")
+        .header(["band (Mbps)", "n", "mean improvement (%)"]);
+    let bands = [(0.0, 0.75), (0.75, 1.5), (1.5, 3.0), (3.0, f64::INFINITY)];
+    let mut band_means: Vec<f64> = Vec::new();
+    for (lo, hi) in bands {
+        let vals: Vec<f64> = pts
+            .iter()
+            .filter(|(x, _)| *x >= lo && *x < hi)
+            .map(|(_, y)| *y)
+            .collect();
+        let mean = ir_stats::Summary::of(&vals).map(|s| s.mean);
+        table.row([
+            if hi.is_finite() {
+                format!("{lo:.2}-{hi:.2}")
+            } else {
+                format!(">= {lo:.2}")
+            },
+            vals.len().to_string(),
+            mean.map(|m| format!("{m:+.1}")).unwrap_or_else(|| "-".into()),
+        ]);
+        if let Some(m) = mean {
+            band_means.push(m);
+        }
+    }
+    body.push_str(&table.render());
+
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|(x, y)| vec![format!("{x:.4}"), format!("{y:.2}")])
+        .collect();
+
+    // Shape check: the first band with data outperforms the last.
+    let band_drop = match (band_means.first(), band_means.last()) {
+        (Some(a), Some(b)) if band_means.len() >= 2 => a - b,
+        _ => 0.0,
+    };
+
+    Report {
+        id: "fig3",
+        title: "Fig 3: improvement vs client direct-path throughput".into(),
+        body,
+        csv: vec![(
+            "scatter".into(),
+            csv(&["direct_mbps", "improvement_pct"], &rows),
+        )],
+        checks: vec![
+            Check::banded("Pearson correlation", -0.5, r, -1.0, -0.05),
+            Check::banded("Theil-Sen slope (%/Mbps)", -20.0, ts, -1e6, -0.1),
+            Check::banded(
+                "low-band minus high-band mean improvement (%)",
+                40.0,
+                band_drop,
+                5.0,
+                1e6,
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_measurement_study;
+    use ir_core::SessionConfig;
+    use ir_workload::Schedule;
+
+    #[test]
+    fn fig3_scatter_has_points_and_renders() {
+        let sc = ir_workload::build(
+            29,
+            &ir_workload::roster::CLIENTS[..6],
+            &ir_workload::roster::INTERMEDIATES[..5],
+            &ir_workload::roster::SERVERS[..1],
+            ir_workload::Calibration::default(),
+            false,
+        );
+        let data = run_measurement_study(
+            &sc,
+            0,
+            Schedule::measurement_study().truncated(10),
+            SessionConfig::paper_defaults(),
+        );
+        let pts = scatter(&data);
+        assert!(!pts.is_empty());
+        let r = report(&data);
+        assert!(r.render().contains("Pearson"));
+    }
+}

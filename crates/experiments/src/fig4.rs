@@ -1,0 +1,126 @@
+//! Fig 4 — indirect-path throughput vs time.
+//!
+//! The paper's claim: "Indirect path throughputs do not show any
+//! discernable uptrend or downtrend over time. However, there are a few
+//! small jumps that do occur, which explain why some penalties occur."
+//! We make the no-trend claim a Mann–Kendall test per (client, relay)
+//! series and report the fraction of series with a significant trend.
+
+use crate::report::{csv, Check, Report};
+use crate::runner::MeasurementData;
+use ir_stats::{mann_kendall, Trend};
+
+/// Minimum series length for a meaningful trend test.
+const MIN_SERIES: usize = 10;
+
+/// Builds the Fig 4 report.
+pub fn report(data: &MeasurementData) -> Report {
+    let mut tested = 0usize;
+    let mut trending = 0usize;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut table = ir_stats::TextTable::new()
+        .title("Mann-Kendall trend test on indirect-path throughput series")
+        .header(["client", "via", "n", "tau", "p", "verdict"]);
+
+    // Render at most this many rows (the CSV gets everything).
+    const MAX_TABLE_ROWS: usize = 20;
+
+    for pair in &data.pairs {
+        let series: Vec<f64> = pair
+            .records
+            .iter()
+            .filter(|r| r.chose_indirect())
+            .map(|r| r.selected_path_rate)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .collect();
+        if series.len() < MIN_SERIES {
+            continue;
+        }
+        let mk = mann_kendall(&series);
+        let verdict = mk.trend(0.05);
+        tested += 1;
+        if verdict != Trend::None {
+            trending += 1;
+        }
+        if table.len() < MAX_TABLE_ROWS {
+            table.row([
+                data.name(pair.client).to_string(),
+                data.name(pair.via).to_string(),
+                series.len().to_string(),
+                format!("{:+.2}", mk.tau),
+                format!("{:.3}", mk.p_value),
+                match verdict {
+                    Trend::None => "no trend",
+                    Trend::Increasing => "UP",
+                    Trend::Decreasing => "DOWN",
+                }
+                .to_string(),
+            ]);
+        }
+        rows.push(vec![
+            data.name(pair.client).to_string(),
+            data.name(pair.via).to_string(),
+            series.len().to_string(),
+            format!("{:.4}", mk.tau),
+            format!("{:.4}", mk.p_value),
+            format!("{verdict:?}"),
+        ]);
+    }
+
+    let no_trend_pct = if tested == 0 {
+        100.0
+    } else {
+        (tested - trending) as f64 / tested as f64 * 100.0
+    };
+
+    let mut body = table.render();
+    body.push('\n');
+    body.push_str(&format!(
+        "series tested: {tested}; without significant monotone trend: {no_trend_pct:.0}%\n"
+    ));
+
+    Report {
+        id: "fig4",
+        title: "Fig 4: indirect-path throughput vs time (trend test)".into(),
+        body,
+        csv: vec![(
+            "trends".into(),
+            csv(&["client", "via", "n", "tau", "p_value", "verdict"], &rows),
+        )],
+        checks: vec![Check::banded(
+            "series with no significant trend (%)",
+            100.0, // the paper: "no discernable uptrend or downtrend"
+            no_trend_pct,
+            75.0,
+            100.0,
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_measurement_study;
+    use ir_core::SessionConfig;
+    use ir_workload::Schedule;
+
+    #[test]
+    fn fig4_runs_trend_tests() {
+        let sc = ir_workload::build(
+            31,
+            &ir_workload::roster::CLIENTS[..3],
+            &ir_workload::roster::INTERMEDIATES[..3],
+            &ir_workload::roster::SERVERS[..1],
+            ir_workload::Calibration::default(),
+            false,
+        );
+        let data = run_measurement_study(
+            &sc,
+            0,
+            Schedule::measurement_study().truncated(30),
+            SessionConfig::paper_defaults(),
+        );
+        let r = report(&data);
+        assert!(r.render().contains("Mann-Kendall"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Fig 6 — average throughput improvement vs random-set size.
+//!
+//! The paper's claim: "The curves for each of three clients level off
+//! at about 10 nodes, suggesting that … a random set size of 10
+//! suffices." We reproduce the sweep for Duke, Sweden, and Italy and
+//! check the plateau: the k = 10 mean is within a small margin of the
+//! full-set (k = 35) mean, while k = 1 sits well below it.
+
+use crate::report::{csv, Check, Report};
+use crate::runner::SelectionData;
+
+/// Builds the Fig 6 report.
+pub fn report(data: &SelectionData) -> Report {
+    let ks = data.ks();
+    assert!(!ks.is_empty(), "no selection runs");
+
+    let mut table = ir_stats::TextTable::new()
+        .title("avg. throughput improvement over direct path (%)")
+        .header(
+            std::iter::once("k".to_string())
+                .chain(data.clients.iter().map(|&c| data.name(c).to_string()))
+                .collect::<Vec<_>>(),
+        );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for &k in &ks {
+        let mut row = vec![k.to_string()];
+        let mut csv_row = vec![k.to_string()];
+        for &c in &data.clients {
+            let m = data.mean_improvement_pct(c, k);
+            row.push(
+                m.map(|v| format!("{v:+.1}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+            csv_row.push(m.map(|v| format!("{v:.3}")).unwrap_or_default());
+        }
+        table.row(row);
+        rows.push(csv_row);
+    }
+
+    let mut body = table.render();
+
+    // Plateau checks per client (averaged across clients for the
+    // headline).
+    let kmax = *ks.last().expect("non-empty");
+    let k_knee = ks.iter().copied().find(|&k| k >= 10).unwrap_or(kmax);
+    let k1 = ks[0];
+    let mut knee_ratio_sum = 0.0;
+    let mut gain_sum = 0.0;
+    let mut n = 0.0;
+    for &c in &data.clients {
+        if let (Some(a), Some(b), Some(lo)) = (
+            data.mean_improvement_pct(c, k_knee),
+            data.mean_improvement_pct(c, kmax),
+            data.mean_improvement_pct(c, k1),
+        ) {
+            if b > 0.0 {
+                knee_ratio_sum += a / b;
+                gain_sum += b - lo;
+                n += 1.0;
+            }
+        }
+    }
+    let knee_ratio = if n > 0.0 { knee_ratio_sum / n } else { 0.0 };
+    let k1_gain = if n > 0.0 { gain_sum / n } else { 0.0 };
+
+    body.push_str(&format!(
+        "\nmean(k={k_knee}) / mean(k={kmax}) across clients: {knee_ratio:.2}\n\
+         mean(k={kmax}) - mean(k={k1}) across clients:  {k1_gain:+.1} pp\n"
+    ));
+
+    let header: Vec<String> = std::iter::once("k".to_string())
+        .chain(data.clients.iter().map(|&c| data.name(c).to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    Report {
+        id: "fig6",
+        title: "Fig 6: improvement vs random-set size".into(),
+        body,
+        csv: vec![("curves".into(), csv(&header_refs, &rows))],
+        checks: vec![
+            // Plateau: k≈10 captures most of the full-set improvement.
+            Check::banded(
+                "plateau ratio mean(k~10)/mean(k=max)",
+                1.0,
+                knee_ratio,
+                0.75,
+                1.35,
+            ),
+            // Rising curve: going from k=1 to the full set helps.
+            Check::banded(
+                "full-set gain over k=1 (pp)",
+                20.0, // qualitative: the curves rise substantially
+                k1_gain,
+                2.0,
+                1e6,
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_selection_study, Scale};
+    use ir_core::SessionConfig;
+    use ir_workload::Schedule;
+
+    #[test]
+    fn fig6_renders_sweep() {
+        let sc = ir_workload::build(
+            41,
+            &ir_workload::roster::SELECTION_CLIENTS[..2],
+            &ir_workload::roster::INTERMEDIATES[..6],
+            &ir_workload::roster::SERVERS[..1],
+            ir_workload::Calibration::default(),
+            true,
+        );
+        let data = run_selection_study(
+            &sc,
+            &[1, 3, 6],
+            Schedule::selection_study().truncated(12),
+            SessionConfig::paper_defaults(),
+            5,
+        );
+        let r = report(&data);
+        assert!(r.render().contains("random-set size"));
+        let _ = Scale::Quick;
+    }
+}

@@ -1,0 +1,140 @@
+//! Scenario inspector: print the synthetic world's ground truth.
+//!
+//! Transparency tool for the substitution (DESIGN.md §2): for each
+//! client, its intended category/variability and the *realised* mean
+//! and coefficient of variation of its direct path over the study
+//! window (sampled via [`ir_simnet::tracer`]); for each relay, its
+//! quality factor. Makes the calibration auditable at a glance.
+
+use crate::report::{csv, Report};
+use ir_core::PathSpec;
+use ir_simnet::time::{SimDuration, SimTime};
+use ir_simnet::tracer::trace_link;
+use ir_workload::{planetlab_study, Scenario, MBPS};
+
+/// Builds the inspection report for the §2.2 scenario.
+pub fn report(seed: u64) -> Report {
+    let scenario = planetlab_study(seed);
+    report_for(&scenario)
+}
+
+/// Builds the inspection report for any scenario.
+pub fn report_for(scenario: &Scenario) -> Report {
+    let topo = scenario.network.topology();
+    let window_end = SimTime::from_secs(36_000); // the 10-hour study
+    let step = SimDuration::from_secs(120);
+
+    let mut clients = ir_stats::TextTable::new()
+        .title("clients (ground truth + realised direct path to server 0)")
+        .header(["client", "category", "variability", "base (Mbps)", "realised mean", "realised CoV"]);
+    let mut rows = Vec::new();
+    for &c in &scenario.clients {
+        let prof = scenario.profile(c);
+        let direct = PathSpec::direct(c, scenario.servers[0])
+            .resolve(topo)
+            .expect("direct path");
+        let trace = trace_link(&scenario.network, direct.links[0], SimTime::ZERO, window_end, step);
+        clients.row([
+            scenario.name(c).to_string(),
+            prof.category.label().to_string(),
+            prof.variability.label().to_string(),
+            format!("{:.2}", prof.base_rate / MBPS),
+            format!("{:.2}", trace.mean() / MBPS),
+            format!("{:.2}", trace.cov()),
+        ]);
+        rows.push(vec![
+            scenario.name(c).to_string(),
+            prof.category.label().to_string(),
+            prof.variability.label().to_string(),
+            format!("{:.4}", prof.base_rate / MBPS),
+            format!("{:.4}", trace.mean() / MBPS),
+            format!("{:.4}", trace.cov()),
+        ]);
+    }
+
+    let mut relays = ir_stats::TextTable::new()
+        .title("relays (quality factor; >1 = better-than-median connectivity)")
+        .header(["relay", "quality"]);
+    let mut sorted: Vec<_> = scenario
+        .relays
+        .iter()
+        .map(|&v| (scenario.name(v).to_string(), scenario.relay_quality[&v]))
+        .collect();
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut relay_rows = Vec::new();
+    for (name, q) in &sorted {
+        relays.row([name.clone(), format!("{q:.2}")]);
+        relay_rows.push(vec![name.clone(), format!("{q:.4}")]);
+    }
+
+    let mut body = clients.render();
+    body.push('\n');
+    body.push_str(&relays.render());
+
+    Report {
+        id: "scenario",
+        title: "Scenario inspection (ground truth)".into(),
+        body,
+        csv: vec![
+            (
+                "clients".into(),
+                csv(
+                    &["client", "category", "variability", "base_mbps", "realised_mbps", "cov"],
+                    &rows,
+                ),
+            ),
+            ("relays".into(), csv(&["relay", "quality"], &relay_rows)),
+        ],
+        checks: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inspection_lists_everything() {
+        let sc = ir_workload::build(
+            3,
+            &ir_workload::roster::CLIENTS[..3],
+            &ir_workload::roster::INTERMEDIATES[..3],
+            &ir_workload::roster::SERVERS[..1],
+            ir_workload::Calibration::default(),
+            false,
+        );
+        let r = report_for(&sc);
+        let text = r.render();
+        for &c in &sc.clients {
+            assert!(text.contains(sc.name(c)));
+        }
+        for &v in &sc.relays {
+            assert!(text.contains(sc.name(v)));
+        }
+        assert_eq!(r.csv.len(), 2);
+    }
+
+    #[test]
+    fn realised_means_near_ground_truth() {
+        let sc = ir_workload::build(
+            9,
+            &ir_workload::roster::CLIENTS[..4],
+            &ir_workload::roster::INTERMEDIATES[..2],
+            &ir_workload::roster::SERVERS[..1],
+            ir_workload::Calibration::default(),
+            false,
+        );
+        let r = report_for(&sc);
+        // Every realised mean should be within 3x of the base rate
+        // (regimes + noise + server factor).
+        for line in r.csv[0].1.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            let base: f64 = cols[3].parse().unwrap();
+            let realised: f64 = cols[4].parse().unwrap();
+            assert!(
+                realised > base / 3.0 && realised < base * 3.0,
+                "{line}"
+            );
+        }
+    }
+}

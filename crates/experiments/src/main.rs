@@ -1,0 +1,234 @@
+//! `experiments` — CLI reproducing the paper's tables and figures.
+//!
+//! ```text
+//! experiments <artefact> [--seed N] [--scale quick|paper] [--csv DIR]
+//!
+//! artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3
+//!            measurement (figs 1-5 + tables 1-2 on one shared run)
+//!            selection   (fig 6 + table 3 on one shared run)
+//!            sites       (per-site 33-49% range, extension)
+//!            headroom    (oracle-attainable vs captured, extension)
+//!            all         (everything)
+//! ```
+
+use ir_experiments::{
+    measurement_reports, measurement_study_default, selection_reports,
+    selection_study_default, Report, Scale, FIG6_KS,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    artefact: String,
+    seed: u64,
+    scale: Scale,
+    csv_dir: Option<PathBuf>,
+    cal: Option<ir_workload::Calibration>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <artefact> [--seed N] [--scale quick|paper] [--csv DIR] [--cal FILE]\n\
+         artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3\n\
+         \x20          measurement selection sites headroom scenario robustness all"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let artefact = argv.next().unwrap_or_else(|| usage());
+    let mut args = Args {
+        artefact,
+        seed: 2007, // the venue year; any seed works
+        scale: Scale::Quick,
+        csv_dir: None,
+        cal: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--scale" => {
+                args.scale = match argv.next().as_deref() {
+                    Some("quick") => Scale::Quick,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                };
+            }
+            "--csv" => {
+                args.csv_dir = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--cal" => {
+                let path = argv.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                args.cal = Some(ir_workload::from_kv(&text).unwrap_or_else(|e| {
+                    eprintln!("bad calibration file {path}: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn emit(reports: &[Report], csv_dir: &Option<PathBuf>) -> bool {
+    let mut ok = true;
+    for r in reports {
+        println!("{}", r.render());
+        if let Some(dir) = csv_dir {
+            match r.write_csv(dir) {
+                Ok(files) => {
+                    for f in files {
+                        println!("wrote {}", f.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("csv write failed: {e}");
+                    ok = false;
+                }
+            }
+        }
+        if !r.all_pass() {
+            ok = false;
+        }
+        println!();
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let needs_measurement = matches!(
+        args.artefact.as_str(),
+        "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "table1" | "table2" | "variability"
+            | "overhead" | "measurement" | "all"
+    );
+    let needs_selection = matches!(
+        args.artefact.as_str(),
+        "fig6" | "table3" | "selection" | "all"
+    );
+    let needs_sites = matches!(args.artefact.as_str(), "sites" | "all");
+    let needs_headroom = matches!(args.artefact.as_str(), "headroom" | "all");
+    let needs_scenario = args.artefact == "scenario";
+    let needs_robustness = matches!(args.artefact.as_str(), "robustness" | "all");
+    if !needs_measurement
+        && !needs_selection
+        && !needs_sites
+        && !needs_headroom
+        && !needs_scenario
+        && !needs_robustness
+    {
+        usage();
+    }
+
+    let mut ok = true;
+
+    if needs_measurement {
+        eprintln!(
+            "running measurement study (seed {}, {:?} scale)...",
+            args.seed, args.scale
+        );
+        let t0 = std::time::Instant::now();
+        let data = match &args.cal {
+            None => measurement_study_default(args.seed, args.scale),
+            Some(cal) => {
+                let scenario = ir_workload::build(
+                    args.seed,
+                    ir_workload::roster::CLIENTS,
+                    ir_workload::roster::INTERMEDIATES,
+                    ir_workload::roster::SERVERS,
+                    *cal,
+                    false,
+                );
+                ir_experiments::run_measurement_study(
+                    &scenario,
+                    0,
+                    ir_workload::Schedule::measurement_study()
+                        .spread(args.scale.measurement_transfers()),
+                    ir_core::SessionConfig::paper_defaults(),
+                )
+            }
+        };
+        eprintln!(
+            "measurement study: {} records in {:.1}s",
+            data.all_records().count(),
+            t0.elapsed().as_secs_f64()
+        );
+        let reports = measurement_reports(&data);
+        let wanted: Vec<Report> = reports
+            .into_iter()
+            .filter(|r| {
+                matches!(args.artefact.as_str(), "measurement" | "all") || r.id == args.artefact
+            })
+            .collect();
+        ok &= emit(&wanted, &args.csv_dir);
+    }
+
+    if needs_selection {
+        eprintln!(
+            "running selection study (seed {}, {:?} scale)...",
+            args.seed, args.scale
+        );
+        let t0 = std::time::Instant::now();
+        let data = selection_study_default(args.seed, args.scale, FIG6_KS);
+        eprintln!(
+            "selection study: {} runs in {:.1}s",
+            data.runs.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        let reports = selection_reports(&data);
+        let wanted: Vec<Report> = reports
+            .into_iter()
+            .filter(|r| {
+                matches!(args.artefact.as_str(), "selection" | "all") || r.id == args.artefact
+            })
+            .collect();
+        ok &= emit(&wanted, &args.csv_dir);
+    }
+
+    if needs_sites {
+        eprintln!("running per-site study (seed {})...", args.seed);
+        let transfers = match args.scale {
+            Scale::Quick => 8,
+            Scale::Paper => 25,
+        };
+        let r = ir_experiments::sites::report(args.seed, transfers);
+        ok &= emit(&[r], &args.csv_dir);
+    }
+
+    if needs_robustness {
+        eprintln!("running seed-robustness sweep...");
+        let r = ir_experiments::robustness::report(ir_experiments::robustness::DEFAULT_SEEDS);
+        ok &= emit(&[r], &args.csv_dir);
+    }
+
+    if needs_scenario {
+        let r = ir_experiments::inspect::report(args.seed);
+        ok &= emit(&[r], &args.csv_dir);
+    }
+
+    if needs_headroom {
+        eprintln!("running oracle headroom study (seed {})...", args.seed);
+        let transfers = match args.scale {
+            Scale::Quick => 30,
+            Scale::Paper => 120,
+        };
+        let r = ir_experiments::headroom::report(args.seed, transfers);
+        ok &= emit(&[r], &args.csv_dir);
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,177 @@
+//! Report plumbing: paper-vs-measured checks, text rendering, CSV
+//! export.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One paper-vs-measured comparison line.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being compared, e.g. "mean improvement (%)".
+    pub metric: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Acceptance band for the *shape* claim, as (lo, hi) on the
+    /// measured value. `None` for informational rows.
+    pub band: Option<(f64, f64)>,
+}
+
+impl Check {
+    /// A checked row.
+    pub fn banded(metric: impl Into<String>, paper: f64, measured: f64, lo: f64, hi: f64) -> Self {
+        Check {
+            metric: metric.into(),
+            paper,
+            measured,
+            band: Some((lo, hi)),
+        }
+    }
+
+    /// An informational row (reported, not gated).
+    pub fn info(metric: impl Into<String>, paper: f64, measured: f64) -> Self {
+        Check {
+            metric: metric.into(),
+            paper,
+            measured,
+            band: None,
+        }
+    }
+
+    /// Whether the measured value sits inside the band (true for
+    /// informational rows).
+    pub fn passes(&self) -> bool {
+        match self.band {
+            None => true,
+            Some((lo, hi)) => self.measured >= lo && self.measured <= hi,
+        }
+    }
+}
+
+/// A rendered experiment artefact.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Artefact id: "fig1" … "table3".
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Rendered tables/prose.
+    pub body: String,
+    /// Named CSV series for external plotting.
+    pub csv: Vec<(String, String)>,
+    /// Paper-vs-measured rows.
+    pub checks: Vec<Check>,
+}
+
+impl Report {
+    /// Renders the full report (title, body, check table).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let rule = "=".repeat(self.title.len());
+        let _ = writeln!(out, "{}\n{}\n", self.title, rule);
+        out.push_str(&self.body);
+        if !self.checks.is_empty() {
+            let mut t = ir_stats::TextTable::new()
+                .title("paper vs measured")
+                .header(["metric", "paper", "measured", "band", "ok"]);
+            for c in &self.checks {
+                t.row([
+                    c.metric.clone(),
+                    format!("{:.1}", c.paper),
+                    format!("{:.1}", c.measured),
+                    match c.band {
+                        Some((lo, hi)) => format!("[{lo:.0},{hi:.0}]"),
+                        None => "-".into(),
+                    },
+                    if c.passes() { "yes".into() } else { "NO".to_string() },
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// True iff every banded check passes.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(Check::passes)
+    }
+
+    /// Writes the CSV series under `dir` (creating it), named
+    /// `<id>_<name>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (name, contents) in &self.csv {
+            let path = dir.join(format!("{}_{}.csv", self.id, name));
+            std::fs::write(&path, contents)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+/// Builds a CSV string from a header and rows of columns.
+pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_bands() {
+        let ok = Check::banded("x", 49.0, 45.0, 30.0, 70.0);
+        assert!(ok.passes());
+        let bad = Check::banded("x", 49.0, 10.0, 30.0, 70.0);
+        assert!(!bad.passes());
+        assert!(Check::info("y", 1.0, 99.0).passes());
+    }
+
+    #[test]
+    fn report_renders_checks() {
+        let r = Report {
+            id: "fig1",
+            title: "Fig 1".into(),
+            body: "hello\n".into(),
+            csv: vec![("hist".into(), "a,b\n1,2\n".into())],
+            checks: vec![Check::banded("mean", 49.0, 51.0, 30.0, 70.0)],
+        };
+        let s = r.render();
+        assert!(s.contains("Fig 1"));
+        assert!(s.contains("mean"));
+        assert!(s.contains("yes"));
+        assert!(r.all_pass());
+    }
+
+    #[test]
+    fn csv_builder() {
+        let s = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn write_csv_creates_files() {
+        let dir = std::env::temp_dir().join(format!("ir_report_test_{}", std::process::id()));
+        let r = Report {
+            id: "figx",
+            title: "t".into(),
+            body: String::new(),
+            csv: vec![("s".into(), "a\n1\n".into())],
+            checks: vec![],
+        };
+        let files = r.write_csv(&dir).unwrap();
+        assert_eq!(files.len(), 1);
+        assert!(files[0].exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

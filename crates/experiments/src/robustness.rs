@@ -1,0 +1,134 @@
+//! Seed robustness: the reproduction's shapes must hold across seeds,
+//! not just at the default.
+//!
+//! Runs the (quick-scale) measurement study under several seeds and
+//! reports Fig 1's four headline statistics per seed, plus the fraction
+//! of seeds for which every Fig 1 band holds. Guards against a
+//! calibration that only works at one lucky draw of the scenario.
+
+use crate::report::{csv, Check, Report};
+use crate::runner::{run_measurement_study, Scale};
+use ir_core::SessionConfig;
+use ir_stats::{Ecdf, Summary};
+use ir_workload::{planetlab_study, Schedule};
+
+/// Fig 1 headline statistics for one seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedStats {
+    /// The seed.
+    pub seed: u64,
+    /// Mean improvement (%) over indirect-chosen transfers.
+    pub mean_pct: f64,
+    /// Median improvement (%).
+    pub median_pct: f64,
+    /// Mass in [0, 100] (%).
+    pub band_pct: f64,
+    /// Penalty fraction (%).
+    pub penalty_pct: f64,
+}
+
+impl SeedStats {
+    /// Whether this seed passes Fig 1's acceptance bands.
+    pub fn passes(&self) -> bool {
+        (25.0..=85.0).contains(&self.mean_pct)
+            && (15.0..=70.0).contains(&self.median_pct)
+            && (65.0..=95.0).contains(&self.band_pct)
+            && (3.0..=25.0).contains(&self.penalty_pct)
+    }
+}
+
+/// Runs the sweep.
+pub fn run(seeds: &[u64]) -> Vec<SeedStats> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let scenario = planetlab_study(seed);
+            let data = run_measurement_study(
+                &scenario,
+                0,
+                Schedule::measurement_study().spread(Scale::Quick.measurement_transfers()),
+                SessionConfig::paper_defaults(),
+            );
+            let imps = data.indirect_improvements_pct();
+            let s = Summary::of(&imps).expect("indirect transfers exist");
+            let e = Ecdf::new(&imps);
+            SeedStats {
+                seed,
+                mean_pct: s.mean,
+                median_pct: s.median,
+                band_pct: e.mass_in(0.0, 100.0) * 100.0,
+                penalty_pct: e.below(0.0) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Default seed sweep.
+pub const DEFAULT_SEEDS: &[u64] = &[1, 7, 42, 123, 777, 2007, 31337, 424242];
+
+/// Builds the robustness report.
+pub fn report(seeds: &[u64]) -> Report {
+    let stats = run(seeds);
+    let mut table = ir_stats::TextTable::new()
+        .title("Fig 1 headline statistics per seed")
+        .header(["seed", "mean %", "median %", "in [0,100] %", "penalties %", "passes"]);
+    let mut rows = Vec::new();
+    for s in &stats {
+        table.row([
+            s.seed.to_string(),
+            format!("{:+.1}", s.mean_pct),
+            format!("{:+.1}", s.median_pct),
+            format!("{:.1}", s.band_pct),
+            format!("{:.1}", s.penalty_pct),
+            if s.passes() { "yes".into() } else { "NO".to_string() },
+        ]);
+        rows.push(vec![
+            s.seed.to_string(),
+            format!("{:.3}", s.mean_pct),
+            format!("{:.3}", s.median_pct),
+            format!("{:.3}", s.band_pct),
+            format!("{:.3}", s.penalty_pct),
+            s.passes().to_string(),
+        ]);
+    }
+    let pass_rate =
+        stats.iter().filter(|s| s.passes()).count() as f64 / stats.len().max(1) as f64 * 100.0;
+
+    let mut body = table.render();
+    body.push_str(&format!("\nseeds passing all Fig 1 bands: {pass_rate:.0}%\n"));
+
+    Report {
+        id: "robustness",
+        title: "Seed robustness of the Fig 1 shapes".into(),
+        body,
+        csv: vec![(
+            "seeds".into(),
+            csv(
+                &["seed", "mean_pct", "median_pct", "band_pct", "penalty_pct", "passes"],
+                &rows,
+            ),
+        )],
+        checks: vec![Check::banded(
+            "seeds passing all Fig 1 bands (%)",
+            100.0,
+            pass_rate,
+            75.0,
+            100.0,
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_on_two_seeds() {
+        let stats = run(&[3, 4]);
+        assert_eq!(stats.len(), 2);
+        for s in &stats {
+            assert!(s.mean_pct.is_finite());
+            assert!(s.band_pct >= 0.0 && s.band_pct <= 100.0);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Study drivers.
+//!
+//! Two experiment geometries cover all nine artefacts:
+//!
+//! * the **measurement study** (§2.2, Figs 1–5 + Tables I–II): every
+//!   (client, relay) pair runs a schedule of transfers with the static
+//!   single-relay policy;
+//! * the **selection study** (§4, Fig 6 + Table III): each client runs
+//!   a schedule per random-set size k with the uniform random-set
+//!   policy.
+//!
+//! Both parallelise over independent (client, relay/k) tasks. Tasks do
+//! not interact: links are `PerFlow` and bandwidth processes are pure
+//! functions of their seeds, so running each task on its own clone of
+//! the scenario network is *exactly* equivalent to one shared world.
+
+use ir_core::{
+    run_session, FirstPortion, RandomSet, SelectionPolicy, SessionConfig,
+    SimTransport, StaticSingle, TransferRecord, Transport, UtilizationTracker,
+};
+use ir_simnet::time::{SimDuration, SimTime};
+use ir_simnet::topology::NodeId;
+use ir_workload::{ClientProfile, Scenario, Schedule};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Scale of a study run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast, for tests and iteration: fewer transfers per task.
+    Quick,
+    /// The paper's counts (100 transfers/pair; 720 per (client, k)).
+    Paper,
+}
+
+impl Scale {
+    /// Transfers per (client, relay) pair in the measurement study.
+    pub fn measurement_transfers(self) -> u64 {
+        match self {
+            Scale::Quick => 15,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// Transfers per (client, k) in the selection study.
+    pub fn selection_transfers(self) -> u64 {
+        match self {
+            Scale::Quick => 100,
+            Scale::Paper => 720,
+        }
+    }
+}
+
+/// One (client, relay) task's records.
+#[derive(Debug, Clone)]
+pub struct PairRun {
+    /// The client.
+    pub client: NodeId,
+    /// The relay under test.
+    pub via: NodeId,
+    /// The destination server.
+    pub server: NodeId,
+    /// One record per scheduled transfer.
+    pub records: Vec<TransferRecord>,
+}
+
+/// Results of the §2.2 measurement study.
+pub struct MeasurementData {
+    /// Node names for rendering.
+    pub names: BTreeMap<NodeId, String>,
+    /// Ground-truth client profiles (assertions/debugging only).
+    pub profiles: BTreeMap<NodeId, ClientProfile>,
+    /// Client ids in roster order.
+    pub clients: Vec<NodeId>,
+    /// Relay ids in roster order.
+    pub relays: Vec<NodeId>,
+    /// The server used.
+    pub server: NodeId,
+    /// Per-(client, relay) runs.
+    pub pairs: Vec<PairRun>,
+}
+
+impl MeasurementData {
+    /// Iterates every record of the study.
+    pub fn all_records(&self) -> impl Iterator<Item = &TransferRecord> {
+        self.pairs.iter().flat_map(|p| p.records.iter())
+    }
+
+    /// Percent improvements of transfers where the indirect path was
+    /// chosen — the population of Fig 1 (see DESIGN.md: the paper's
+    /// §6 clarifies the 88%/12% split is over indirect-path transfers).
+    pub fn indirect_improvements_pct(&self) -> Vec<f64> {
+        self.all_records()
+            .filter(|r| r.chose_indirect())
+            .map(|r| r.improvement_pct())
+            .filter(|v| v.is_finite())
+            .collect()
+    }
+
+    /// Utilization bookkeeping over the whole study.
+    pub fn utilization(&self) -> UtilizationTracker {
+        let mut u = UtilizationTracker::new();
+        for r in self.all_records() {
+            u.observe(r);
+        }
+        u
+    }
+
+    /// Mean direct-path (control) throughput per client, bytes/sec —
+    /// the paper's basis for Low/Medium/High categorisation.
+    pub fn mean_direct_throughput(&self) -> BTreeMap<NodeId, f64> {
+        let mut sums: BTreeMap<NodeId, (f64, u64)> = BTreeMap::new();
+        for r in self.all_records() {
+            if r.direct_throughput.is_finite() && r.direct_throughput > 0.0 {
+                let e = sums.entry(r.client).or_insert((0.0, 0));
+                e.0 += r.direct_throughput;
+                e.1 += 1;
+            }
+        }
+        sums.into_iter()
+            .map(|(c, (s, n))| (c, s / n as f64))
+            .collect()
+    }
+
+    /// Direct-path (control) throughput series per client, in schedule
+    /// order — the basis of the variability classification.
+    pub fn direct_series(&self) -> BTreeMap<NodeId, Vec<f64>> {
+        let mut out: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
+        for p in &self.pairs {
+            for r in &p.records {
+                if r.direct_throughput.is_finite() && r.direct_throughput > 0.0 {
+                    out.entry(r.client).or_default().push(r.direct_throughput);
+                }
+            }
+        }
+        out
+    }
+
+    /// Name of a node.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[&id]
+    }
+}
+
+/// Runs one scheduled task: a session per schedule instant.
+fn run_task(
+    scenario: &Scenario,
+    client: NodeId,
+    server: NodeId,
+    full_set: &[NodeId],
+    mut policy: Box<dyn SelectionPolicy>,
+    schedule: Schedule,
+    session: &SessionConfig,
+) -> Vec<TransferRecord> {
+    let mut transport = SimTransport::new(scenario.network.clone());
+    let mut predictor = FirstPortion;
+    let mut records = Vec::with_capacity(schedule.count as usize);
+    for (i, at) in schedule.instants(SimTime::ZERO).enumerate() {
+        // A session can overrun its slot (horizon > period); never move
+        // the clock backwards.
+        let target = at.max(transport.now());
+        transport.network_mut().advance_until(target);
+        let rec = run_session(
+            &mut transport,
+            policy.as_mut(),
+            &mut predictor,
+            client,
+            server,
+            full_set,
+            i as u64,
+            session,
+        );
+        records.push(rec);
+    }
+    records
+}
+
+/// Public single-task runner: a schedule of sessions for one client
+/// with an arbitrary policy. Useful for policy shoot-outs (see the
+/// `random_set_tuning` example and the ablation benches).
+pub fn run_task_with(
+    scenario: &Scenario,
+    client: NodeId,
+    server: NodeId,
+    full_set: &[NodeId],
+    policy: Box<dyn SelectionPolicy>,
+    schedule: Schedule,
+    session: &SessionConfig,
+) -> Vec<TransferRecord> {
+    run_task(scenario, client, server, full_set, policy, schedule, session)
+}
+
+/// Generic indexed parallel map over tasks. Deterministic: output `i`
+/// corresponds to input `i` regardless of scheduling.
+fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                results.lock().expect("poisoned")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("poisoned")
+        .into_iter()
+        .map(|o| o.expect("task completed"))
+        .collect()
+}
+
+/// Runs the §2.2 measurement study on a scenario: every (client, relay)
+/// pair, `schedule.count` transfers each, static single-relay policy,
+/// first-to-finish probes.
+pub fn run_measurement_study(
+    scenario: &Scenario,
+    server_index: usize,
+    schedule: Schedule,
+    session: SessionConfig,
+) -> MeasurementData {
+    let server = scenario.servers[server_index];
+    let tasks: Vec<(NodeId, NodeId)> = scenario
+        .clients
+        .iter()
+        .flat_map(|&c| scenario.relays.iter().map(move |&v| (c, v)))
+        .collect();
+
+    let pairs = parallel_map(tasks.len(), |i| {
+        let (client, via) = tasks[i];
+        let records = run_task(
+            scenario,
+            client,
+            server,
+            &[via],
+            Box::new(StaticSingle(via)),
+            schedule,
+            &session,
+        );
+        PairRun {
+            client,
+            via,
+            server,
+            records,
+        }
+    });
+
+    let topo = scenario.network.topology();
+    let names = (0..topo.node_count() as u32)
+        .map(|i| {
+            let id = NodeId(i);
+            (id, topo.node(id).name.clone())
+        })
+        .collect();
+
+    MeasurementData {
+        names,
+        profiles: scenario.profiles.clone(),
+        clients: scenario.clients.clone(),
+        relays: scenario.relays.clone(),
+        server,
+        pairs,
+    }
+}
+
+/// One (client, k) run of the selection study.
+#[derive(Debug, Clone)]
+pub struct SelectionRun {
+    /// The client.
+    pub client: NodeId,
+    /// Random-set size.
+    pub k: usize,
+    /// One record per scheduled transfer.
+    pub records: Vec<TransferRecord>,
+}
+
+/// Results of the §4 selection study.
+pub struct SelectionData {
+    /// Node names for rendering.
+    pub names: BTreeMap<NodeId, String>,
+    /// Client ids.
+    pub clients: Vec<NodeId>,
+    /// The relay pool (full set).
+    pub relays: Vec<NodeId>,
+    /// Runs, one per (client, k).
+    pub runs: Vec<SelectionRun>,
+}
+
+impl SelectionData {
+    /// Mean percent improvement for a (client, k) run, over **all**
+    /// transfers (Fig 6's y-axis).
+    pub fn mean_improvement_pct(&self, client: NodeId, k: usize) -> Option<f64> {
+        let run = self
+            .runs
+            .iter()
+            .find(|r| r.client == client && r.k == k)?;
+        let vals: Vec<f64> = run
+            .records
+            .iter()
+            .map(|r| r.improvement_pct())
+            .filter(|v| v.is_finite())
+            .collect();
+        ir_stats::Summary::of(&vals).map(|s| s.mean)
+    }
+
+    /// The run for a (client, k), if present.
+    pub fn run(&self, client: NodeId, k: usize) -> Option<&SelectionRun> {
+        self.runs.iter().find(|r| r.client == client && r.k == k)
+    }
+
+    /// Name of a node.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[&id]
+    }
+
+    /// All k values present, ascending.
+    pub fn ks(&self) -> Vec<usize> {
+        let mut ks: Vec<usize> = self.runs.iter().map(|r| r.k).collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    }
+}
+
+/// Runs the §4 selection study: for every client and every `k`, a
+/// schedule of transfers with the uniform random-set policy and
+/// measure-all probing.
+pub fn run_selection_study(
+    scenario: &Scenario,
+    ks: &[usize],
+    schedule: Schedule,
+    session: SessionConfig,
+    seed: u64,
+) -> SelectionData {
+    // §4.1 starts a preliminary download on every node of the random
+    // set; "which produces the best throughput" over the first x bytes
+    // is the first to deliver them — the default FirstToFinish race.
+    // (MeasureAll — waiting for every probe before deciding — is kept
+    // as an ablation: its probe phase is gated on the slowest relay,
+    // which inverts the Fig 6 curve.)
+    let server = scenario.servers[0];
+
+    let tasks: Vec<(NodeId, usize)> = scenario
+        .clients
+        .iter()
+        .flat_map(|&c| ks.iter().map(move |&k| (c, k)))
+        .collect();
+
+    let runs = parallel_map(tasks.len(), |i| {
+        let (client, k) = tasks[i];
+        let policy_seed = seed ^ ((client.0 as u64) << 32) ^ (k as u64);
+        let records = run_task(
+            scenario,
+            client,
+            server,
+            &scenario.relays,
+            Box::new(RandomSet::new(k, policy_seed)),
+            schedule,
+            &session,
+        );
+        SelectionRun { client, k, records }
+    });
+
+    let topo = scenario.network.topology();
+    let names = (0..topo.node_count() as u32)
+        .map(|i| {
+            let id = NodeId(i);
+            (id, topo.node(id).name.clone())
+        })
+        .collect();
+
+    SelectionData {
+        names,
+        clients: scenario.clients.clone(),
+        relays: scenario.relays.clone(),
+        runs,
+    }
+}
+
+/// Convenience: the measurement study at a given scale with default
+/// session parameters (x = 100 KB, n = 2 MB).
+pub fn measurement_study_default(seed: u64, scale: Scale) -> MeasurementData {
+    let scenario = ir_workload::planetlab_study(seed);
+    let schedule = Schedule::measurement_study().spread(scale.measurement_transfers());
+    run_measurement_study(&scenario, 0, schedule, SessionConfig::paper_defaults())
+}
+
+/// Convenience: the selection study at a given scale.
+pub fn selection_study_default(seed: u64, scale: Scale, ks: &[usize]) -> SelectionData {
+    let scenario = ir_workload::selection_study(seed);
+    let schedule = Schedule::selection_study().spread(scale.selection_transfers());
+    run_selection_study(
+        &scenario,
+        ks,
+        schedule,
+        SessionConfig::paper_defaults(),
+        seed,
+    )
+}
+
+/// The k sweep used by Fig 6 (a subsample of 1..=35 that brackets the
+/// paper's knee at k ≈ 10).
+pub const FIG6_KS: &[usize] = &[1, 2, 3, 5, 7, 10, 15, 20, 25, 30, 35];
+
+/// Duration helper re-exported for CLI flags.
+pub fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        // 3 clients × 4 relays × 1 server keeps unit tests fast.
+        ir_workload::build(
+            9,
+            &ir_workload::roster::CLIENTS[..3],
+            &ir_workload::roster::INTERMEDIATES[..4],
+            &ir_workload::roster::SERVERS[..1],
+            ir_workload::Calibration::default(),
+            false,
+        )
+    }
+
+    #[test]
+    fn measurement_study_produces_expected_counts() {
+        let sc = tiny_scenario();
+        let schedule = Schedule::measurement_study().truncated(4);
+        let data =
+            run_measurement_study(&sc, 0, schedule, SessionConfig::paper_defaults());
+        assert_eq!(data.pairs.len(), 3 * 4);
+        assert!(data.pairs.iter().all(|p| p.records.len() == 4));
+        // Every record has a positive control throughput.
+        for r in data.all_records() {
+            assert!(r.direct_throughput > 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn measurement_study_is_deterministic() {
+        let a = {
+            let sc = tiny_scenario();
+            let d = run_measurement_study(
+                &sc,
+                0,
+                Schedule::measurement_study().truncated(3),
+                SessionConfig::paper_defaults(),
+            );
+            d.all_records().map(|r| r.improvement()).collect::<Vec<_>>()
+        };
+        let b = {
+            let sc = tiny_scenario();
+            let d = run_measurement_study(
+                &sc,
+                0,
+                Schedule::measurement_study().truncated(3),
+                SessionConfig::paper_defaults(),
+            );
+            d.all_records().map(|r| r.improvement()).collect::<Vec<_>>()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn selection_study_produces_expected_counts() {
+        let sc = tiny_scenario();
+        let schedule = Schedule::selection_study().truncated(5);
+        let data = run_selection_study(
+            &sc,
+            &[1, 2],
+            schedule,
+            SessionConfig::paper_defaults(),
+            7,
+        );
+        assert_eq!(data.runs.len(), 3 * 2);
+        assert_eq!(data.ks(), vec![1, 2]);
+        let c0 = data.clients[0];
+        assert!(data.mean_improvement_pct(c0, 1).is_some());
+        assert!(data.run(c0, 3).is_none());
+        // Candidate-set sizes honour k.
+        for run in &data.runs {
+            for r in &run.records {
+                assert_eq!(r.candidates.len(), run.k.min(4));
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_tracks_choices() {
+        let sc = tiny_scenario();
+        let data = run_measurement_study(
+            &sc,
+            0,
+            Schedule::measurement_study().truncated(5),
+            SessionConfig::paper_defaults(),
+        );
+        let u = data.utilization();
+        // Every (client, via) pair appeared exactly 5 times.
+        for p in &data.pairs {
+            assert_eq!(u.appeared_count(p.client, p.via), 5);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Table II — each client's top three intermediate nodes by per-client
+//! utilization.
+//!
+//! The paper's observation: "among the top three intermediate nodes for
+//! each client, there is a fair amount of overlap … a handful of
+//! intermediate nodes may be able to yield a majority of the
+//! improvement", because well-connected relays are well-connected for
+//! everyone.
+
+use crate::report::{csv, Check, Report};
+use crate::runner::MeasurementData;
+use std::collections::BTreeMap;
+
+/// Builds the Table II report.
+pub fn report(data: &MeasurementData) -> Report {
+    let util = data.utilization();
+
+    let mut t = ir_stats::TextTable::new()
+        .title("TABLE II: top three intermediate nodes per client (utilization)")
+        .header(["client", "first", "second", "third"]);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    // How often each relay shows up in some client's top three.
+    let mut top3_appearances: BTreeMap<String, usize> = BTreeMap::new();
+
+    for &client in &data.clients {
+        let top = util.top_for_client(client);
+        if top.is_empty() {
+            continue;
+        }
+        let fmt = |i: usize| -> String {
+            top.get(i)
+                .map(|(via, u)| format!("{} ({:.0}%)", data.name(*via), u * 100.0))
+                .unwrap_or_else(|| "-".into())
+        };
+        for (via, _) in top.iter().take(3) {
+            *top3_appearances
+                .entry(data.name(*via).to_string())
+                .or_insert(0) += 1;
+        }
+        t.row([
+            data.name(client).to_string(),
+            fmt(0),
+            fmt(1),
+            fmt(2),
+        ]);
+        rows.push(vec![
+            data.name(client).to_string(),
+            fmt(0),
+            fmt(1),
+            fmt(2),
+        ]);
+    }
+
+    let mut body = t.render();
+
+    // Overlap: number of distinct relays occupying all the top-3 slots.
+    let slots: usize = data.clients.len() * 3;
+    let distinct = top3_appearances.len();
+    let mut overlap_list: Vec<(&String, &usize)> = top3_appearances.iter().collect();
+    overlap_list.sort_by(|a, b| b.1.cmp(a.1));
+    body.push('\n');
+    body.push_str(&format!(
+        "distinct relays across {} top-3 slots: {} (overlap factor {:.1}x)\n",
+        slots,
+        distinct,
+        slots as f64 / distinct.max(1) as f64
+    ));
+    body.push_str("most-shared relays: ");
+    body.push_str(
+        &overlap_list
+            .iter()
+            .take(5)
+            .map(|(n, c)| format!("{n} ({c})"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    body.push('\n');
+
+    let overlap_factor = slots as f64 / distinct.max(1) as f64;
+
+    Report {
+        id: "table2",
+        title: "Table II: top intermediates per client".into(),
+        body,
+        csv: vec![(
+            "top3".into(),
+            csv(&["client", "first", "second", "third"], &rows),
+        )],
+        checks: vec![
+            // "A fair amount of overlap": top-3 slots are covered by
+            // meaningfully fewer distinct relays than slots.
+            Check::banded(
+                "top-3 overlap factor (slots per distinct relay)",
+                2.0, // qualitative; the paper's table shows heavy reuse
+                overlap_factor,
+                1.3,
+                f64::INFINITY,
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_measurement_study;
+    use ir_core::SessionConfig;
+    use ir_workload::Schedule;
+
+    #[test]
+    fn table2_lists_every_client() {
+        let sc = ir_workload::build(
+            23,
+            &ir_workload::roster::CLIENTS[..5],
+            &ir_workload::roster::INTERMEDIATES[..6],
+            &ir_workload::roster::SERVERS[..1],
+            ir_workload::Calibration::default(),
+            false,
+        );
+        let data = run_measurement_study(
+            &sc,
+            0,
+            Schedule::measurement_study().truncated(8),
+            SessionConfig::paper_defaults(),
+        );
+        let r = report(&data);
+        let text = r.render();
+        for c in &data.clients {
+            assert!(text.contains(data.name(*c)), "missing {}", data.name(*c));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Table III — per-relay utilization vs throughput improvement (Duke).
+//!
+//! §4.3: "For the most part, the nodes that provide the highest
+//! throughput are the nodes that are selected the most … this
+//! correlation is not perfect." We compute, for one client, each
+//! relay's utilization (chosen / appeared-in-random-set) and the mean
+//! improvement of the transfers it carried, then report the rank
+//! correlation between the two columns.
+
+use crate::report::{csv, Check, Report};
+use crate::runner::SelectionData;
+use ir_core::UtilizationTracker;
+use ir_simnet::topology::NodeId;
+use ir_stats::{spearman, Summary};
+
+/// Per-relay row of Table III.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The relay.
+    pub via: NodeId,
+    /// Utilization percent (chosen / appeared in the random set).
+    pub utilization_pct: f64,
+    /// Mean improvement percent of transfers carried by this relay.
+    pub improvement_pct: f64,
+    /// Number of transfers carried.
+    pub carried: u64,
+}
+
+/// Computes Table III rows for one client from the selection study,
+/// pooling all k runs (the paper's table is from its multi-k testbed).
+pub fn rows_for(data: &SelectionData, client: NodeId) -> Vec<Row> {
+    let mut util = UtilizationTracker::new();
+    let mut improvements: std::collections::BTreeMap<NodeId, Vec<f64>> = Default::default();
+    for run in data.runs.iter().filter(|r| r.client == client) {
+        for rec in &run.records {
+            util.observe(rec);
+            if let Some(via) = rec.selected.via {
+                let v = rec.improvement_pct();
+                if v.is_finite() {
+                    improvements.entry(via).or_default().push(v);
+                }
+            }
+        }
+    }
+    let mut rows: Vec<Row> = util
+        .relays()
+        .into_iter()
+        .filter_map(|via| {
+            let u = util.utilization(client, via)?;
+            let carried = util.chosen_count(client, via);
+            if carried == 0 {
+                return None; // the paper lists only non-zero utilizations
+            }
+            let imp = improvements
+                .get(&via)
+                .and_then(|v| Summary::of(v))
+                .map(|s| s.mean)
+                .unwrap_or(f64::NAN);
+            Some(Row {
+                via,
+                utilization_pct: u * 100.0,
+                improvement_pct: imp,
+                carried,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.utilization_pct.partial_cmp(&a.utilization_pct).unwrap());
+    rows
+}
+
+/// Builds the Table III report for the study's first client (Duke in
+/// the paper's roster).
+pub fn report(data: &SelectionData) -> Report {
+    let client = data.clients[0];
+    let rows = rows_for(data, client);
+    assert!(!rows.is_empty(), "no relay was ever chosen");
+
+    let mut table = ir_stats::TextTable::new()
+        .title(format!(
+            "TABLE III: utilization vs improvement ({} as client)",
+            data.name(client)
+        ))
+        .header(["node", "utilization (%)", "improvement (%)", "carried"]);
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for row in &rows {
+        table.row([
+            data.name(row.via).to_string(),
+            format!("{:.1}", row.utilization_pct),
+            format!("{:.1}", row.improvement_pct),
+            row.carried.to_string(),
+        ]);
+        csv_rows.push(vec![
+            data.name(row.via).to_string(),
+            format!("{:.3}", row.utilization_pct),
+            format!("{:.3}", row.improvement_pct),
+            row.carried.to_string(),
+        ]);
+    }
+
+    // Correlation between the columns (relays with a defined mean).
+    let pairs: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.improvement_pct.is_finite())
+        .map(|r| (r.utilization_pct, r.improvement_pct))
+        .collect();
+    let (rho, n) = if pairs.len() >= 3 {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        (spearman(&xs, &ys), pairs.len())
+    } else {
+        (f64::NAN, pairs.len())
+    };
+
+    let mut body = table.render();
+    body.push('\n');
+    body.push_str(&format!(
+        "Spearman rank correlation (utilization, improvement): {rho:+.2} over {n} relays\n"
+    ));
+    let top_is_best = rows
+        .first()
+        .map(|top| {
+            rows.iter()
+                .filter(|r| r.improvement_pct.is_finite())
+                .all(|r| r.improvement_pct <= top.improvement_pct + 25.0)
+        })
+        .unwrap_or(false);
+    body.push_str(&format!(
+        "top-utilization relay is (near-)best improver: {top_is_best}\n"
+    ));
+
+    Report {
+        id: "table3",
+        title: "Table III: utilization vs improvement".into(),
+        body,
+        csv: vec![(
+            "rows".into(),
+            csv(
+                &["node", "utilization_pct", "improvement_pct", "carried"],
+                &csv_rows,
+            ),
+        )],
+        checks: vec![Check::banded(
+            "Spearman correlation (utilization vs improvement)",
+            0.7, // strong-but-imperfect in the paper's table
+            rho,
+            0.2,
+            1.0,
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_selection_study;
+    use ir_core::SessionConfig;
+    use ir_workload::Schedule;
+
+    #[test]
+    fn table3_rows_have_nonzero_utilization() {
+        let sc = ir_workload::build(
+            43,
+            &ir_workload::roster::SELECTION_CLIENTS[..1],
+            &ir_workload::roster::INTERMEDIATES[..8],
+            &ir_workload::roster::SERVERS[..1],
+            ir_workload::Calibration::default(),
+            true,
+        );
+        let data = run_selection_study(
+            &sc,
+            &[3, 5],
+            Schedule::selection_study().truncated(30),
+            SessionConfig::paper_defaults(),
+            5,
+        );
+        let rows = rows_for(&data, data.clients[0]);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.utilization_pct > 0.0);
+            assert!(r.carried > 0);
+        }
+        // Sorted descending by utilization.
+        for w in rows.windows(2) {
+            assert!(w[0].utilization_pct >= w[1].utilization_pct);
+        }
+        let rep = report(&data);
+        assert!(rep.render().contains("TABLE III"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Wire codec: incremental parsing and serialization of message heads.
+//!
+//! Bodies are streamed by the transport layer (`ir-relay`) and never
+//! buffered whole, so the codec only deals with heads (start line +
+//! headers). Parsing is incremental: feed any prefix of the byte
+//! stream; until the terminating blank line arrives the parser reports
+//! [`Parsed::Partial`] and consumes nothing.
+
+use crate::error::HttpError;
+use crate::types::{Headers, Method, Request, Response, StatusCode};
+use bytes::BytesMut;
+
+/// Maximum bytes a message head may occupy. Far above anything the
+/// framework generates; exists to bound a malicious/buggy peer.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum header lines per message.
+pub const MAX_HEADERS: usize = 64;
+
+/// Outcome of an incremental parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed<T> {
+    /// A complete head was parsed; `consumed` bytes should be drained
+    /// from the input buffer.
+    Complete {
+        /// The parsed message head.
+        value: T,
+        /// Bytes of input the head occupied, including the blank line.
+        consumed: usize,
+    },
+    /// More input is needed.
+    Partial,
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+fn split_head_lines(head: &[u8]) -> Result<Vec<&str>, HttpError> {
+    let text = std::str::from_utf8(head).map_err(|_| {
+        HttpError::BadStartLine(String::from_utf8_lossy(&head[..head.len().min(64)]).into_owned())
+    })?;
+    Ok(text.split("\r\n").filter(|l| !l.is_empty()).collect())
+}
+
+fn parse_headers(lines: &[&str]) -> Result<Headers, HttpError> {
+    if lines.len() > MAX_HEADERS {
+        return Err(HttpError::BadHeader(format!(
+            "too many headers: {}",
+            lines.len()
+        )));
+    }
+    let mut headers = Headers::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.to_string()))?;
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader(line.to_string()));
+        }
+        headers.append(name, value.trim());
+    }
+    Ok(headers)
+}
+
+/// Incrementally parses a request head from `buf`.
+pub fn parse_request(buf: &[u8]) -> Result<Parsed<Request>, HttpError> {
+    let Some(end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadStartLine("head too large".into()));
+        }
+        return Ok(Parsed::Partial);
+    };
+    let lines = split_head_lines(&buf[..end])?;
+    let start = lines
+        .first()
+        .ok_or_else(|| HttpError::BadStartLine(String::new()))?;
+    let mut parts = start.split(' ');
+    let method = Method::parse(parts.next().unwrap_or(""))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadStartLine(start.to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadStartLine(start.to_string()))?;
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion(version.to_string()));
+    }
+    if parts.next().is_some() {
+        return Err(HttpError::BadStartLine(start.to_string()));
+    }
+    let headers = parse_headers(&lines[1..])?;
+    Ok(Parsed::Complete {
+        value: Request {
+            method,
+            target,
+            headers,
+        },
+        consumed: end,
+    })
+}
+
+/// Incrementally parses a response head from `buf`.
+pub fn parse_response(buf: &[u8]) -> Result<Parsed<Response>, HttpError> {
+    let Some(end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadStartLine("head too large".into()));
+        }
+        return Ok(Parsed::Partial);
+    };
+    let lines = split_head_lines(&buf[..end])?;
+    let start = lines
+        .first()
+        .ok_or_else(|| HttpError::BadStartLine(String::new()))?;
+    let mut parts = start.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion(version.to_string()));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| HttpError::BadStartLine(start.to_string()))?;
+    // Reason phrase (rest of line) is ignored.
+    let headers = parse_headers(&lines[1..])?;
+    Ok(Parsed::Complete {
+        value: Response {
+            status: StatusCode(code),
+            headers,
+        },
+        consumed: end,
+    })
+}
+
+/// Serializes a request head into `buf`.
+pub fn encode_request(req: &Request, buf: &mut BytesMut) {
+    buf.extend_from_slice(req.method.as_str().as_bytes());
+    buf.extend_from_slice(b" ");
+    buf.extend_from_slice(req.target.as_bytes());
+    buf.extend_from_slice(b" HTTP/1.1\r\n");
+    for (n, v) in req.headers.iter() {
+        buf.extend_from_slice(n.as_bytes());
+        buf.extend_from_slice(b": ");
+        buf.extend_from_slice(v.as_bytes());
+        buf.extend_from_slice(b"\r\n");
+    }
+    buf.extend_from_slice(b"\r\n");
+}
+
+/// Serializes a response head into `buf`.
+pub fn encode_response(resp: &Response, buf: &mut BytesMut) {
+    buf.extend_from_slice(b"HTTP/1.1 ");
+    buf.extend_from_slice(resp.status.0.to_string().as_bytes());
+    buf.extend_from_slice(b" ");
+    buf.extend_from_slice(resp.status.reason().as_bytes());
+    buf.extend_from_slice(b"\r\n");
+    for (n, v) in resp.headers.iter() {
+        buf.extend_from_slice(n.as_bytes());
+        buf.extend_from_slice(b": ");
+        buf.extend_from_slice(v.as_bytes());
+        buf.extend_from_slice(b"\r\n");
+    }
+    buf.extend_from_slice(b"\r\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Request;
+
+    fn req_bytes(r: &Request) -> BytesMut {
+        let mut b = BytesMut::new();
+        encode_request(r, &mut b);
+        b
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let r = Request::get("http://origin:80/f.bin")
+            .with_header("Host", "origin")
+            .with_header("Range", "bytes=0-102399");
+        let buf = req_bytes(&r);
+        match parse_request(&buf).unwrap() {
+            Parsed::Complete { value, consumed } => {
+                assert_eq!(value, r);
+                assert_eq!(consumed, buf.len());
+            }
+            Parsed::Partial => panic!("should be complete"),
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::new(StatusCode::PARTIAL_CONTENT)
+            .with_header("Content-Length", "102400")
+            .with_header("Content-Range", "bytes 0-102399/2000000");
+        let mut buf = BytesMut::new();
+        encode_response(&resp, &mut buf);
+        match parse_response(&buf).unwrap() {
+            Parsed::Complete { value, consumed } => {
+                assert_eq!(value, resp);
+                assert_eq!(consumed, buf.len());
+            }
+            Parsed::Partial => panic!("should be complete"),
+        }
+    }
+
+    #[test]
+    fn partial_input_reports_partial() {
+        let r = Request::get("/x").with_header("Host", "h");
+        let buf = req_bytes(&r);
+        for cut in 0..buf.len() - 1 {
+            match parse_request(&buf[..cut]) {
+                Ok(Parsed::Partial) => {}
+                other => panic!("cut {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn consumed_excludes_following_bytes() {
+        let r = Request::get("/x");
+        let mut buf = req_bytes(&r);
+        let head_len = buf.len();
+        buf.extend_from_slice(b"BODYBYTES");
+        match parse_request(&buf).unwrap() {
+            Parsed::Complete { consumed, .. } => assert_eq!(consumed, head_len),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pipelined_heads_parse_one_at_a_time() {
+        // Two requests back to back in one buffer (keep-alive
+        // pipelining): each parse consumes exactly one head.
+        let r1 = Request::get("/a").with_header("Host", "h");
+        let r2 = Request::get("/b").with_header("Range", "bytes=0-9");
+        let mut buf = BytesMut::new();
+        encode_request(&r1, &mut buf);
+        let first_len = buf.len();
+        encode_request(&r2, &mut buf);
+        match parse_request(&buf).unwrap() {
+            Parsed::Complete { value, consumed } => {
+                assert_eq!(value, r1);
+                assert_eq!(consumed, first_len);
+                match parse_request(&buf[consumed..]).unwrap() {
+                    Parsed::Complete { value, consumed: c2 } => {
+                        assert_eq!(value, r2);
+                        assert_eq!(first_len + c2, buf.len());
+                    }
+                    Parsed::Partial => panic!("second head should parse"),
+                }
+            }
+            Parsed::Partial => panic!("first head should parse"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_method_and_version() {
+        assert!(matches!(
+            parse_request(b"BREW /pot HTTP/1.1\r\n\r\n"),
+            Err(HttpError::UnsupportedMethod(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET /pot HTTP/2\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET\r\n\r\n"),
+            Err(HttpError::BadStartLine(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header_lines() {
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GET / HTTP/1.1\r\nX: ");
+        buf.extend_from_slice(&vec![b'a'; MAX_HEAD_BYTES + 10]);
+        assert!(parse_request(&buf).is_err());
+    }
+
+    #[test]
+    fn response_reason_phrase_tolerated() {
+        let raw = b"HTTP/1.1 206 Partial Content\r\nContent-Length: 5\r\n\r\n";
+        match parse_response(raw).unwrap() {
+            Parsed::Complete { value, .. } => {
+                assert_eq!(value.status, StatusCode::PARTIAL_CONTENT);
+                assert_eq!(value.headers.content_length().unwrap(), Some(5));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn http_10_accepted() {
+        let raw = b"GET /f HTTP/1.0\r\n\r\n";
+        assert!(matches!(parse_request(raw), Ok(Parsed::Complete { .. })));
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("X-{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(parse_request(raw.as_bytes()).is_err());
+    }
+}

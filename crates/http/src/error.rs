@@ -1,0 +1,65 @@
+//! Error type for the HTTP subset.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating HTTP messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request/status line is malformed.
+    BadStartLine(String),
+    /// A header line is malformed (no colon, bad characters).
+    BadHeader(String),
+    /// The method is not one we support.
+    UnsupportedMethod(String),
+    /// The HTTP version is not 1.0/1.1.
+    UnsupportedVersion(String),
+    /// A `Range` header could not be parsed.
+    BadRange(String),
+    /// A `Content-Range` header could not be parsed.
+    BadContentRange(String),
+    /// A URI could not be parsed.
+    BadUri(String),
+    /// The message claims a body longer than the configured limit.
+    BodyTooLarge { declared: u64, limit: u64 },
+    /// `Content-Length` missing or unparsable where required.
+    BadContentLength(String),
+    /// The peer closed mid-message.
+    UnexpectedEof,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadStartLine(s) => write!(f, "malformed start line: {s:?}"),
+            HttpError::BadHeader(s) => write!(f, "malformed header: {s:?}"),
+            HttpError::UnsupportedMethod(s) => write!(f, "unsupported method: {s:?}"),
+            HttpError::UnsupportedVersion(s) => write!(f, "unsupported HTTP version: {s:?}"),
+            HttpError::BadRange(s) => write!(f, "malformed Range: {s:?}"),
+            HttpError::BadContentRange(s) => write!(f, "malformed Content-Range: {s:?}"),
+            HttpError::BadUri(s) => write!(f, "malformed URI: {s:?}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+            HttpError::BadContentLength(s) => write!(f, "bad Content-Length: {s:?}"),
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HttpError::BadRange("x".into()).to_string().contains("Range"));
+        assert!(HttpError::UnexpectedEof.to_string().contains("closed"));
+        let e = HttpError::BodyTooLarge {
+            declared: 10,
+            limit: 5,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

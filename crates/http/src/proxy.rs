@@ -1,0 +1,100 @@
+//! Proxy request rewriting — the relay's forwarding semantics.
+//!
+//! The paper interposes "an intermediate overlay node … between the
+//! client and the server using a proxy" (§2.1). The client sends the
+//! relay an **absolute-form** request naming the origin; the relay
+//! rewrites it to **origin-form**, dials the origin, forwards, and
+//! streams the response back. The rewrite preserves the `Range` header
+//! — that is what makes the probe/remainder protocol work end-to-end
+//! through a relay.
+
+use crate::error::HttpError;
+use crate::types::Request;
+use crate::uri::Target;
+
+/// Where the relay should forward a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardPlan {
+    /// Origin host to dial.
+    pub host: String,
+    /// Origin port to dial.
+    pub port: u16,
+    /// The rewritten (origin-form) request to send there.
+    pub request: Request,
+}
+
+/// Rewrites an absolute-form proxy request into a forward plan.
+///
+/// Errors if the target is not absolute-form (a relay refuses
+/// origin-form requests: it would not know where to send them).
+pub fn plan_forward(req: &Request) -> Result<ForwardPlan, HttpError> {
+    let target = Target::parse(&req.target)?;
+    match target {
+        Target::Origin { .. } => Err(HttpError::BadUri(format!(
+            "proxy needs absolute-form target, got {:?}",
+            req.target
+        ))),
+        Target::Absolute { host, port, path } => {
+            let mut fwd = Request {
+                method: req.method,
+                target: path,
+                headers: req.headers.clone(),
+            };
+            // Host reflects the origin, not the relay.
+            fwd.headers.set("Host", format!("{host}:{port}"));
+            // Annotate the hop, useful in tests and debugging.
+            fwd.headers.append("Via", "1.1 ir-relay");
+            Ok(ForwardPlan {
+                host,
+                port,
+                request: fwd,
+            })
+        }
+    }
+}
+
+/// Builds the absolute-form request a client sends to a relay to fetch
+/// `path` from `origin_host:origin_port`.
+pub fn via_proxy(origin_host: &str, origin_port: u16, path: &str) -> Request {
+    Request::get(Target::absolute(origin_host, origin_port, path).to_string())
+        .with_header("Host", format!("{origin_host}:{origin_port}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::ByteRange;
+
+    #[test]
+    fn rewrites_absolute_to_origin_form() {
+        let req = via_proxy("origin.test", 8080, "/big.bin")
+            .with_header("Range", ByteRange::first(102_400).to_string());
+        let plan = plan_forward(&req).unwrap();
+        assert_eq!(plan.host, "origin.test");
+        assert_eq!(plan.port, 8080);
+        assert_eq!(plan.request.target, "/big.bin");
+        assert_eq!(plan.request.headers.get("Range"), Some("bytes=0-102399"));
+        assert_eq!(plan.request.headers.get("Host"), Some("origin.test:8080"));
+        assert!(plan.request.headers.get("Via").unwrap().contains("ir-relay"));
+    }
+
+    #[test]
+    fn refuses_origin_form() {
+        let req = Request::get("/no-idea-where");
+        assert!(matches!(plan_forward(&req), Err(HttpError::BadUri(_))));
+    }
+
+    #[test]
+    fn refuses_garbage_target() {
+        let req = Request::get("not-a-uri");
+        assert!(plan_forward(&req).is_err());
+    }
+
+    #[test]
+    fn preserves_method() {
+        let mut req = via_proxy("h", 80, "/x");
+        req.method = crate::types::Method::Head;
+        let plan = plan_forward(&req).unwrap();
+        assert_eq!(plan.request.method, crate::types::Method::Head);
+    }
+}

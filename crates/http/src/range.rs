@@ -1,0 +1,269 @@
+//! Byte ranges (RFC 7233 subset).
+//!
+//! The paper's entire probe mechanism is "the HTTP range request
+//! option" (§2.1): fetch `bytes=0-{x-1}` over both paths, then fetch
+//! `bytes={x}-` over the winner. We implement the single-range subset of
+//! RFC 7233: `bytes=a-b`, `bytes=a-`, and suffix ranges `bytes=-n`,
+//! plus `Content-Range` for 206 responses.
+
+use crate::error::HttpError;
+use std::fmt;
+
+/// A single byte-range specifier from a `Range` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByteRange {
+    /// `bytes=a-b` — closed interval, inclusive on both ends.
+    FromTo(u64, u64),
+    /// `bytes=a-` — from offset `a` to the end.
+    From(u64),
+    /// `bytes=-n` — the final `n` bytes.
+    Suffix(u64),
+}
+
+impl ByteRange {
+    /// The range fetching the **first `n` bytes** (`bytes=0-{n-1}`):
+    /// the paper's probe request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn first(n: u64) -> ByteRange {
+        assert!(n > 0, "empty prefix range");
+        ByteRange::FromTo(0, n - 1)
+    }
+
+    /// The range fetching everything **from offset `a`** (`bytes=a-`):
+    /// the paper's remainder request.
+    pub fn from_offset(a: u64) -> ByteRange {
+        ByteRange::From(a)
+    }
+
+    /// Parses a `Range` header value, e.g. `bytes=0-102399`.
+    pub fn parse(value: &str) -> Result<ByteRange, HttpError> {
+        let err = || HttpError::BadRange(value.to_string());
+        let rest = value.trim().strip_prefix("bytes=").ok_or_else(err)?;
+        if rest.contains(',') {
+            // Multi-range is deliberately unsupported: the framework
+            // never sends it and a server may ignore it anyway.
+            return Err(err());
+        }
+        let (a, b) = rest.split_once('-').ok_or_else(err)?;
+        let a = a.trim();
+        let b = b.trim();
+        match (a.is_empty(), b.is_empty()) {
+            (true, true) => Err(err()),
+            (true, false) => {
+                let n: u64 = b.parse().map_err(|_| err())?;
+                if n == 0 {
+                    return Err(err());
+                }
+                Ok(ByteRange::Suffix(n))
+            }
+            (false, true) => Ok(ByteRange::From(a.parse().map_err(|_| err())?)),
+            (false, false) => {
+                let lo: u64 = a.parse().map_err(|_| err())?;
+                let hi: u64 = b.parse().map_err(|_| err())?;
+                if lo > hi {
+                    return Err(err());
+                }
+                Ok(ByteRange::FromTo(lo, hi))
+            }
+        }
+    }
+
+    /// Resolves the range against a representation of `total` bytes:
+    /// the concrete `(first, last)` inclusive offsets that will be
+    /// served, or `None` if unsatisfiable (→ 416).
+    pub fn resolve(self, total: u64) -> Option<(u64, u64)> {
+        if total == 0 {
+            return None;
+        }
+        match self {
+            ByteRange::FromTo(a, b) => {
+                if a >= total {
+                    None
+                } else {
+                    Some((a, b.min(total - 1)))
+                }
+            }
+            ByteRange::From(a) => {
+                if a >= total {
+                    None
+                } else {
+                    Some((a, total - 1))
+                }
+            }
+            ByteRange::Suffix(n) => {
+                let n = n.min(total);
+                Some((total - n, total - 1))
+            }
+        }
+    }
+
+    /// Number of bytes a resolved `(first, last)` pair covers.
+    pub fn resolved_len(first: u64, last: u64) -> u64 {
+        last - first + 1
+    }
+}
+
+impl fmt::Display for ByteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ByteRange::FromTo(a, b) => write!(f, "bytes={a}-{b}"),
+            ByteRange::From(a) => write!(f, "bytes={a}-"),
+            ByteRange::Suffix(n) => write!(f, "bytes=-{n}"),
+        }
+    }
+}
+
+/// A `Content-Range: bytes first-last/total` header for 206 responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentRange {
+    /// First byte offset served (inclusive).
+    pub first: u64,
+    /// Last byte offset served (inclusive).
+    pub last: u64,
+    /// Total size of the representation.
+    pub total: u64,
+}
+
+impl ContentRange {
+    /// Creates a content range; validates ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first > last` or `last >= total`.
+    pub fn new(first: u64, last: u64, total: u64) -> Self {
+        assert!(first <= last, "inverted content range");
+        assert!(last < total, "range exceeds total");
+        ContentRange { first, last, total }
+    }
+
+    /// Bytes covered.
+    pub fn len(&self) -> u64 {
+        self.last - self.first + 1
+    }
+
+    /// Content ranges are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Parses a `Content-Range` header value.
+    pub fn parse(value: &str) -> Result<ContentRange, HttpError> {
+        let err = || HttpError::BadContentRange(value.to_string());
+        let rest = value.trim().strip_prefix("bytes ").ok_or_else(err)?;
+        let (range, total) = rest.split_once('/').ok_or_else(err)?;
+        let total: u64 = total.trim().parse().map_err(|_| err())?;
+        let (a, b) = range.split_once('-').ok_or_else(err)?;
+        let first: u64 = a.trim().parse().map_err(|_| err())?;
+        let last: u64 = b.trim().parse().map_err(|_| err())?;
+        if first > last || last >= total {
+            return Err(err());
+        }
+        Ok(ContentRange { first, last, total })
+    }
+}
+
+impl fmt::Display for ContentRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}-{}/{}", self.first, self.last, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_from_to() {
+        assert_eq!(
+            ByteRange::parse("bytes=0-102399").unwrap(),
+            ByteRange::FromTo(0, 102_399)
+        );
+        assert_eq!(
+            ByteRange::parse(" bytes=5-9 ").unwrap(),
+            ByteRange::FromTo(5, 9)
+        );
+    }
+
+    #[test]
+    fn parse_open_and_suffix() {
+        assert_eq!(
+            ByteRange::parse("bytes=102400-").unwrap(),
+            ByteRange::From(102_400)
+        );
+        assert_eq!(ByteRange::parse("bytes=-500").unwrap(), ByteRange::Suffix(500));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "bytes=",
+            "bytes=-",
+            "bytes=9-5",
+            "bytes=a-b",
+            "bytes=1-2,4-5",
+            "bits=0-1",
+            "bytes=-0",
+        ] {
+            assert!(ByteRange::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for r in [
+            ByteRange::FromTo(0, 99),
+            ByteRange::From(100),
+            ByteRange::Suffix(7),
+        ] {
+            assert_eq!(ByteRange::parse(&r.to_string()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn probe_helpers() {
+        assert_eq!(ByteRange::first(102_400), ByteRange::FromTo(0, 102_399));
+        assert_eq!(ByteRange::from_offset(102_400), ByteRange::From(102_400));
+    }
+
+    #[test]
+    fn resolve_clamps_and_rejects() {
+        assert_eq!(ByteRange::FromTo(0, 99).resolve(1000), Some((0, 99)));
+        assert_eq!(ByteRange::FromTo(0, 5000).resolve(1000), Some((0, 999)));
+        assert_eq!(ByteRange::FromTo(1000, 2000).resolve(1000), None);
+        assert_eq!(ByteRange::From(500).resolve(1000), Some((500, 999)));
+        assert_eq!(ByteRange::From(1000).resolve(1000), None);
+        assert_eq!(ByteRange::Suffix(100).resolve(1000), Some((900, 999)));
+        assert_eq!(ByteRange::Suffix(5000).resolve(1000), Some((0, 999)));
+        assert_eq!(ByteRange::FromTo(0, 0).resolve(0), None);
+    }
+
+    #[test]
+    fn content_range_round_trip() {
+        let cr = ContentRange::new(0, 102_399, 2_000_000);
+        assert_eq!(cr.to_string(), "bytes 0-102399/2000000");
+        assert_eq!(ContentRange::parse(&cr.to_string()).unwrap(), cr);
+        assert_eq!(cr.len(), 102_400);
+    }
+
+    #[test]
+    fn content_range_parse_rejects() {
+        for bad in [
+            "bytes 5-4/10",
+            "bytes 0-10/10",
+            "0-5/10",
+            "bytes x-y/z",
+            "bytes 0-5",
+        ] {
+            assert!(ContentRange::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "range exceeds total")]
+    fn content_range_new_validates() {
+        ContentRange::new(0, 10, 10);
+    }
+}

@@ -1,0 +1,280 @@
+//! Core HTTP message types: methods, status codes, headers, requests,
+//! responses.
+
+use crate::error::HttpError;
+use std::fmt;
+
+/// Request methods the measurement framework uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Fetch content (optionally a byte range of it).
+    Get,
+    /// Fetch headers only; used for size discovery.
+    Head,
+}
+
+impl Method {
+    /// Canonical token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+        }
+    }
+
+    /// Parses a method token.
+    pub fn parse(s: &str) -> Result<Method, HttpError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "HEAD" => Ok(Method::Head),
+            other => Err(HttpError::UnsupportedMethod(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Response status codes the framework emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 206 Partial Content — the range-request workhorse.
+    pub const PARTIAL_CONTENT: StatusCode = StatusCode(206);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 404 Not Found.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 416 Range Not Satisfiable.
+    pub const RANGE_NOT_SATISFIABLE: StatusCode = StatusCode(416);
+    /// 502 Bad Gateway — relay could not reach the origin.
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            206 => "Partial Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            416 => "Range Not Satisfiable",
+            502 => "Bad Gateway",
+            _ => "Unknown",
+        }
+    }
+
+    /// 2xx?
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// An ordered, case-insensitive multimap of headers.
+///
+/// Backed by a `Vec` — header counts are tiny and iteration order
+/// matters for byte-exact round-trips.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Appends a header (does not replace existing ones of the same
+    /// name).
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replaces all headers of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.entries.push((name.to_string(), value.into()));
+    }
+
+    /// Removes all headers of `name`; returns how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before - self.entries.len()
+    }
+
+    /// First value of `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if a header of `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Parses `Content-Length`, if present.
+    pub fn content_length(&self) -> Result<Option<u64>, HttpError> {
+        match self.get("Content-Length") {
+            None => Ok(None),
+            Some(v) => v
+                .trim()
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| HttpError::BadContentLength(v.to_string())),
+        }
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target: origin-form (`/path`) or absolute-form
+    /// (`http://host:port/path`, used when talking to a proxy).
+    pub target: String,
+    /// Headers.
+    pub headers: Headers,
+}
+
+impl Request {
+    /// Creates a GET request for `target`.
+    pub fn get(target: impl Into<String>) -> Self {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            headers: Headers::new(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.set(name, value);
+        self
+    }
+}
+
+/// An HTTP response. The body is kept separate from the head so large
+/// bodies can stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Headers.
+    pub headers: Headers,
+}
+
+impl Response {
+    /// Creates a response with the given status.
+    pub fn new(status: StatusCode) -> Self {
+        Response {
+            status,
+            headers: Headers::new(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.set(name, value);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_round_trip() {
+        assert_eq!(Method::parse("GET").unwrap(), Method::Get);
+        assert_eq!(Method::parse("HEAD").unwrap(), Method::Head);
+        assert_eq!(Method::Get.as_str(), "GET");
+        assert!(matches!(
+            Method::parse("POST"),
+            Err(HttpError::UnsupportedMethod(_))
+        ));
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(StatusCode::PARTIAL_CONTENT.reason(), "Partial Content");
+        assert_eq!(StatusCode(599).reason(), "Unknown");
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::PARTIAL_CONTENT.is_success());
+        assert!(!StatusCode::NOT_FOUND.is_success());
+    }
+
+    #[test]
+    fn headers_case_insensitive() {
+        let mut h = Headers::new();
+        h.append("Content-Length", "42");
+        assert_eq!(h.get("content-length"), Some("42"));
+        assert_eq!(h.get("CONTENT-LENGTH"), Some("42"));
+        assert!(h.contains("Content-length"));
+        assert_eq!(h.get("Host"), None);
+    }
+
+    #[test]
+    fn set_replaces_append_stacks() {
+        let mut h = Headers::new();
+        h.append("X-A", "1");
+        h.append("X-A", "2");
+        assert_eq!(h.len(), 2);
+        h.set("x-a", "3");
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get("X-A"), Some("3"));
+    }
+
+    #[test]
+    fn remove_counts() {
+        let mut h = Headers::new();
+        h.append("Via", "a");
+        h.append("VIA", "b");
+        assert_eq!(h.remove("via"), 2);
+        assert!(h.is_empty());
+        assert_eq!(h.remove("via"), 0);
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = Headers::new();
+        assert_eq!(h.content_length().unwrap(), None);
+        h.set("Content-Length", " 1024 ");
+        assert_eq!(h.content_length().unwrap(), Some(1024));
+        h.set("Content-Length", "abc");
+        assert!(h.content_length().is_err());
+    }
+
+    #[test]
+    fn request_builders() {
+        let r = Request::get("/file.bin").with_header("Host", "example.org");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.target, "/file.bin");
+        assert_eq!(r.headers.get("host"), Some("example.org"));
+    }
+}

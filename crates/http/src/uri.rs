@@ -1,0 +1,145 @@
+//! Minimal URI handling: absolute-form `http://host:port/path` (what a
+//! client sends to a proxy) and origin-form `/path` (what it sends to
+//! the server directly).
+
+use crate::error::HttpError;
+use std::fmt;
+
+/// A parsed request target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// Origin-form: just a path, e.g. `/big/file.bin`.
+    Origin {
+        /// The path, always starting with `/`.
+        path: String,
+    },
+    /// Absolute-form: scheme + authority + path, e.g.
+    /// `http://origin:8080/big/file.bin`. Used when requesting via a
+    /// proxy (the paper's intermediate node).
+    Absolute {
+        /// Host name or IP literal.
+        host: String,
+        /// Port (default 80 when absent).
+        port: u16,
+        /// The path, always starting with `/`.
+        path: String,
+    },
+}
+
+impl Target {
+    /// Parses a request target.
+    pub fn parse(s: &str) -> Result<Target, HttpError> {
+        let err = || HttpError::BadUri(s.to_string());
+        if let Some(rest) = s.strip_prefix("http://") {
+            let (authority, path) = match rest.find('/') {
+                Some(idx) => (&rest[..idx], &rest[idx..]),
+                None => (rest, "/"),
+            };
+            if authority.is_empty() {
+                return Err(err());
+            }
+            let (host, port) = match authority.rsplit_once(':') {
+                Some((h, p)) => {
+                    let port: u16 = p.parse().map_err(|_| err())?;
+                    (h, port)
+                }
+                None => (authority, 80),
+            };
+            if host.is_empty() {
+                return Err(err());
+            }
+            Ok(Target::Absolute {
+                host: host.to_string(),
+                port,
+                path: path.to_string(),
+            })
+        } else if s.starts_with('/') {
+            Ok(Target::Origin {
+                path: s.to_string(),
+            })
+        } else {
+            Err(err())
+        }
+    }
+
+    /// The path component.
+    pub fn path(&self) -> &str {
+        match self {
+            Target::Origin { path } => path,
+            Target::Absolute { path, .. } => path,
+        }
+    }
+
+    /// Builds an absolute-form target.
+    pub fn absolute(host: impl Into<String>, port: u16, path: impl Into<String>) -> Target {
+        let path = path.into();
+        assert!(path.starts_with('/'), "path must start with /");
+        Target::Absolute {
+            host: host.into(),
+            port,
+            path,
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Origin { path } => f.write_str(path),
+            Target::Absolute { host, port, path } => write!(f, "http://{host}:{port}{path}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_origin_form() {
+        let t = Target::parse("/a/b.bin").unwrap();
+        assert_eq!(t, Target::Origin { path: "/a/b.bin".into() });
+        assert_eq!(t.path(), "/a/b.bin");
+    }
+
+    #[test]
+    fn parses_absolute_form() {
+        let t = Target::parse("http://origin:8080/f").unwrap();
+        assert_eq!(
+            t,
+            Target::Absolute {
+                host: "origin".into(),
+                port: 8080,
+                path: "/f".into()
+            }
+        );
+    }
+
+    #[test]
+    fn default_port_and_path() {
+        let t = Target::parse("http://e.com").unwrap();
+        assert_eq!(
+            t,
+            Target::Absolute {
+                host: "e.com".into(),
+                port: 80,
+                path: "/".into()
+            }
+        );
+    }
+
+    #[test]
+    fn round_trip_display() {
+        for s in ["/x/y", "http://h:99/z"] {
+            let t = Target::parse(s).unwrap();
+            assert_eq!(Target::parse(&t.to_string()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "ftp://x/y", "http://", "http://:80/x", "relative/path", "http://h:badport/x"] {
+            assert!(Target::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+}

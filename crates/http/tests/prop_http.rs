@@ -1,0 +1,144 @@
+//! Property tests for the HTTP subset: parser/serializer round trips
+//! and range-resolution invariants.
+
+use ir_http::{
+    encode_request, encode_response, parse_request, parse_response, ByteRange, ContentRange,
+    Headers, Method, Parsed, Request, Response, StatusCode,
+};
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,15}".prop_map(|s| s)
+}
+
+fn arb_value() -> impl Strategy<Value = String> {
+    // Header values without CR/LF or leading/trailing whitespace.
+    "[!-~][ -~]{0,30}".prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty", |s| !s.is_empty())
+}
+
+fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((arb_token(), arb_value()), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_round_trips(
+        path in "/[a-z0-9/._-]{0,30}",
+        headers in arb_headers(),
+        is_head in any::<bool>(),
+    ) {
+        let mut req = Request::get(path);
+        if is_head {
+            req.method = Method::Head;
+        }
+        for (n, v) in &headers {
+            req.headers.append(n.clone(), v.clone());
+        }
+        let mut buf = bytes::BytesMut::new();
+        encode_request(&req, &mut buf);
+        match parse_request(&buf).unwrap() {
+            Parsed::Complete { value, consumed } => {
+                prop_assert_eq!(value, req);
+                prop_assert_eq!(consumed, buf.len());
+            }
+            Parsed::Partial => prop_assert!(false, "complete message parsed as partial"),
+        }
+    }
+
+    #[test]
+    fn response_round_trips(
+        code in 100u16..600,
+        headers in arb_headers(),
+    ) {
+        let mut resp = Response::new(StatusCode(code));
+        for (n, v) in &headers {
+            resp.headers.append(n.clone(), v.clone());
+        }
+        let mut buf = bytes::BytesMut::new();
+        encode_response(&resp, &mut buf);
+        match parse_response(&buf).unwrap() {
+            Parsed::Complete { value, consumed } => {
+                prop_assert_eq!(value, resp);
+                prop_assert_eq!(consumed, buf.len());
+            }
+            Parsed::Partial => prop_assert!(false, "complete message parsed as partial"),
+        }
+    }
+
+    #[test]
+    fn any_prefix_is_partial_or_error_never_complete_wrong(
+        path in "/[a-z0-9]{0,10}",
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let req = Request::get(path).with_header("Host", "h");
+        let mut buf = bytes::BytesMut::new();
+        encode_request(&req, &mut buf);
+        let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
+        // A strict prefix can be Partial (or an error for pathological
+        // cuts, though our grammar has none) — never a Complete parse.
+        if let Ok(Parsed::Complete { .. }) = parse_request(&buf[..cut]) {
+            prop_assert!(false, "prefix of length {cut} parsed as complete");
+        }
+    }
+
+    #[test]
+    fn byte_range_display_parse_round_trip(a in 0u64..1_000_000, span in 0u64..1_000_000) {
+        for r in [
+            ByteRange::FromTo(a, a + span),
+            ByteRange::From(a),
+            ByteRange::Suffix(span + 1),
+        ] {
+            prop_assert_eq!(ByteRange::parse(&r.to_string()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn resolve_is_within_bounds(a in 0u64..2_000_000, b in 0u64..2_000_000, total in 0u64..1_500_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for r in [ByteRange::FromTo(lo, hi), ByteRange::From(lo), ByteRange::Suffix(hi + 1)] {
+            match r.resolve(total) {
+                None => prop_assert!(total == 0 || matches!(r, ByteRange::FromTo(x, _) | ByteRange::From(x) if x >= total)),
+                Some((first, last)) => {
+                    prop_assert!(first <= last);
+                    prop_assert!(last < total);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_and_remainder_partition_the_file(x in 1u64..1_000_000, extra in 1u64..1_000_000) {
+        // The paper's two requests: bytes=0-(x-1) and bytes=x- must
+        // partition an n-byte file exactly.
+        let n = x + extra;
+        let (p1, p2) = ByteRange::first(x).resolve(n).unwrap();
+        let (r1, r2) = ByteRange::from_offset(x).resolve(n).unwrap();
+        prop_assert_eq!(p1, 0);
+        prop_assert_eq!(p2 + 1, r1);
+        prop_assert_eq!(r2, n - 1);
+        prop_assert_eq!(
+            ByteRange::resolved_len(p1, p2) + ByteRange::resolved_len(r1, r2),
+            n
+        );
+    }
+
+    #[test]
+    fn content_range_round_trips(first in 0u64..1_000_000, len in 1u64..1_000_000, slack in 0u64..100) {
+        let last = first + len - 1;
+        let total = last + 1 + slack;
+        let cr = ContentRange::new(first, last, total);
+        prop_assert_eq!(ContentRange::parse(&cr.to_string()).unwrap(), cr);
+        prop_assert_eq!(cr.len(), len);
+    }
+
+    #[test]
+    fn headers_lookup_is_case_insensitive(name in arb_token(), value in arb_value()) {
+        let mut h = Headers::new();
+        h.append(name.clone(), value.clone());
+        prop_assert_eq!(h.get(&name.to_uppercase()), Some(value.as_str()));
+        prop_assert_eq!(h.get(&name.to_lowercase()), Some(value.as_str()));
+    }
+}

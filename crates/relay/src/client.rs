@@ -1,0 +1,380 @@
+//! The racing client: the paper's selecting process, over real sockets.
+//!
+//! Implements §2.1 end-to-end: open connections to the origin (direct)
+//! and to each candidate relay (absolute-form proxy requests), issue
+//! `Range: bytes=0-{x-1}` on all of them simultaneously, take whichever
+//! connection delivers the probe first, and fetch `bytes={x}-` **on the
+//! winning, still-warm connection**.
+
+use crate::error::RelayError;
+use crate::origin::body_byte;
+use crate::wire::exchange;
+use ir_http::{via_proxy, ByteRange, Request, StatusCode};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Which path carried the transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChosenPath {
+    /// The default path straight to the origin.
+    Direct,
+    /// Via the i-th relay of the candidate list.
+    Relay(usize),
+}
+
+/// Client configuration for one download.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Resource path on the origin.
+    pub path: String,
+    /// Probe size x (bytes).
+    pub probe_bytes: u64,
+    /// Total resource size n (bytes); must exceed the probe.
+    pub total_bytes: u64,
+    /// Per-phase timeout.
+    pub timeout: Duration,
+}
+
+impl ClientConfig {
+    /// Defaults mirroring the paper at laptop scale: x = 100 KB.
+    pub fn new(total_bytes: u64) -> Self {
+        let cfg = ClientConfig {
+            path: "/file.bin".into(),
+            probe_bytes: 100 * 1024,
+            total_bytes,
+            timeout: Duration::from_secs(30),
+        };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(self.probe_bytes > 0, "zero probe");
+        assert!(
+            self.total_bytes > self.probe_bytes,
+            "file must exceed probe"
+        );
+    }
+}
+
+/// Result of the probe race.
+pub struct ProbeWin {
+    /// Which path won.
+    pub choice: ChosenPath,
+    /// Wall time from race start to the winner's last probe byte.
+    pub elapsed: Duration,
+    /// Probe throughput, bytes/sec.
+    pub throughput: f64,
+    /// The winner's still-open connection.
+    pub conn: TcpStream,
+    /// The probe bytes (for integrity checks).
+    pub body: Vec<u8>,
+}
+
+/// Result of a full probed download.
+#[derive(Debug)]
+pub struct DownloadOutcome {
+    /// Which path carried the remainder.
+    pub choice: ChosenPath,
+    /// Probe throughput of the winner, bytes/sec.
+    pub probe_throughput: f64,
+    /// End-to-end wall time for all n bytes.
+    pub elapsed: Duration,
+    /// End-to-end throughput (n / elapsed), bytes/sec.
+    pub throughput: f64,
+    /// Whether the reassembled body matched the origin's content.
+    pub body_ok: bool,
+}
+
+fn probe_request(
+    target: ChosenPath,
+    origin_for_relays: SocketAddr,
+    path: &str,
+    range: ByteRange,
+) -> Request {
+    match target {
+        ChosenPath::Direct => Request::get(path.to_string())
+            .with_header("Host", "origin")
+            .with_header("Range", range.to_string()),
+        ChosenPath::Relay(_) => via_proxy(
+            &origin_for_relays.ip().to_string(),
+            origin_for_relays.port(),
+            path,
+        )
+        .with_header("Range", range.to_string()),
+    }
+}
+
+/// Races the probe over the direct path and every relay; returns the
+/// winner with its open connection.
+///
+/// `direct` is the origin address the client reaches on its default
+/// path; `origin_for_relays` is the origin address relays should dial
+/// (they sit elsewhere in the network, so the two may differ — in the
+/// loopback harness they are different listeners with different
+/// shaping).
+pub fn probe_race(
+    direct: SocketAddr,
+    origin_for_relays: SocketAddr,
+    relays: &[SocketAddr],
+    cfg: &ClientConfig,
+) -> Result<ProbeWin, RelayError> {
+    cfg.validate();
+    let (tx, rx) = mpsc::channel::<(ChosenPath, Duration, TcpStream, Vec<u8>)>();
+    let start = Instant::now();
+
+    let mut targets: Vec<(ChosenPath, SocketAddr)> = vec![(ChosenPath::Direct, direct)];
+    for (i, &r) in relays.iter().enumerate() {
+        targets.push((ChosenPath::Relay(i), r));
+    }
+
+    for (choice, addr) in targets {
+        let tx = tx.clone();
+        let path = cfg.path.clone();
+        let probe = cfg.probe_bytes;
+        let timeout = cfg.timeout;
+        std::thread::spawn(move || {
+            let run = || -> Result<(TcpStream, Vec<u8>), RelayError> {
+                let mut conn = TcpStream::connect_timeout(&addr, timeout)?;
+                conn.set_read_timeout(Some(timeout))?;
+                conn.set_nodelay(true)?;
+                // Connect to the relay (or straight to the origin); the
+                // absolute URI inside always names the origin.
+                let req = probe_request(choice, origin_for_relays, &path, ByteRange::first(probe));
+                let (head, body) = exchange(&mut conn, &req)?;
+                if head.status != StatusCode::PARTIAL_CONTENT {
+                    return Err(RelayError::BadStatus(head.status.0));
+                }
+                Ok((conn, body))
+            };
+            if let Ok((conn, body)) = run() {
+                let _ = tx.send((choice, start.elapsed(), conn, body));
+            }
+        });
+    }
+    drop(tx);
+
+    match rx.recv_timeout(cfg.timeout) {
+        Ok((choice, elapsed, conn, body)) => Ok(ProbeWin {
+            choice,
+            elapsed,
+            throughput: cfg.probe_bytes as f64 / elapsed.as_secs_f64(),
+            conn,
+            body,
+        }),
+        Err(_) => Err(RelayError::Timeout),
+    }
+}
+
+/// Full §2.1 download: probe race, then the remainder on the winning
+/// warm connection; verifies the reassembled content.
+pub fn download(
+    direct: SocketAddr,
+    origin_for_relays: SocketAddr,
+    relays: &[SocketAddr],
+    cfg: &ClientConfig,
+) -> Result<DownloadOutcome, RelayError> {
+    let start = Instant::now();
+    let mut win = probe_race(direct, origin_for_relays, relays, cfg)?;
+
+    let rem_range = ByteRange::from_offset(cfg.probe_bytes);
+    let req = probe_request(win.choice, origin_for_relays, &cfg.path, rem_range);
+    let (head, rest) = exchange(&mut win.conn, &req)?;
+    if head.status != StatusCode::PARTIAL_CONTENT {
+        return Err(RelayError::BadStatus(head.status.0));
+    }
+
+    let elapsed = start.elapsed();
+    let mut body = win.body;
+    body.extend_from_slice(&rest);
+    let body_ok = body.len() as u64 == cfg.total_bytes
+        && body
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == body_byte(i as u64));
+
+    Ok(DownloadOutcome {
+        choice: win.choice,
+        probe_throughput: win.throughput,
+        elapsed,
+        throughput: cfg.total_bytes as f64 / elapsed.as_secs_f64(),
+        body_ok,
+    })
+}
+
+/// The §4 selection mechanism over real sockets: draw a uniform random
+/// subset of `k` relays (seeded), race the probe over the subset + the
+/// direct path, and download via the winner.
+///
+/// Returns the outcome plus the indices (into `relays`) of the subset
+/// that was drawn, so callers can maintain utilization statistics. The
+/// `ChosenPath::Relay(i)` index in the outcome refers to the *subset*
+/// order; use the returned subset to map back.
+pub fn download_with_subset(
+    direct: SocketAddr,
+    origin_for_relays: SocketAddr,
+    relays: &[SocketAddr],
+    k: usize,
+    seed: u64,
+    cfg: &ClientConfig,
+) -> Result<(DownloadOutcome, Vec<usize>), RelayError> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    assert!(k > 0, "empty random set");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut subset: Vec<usize> = (0..relays.len()).collect();
+    subset.shuffle(&mut rng);
+    subset.truncate(k.min(relays.len()));
+    subset.sort_unstable();
+    let chosen_addrs: Vec<SocketAddr> = subset.iter().map(|&i| relays[i]).collect();
+    let outcome = download(direct, origin_for_relays, &chosen_addrs, cfg)?;
+    Ok((outcome, subset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::{OriginConfig, OriginServer};
+    use crate::relayd::{Relay, RelayConfig};
+    use crate::shaper::RateSchedule;
+
+    const KB: f64 = 1000.0;
+
+    fn world(
+        total: u64,
+        direct_rate: f64,
+        relay_rates: &[f64],
+    ) -> (OriginServer, OriginServer, Vec<Relay>) {
+        // Shaped origin for the client's direct path; unshaped origin
+        // for the relays' back side.
+        let direct = OriginServer::start(
+            OriginConfig::new(total).shaped(RateSchedule::constant(direct_rate)),
+        )
+        .unwrap();
+        let fast = OriginServer::start(OriginConfig::new(total)).unwrap();
+        let relays = relay_rates
+            .iter()
+            .map(|&r| Relay::start(RelayConfig::shaped(RateSchedule::constant(r))).unwrap())
+            .collect();
+        (direct, fast, relays)
+    }
+
+    #[test]
+    fn race_picks_fast_relay_over_slow_direct() {
+        let (direct, fast, relays) = world(400_000, 150.0 * KB, &[800.0 * KB]);
+        let cfg = ClientConfig {
+            path: "/f".into(),
+            probe_bytes: 60_000,
+            total_bytes: 400_000,
+            timeout: Duration::from_secs(20),
+        };
+        let addrs: Vec<_> = relays.iter().map(|r| r.addr()).collect();
+        let win = probe_race(direct.addr(), fast.addr(), &addrs, &cfg).unwrap();
+        assert_eq!(win.choice, ChosenPath::Relay(0));
+        assert_eq!(win.body.len(), 60_000);
+    }
+
+    #[test]
+    fn race_picks_direct_over_slow_relay() {
+        let (direct, fast, relays) = world(400_000, 900.0 * KB, &[120.0 * KB]);
+        let cfg = ClientConfig {
+            path: "/f".into(),
+            probe_bytes: 60_000,
+            total_bytes: 400_000,
+            timeout: Duration::from_secs(20),
+        };
+        let addrs: Vec<_> = relays.iter().map(|r| r.addr()).collect();
+        let win = probe_race(direct.addr(), fast.addr(), &addrs, &cfg).unwrap();
+        assert_eq!(win.choice, ChosenPath::Direct);
+    }
+
+    #[test]
+    fn download_reassembles_exact_content() {
+        let (direct, fast, relays) = world(300_000, 200.0 * KB, &[700.0 * KB, 90.0 * KB]);
+        let cfg = ClientConfig {
+            path: "/f".into(),
+            probe_bytes: 50_000,
+            total_bytes: 300_000,
+            timeout: Duration::from_secs(30),
+        };
+        let addrs: Vec<_> = relays.iter().map(|r| r.addr()).collect();
+        let out = download(direct.addr(), fast.addr(), &addrs, &cfg).unwrap();
+        assert!(out.body_ok, "content mismatch");
+        assert_eq!(out.choice, ChosenPath::Relay(0));
+        assert!(out.throughput > 200.0 * KB, "thr {}", out.throughput);
+    }
+
+    #[test]
+    fn download_direct_when_no_relays() {
+        let (direct, fast, _relays) = world(200_000, 500.0 * KB, &[]);
+        let cfg = ClientConfig {
+            path: "/f".into(),
+            probe_bytes: 40_000,
+            total_bytes: 200_000,
+            timeout: Duration::from_secs(20),
+        };
+        let out = download(direct.addr(), fast.addr(), &[], &cfg).unwrap();
+        assert_eq!(out.choice, ChosenPath::Direct);
+        assert!(out.body_ok);
+    }
+
+    #[test]
+    fn download_with_subset_draws_k_and_succeeds() {
+        let (direct, fast, relays) = world(
+            200_000,
+            100.0 * KB,
+            &[60.0 * KB, 500.0 * KB, 80.0 * KB, 400.0 * KB],
+        );
+        let cfg = ClientConfig {
+            path: "/f".into(),
+            probe_bytes: 40_000,
+            total_bytes: 200_000,
+            timeout: Duration::from_secs(30),
+        };
+        let addrs: Vec<_> = relays.iter().map(|r| r.addr()).collect();
+        let (out, subset) =
+            download_with_subset(direct.addr(), fast.addr(), &addrs, 2, 42, &cfg).unwrap();
+        assert_eq!(subset.len(), 2);
+        assert!(subset.iter().all(|&i| i < addrs.len()));
+        assert!(out.body_ok);
+        // Whatever was chosen, the subset-relative index is valid.
+        if let ChosenPath::Relay(i) = out.choice {
+            assert!(i < subset.len());
+        }
+        // Determinism of the draw.
+        let (_, subset2) =
+            download_with_subset(direct.addr(), fast.addr(), &addrs, 2, 42, &cfg).unwrap();
+        assert_eq!(subset, subset2);
+    }
+
+    #[test]
+    fn race_times_out_when_everything_unreachable() {
+        // Ports 1 and 2: connection refused; the race has no finisher.
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let dead2: SocketAddr = "127.0.0.1:2".parse().unwrap();
+        let cfg = ClientConfig {
+            path: "/f".into(),
+            probe_bytes: 10,
+            total_bytes: 100,
+            timeout: Duration::from_millis(400),
+        };
+        match probe_race(dead, dead, &[dead2], &cfg) {
+            Err(RelayError::Timeout) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("race should not succeed"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "file must exceed probe")]
+    fn config_validates() {
+        ClientConfig {
+            path: "/f".into(),
+            probe_bytes: 100,
+            total_bytes: 100,
+            timeout: Duration::from_secs(1),
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the real-socket overlay.
+
+use ir_http::HttpError;
+use std::fmt;
+
+/// Errors from the loopback overlay components.
+#[derive(Debug)]
+pub enum RelayError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// Protocol error.
+    Http(HttpError),
+    /// The peer answered with an unexpected status.
+    BadStatus(u16),
+    /// A required header was missing or malformed.
+    BadResponse(String),
+    /// An operation exceeded its deadline.
+    Timeout,
+}
+
+impl fmt::Display for RelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayError::Io(e) => write!(f, "io: {e}"),
+            RelayError::Http(e) => write!(f, "http: {e}"),
+            RelayError::BadStatus(s) => write!(f, "unexpected status {s}"),
+            RelayError::BadResponse(s) => write!(f, "bad response: {s}"),
+            RelayError::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RelayError {}
+
+impl From<std::io::Error> for RelayError {
+    fn from(e: std::io::Error) -> Self {
+        RelayError::Io(e)
+    }
+}
+
+impl From<HttpError> for RelayError {
+    fn from(e: HttpError) -> Self {
+        RelayError::Http(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RelayError::Timeout.to_string().contains("timed"));
+        assert!(RelayError::BadStatus(500).to_string().contains("500"));
+        let io: RelayError = std::io::Error::other("x").into();
+        assert!(io.to_string().contains("io"));
+        let http: RelayError = HttpError::UnexpectedEof.into();
+        assert!(http.to_string().contains("http"));
+    }
+}

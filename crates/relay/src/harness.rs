@@ -1,0 +1,251 @@
+//! A one-process "mini-PlanetLab" on loopback.
+//!
+//! Substitutes for the paper's multi-node deployment (DESIGN.md §2):
+//! one unshaped origin listener for the relays' back side, one shaped
+//! origin listener emulating the client's direct path, and k shaped
+//! relays emulating heterogeneous overlay links — all real sockets,
+//! real HTTP bytes, real concurrency.
+
+use crate::client::{download, ClientConfig, DownloadOutcome};
+use crate::error::RelayError;
+use crate::origin::{OriginConfig, OriginServer};
+use crate::relayd::{Relay, RelayConfig};
+use crate::shaper::RateSchedule;
+use std::net::SocketAddr;
+
+/// Topology description for a harness instance.
+#[derive(Debug, Clone)]
+pub struct HarnessSpec {
+    /// Bytes of synthetic content the origin serves.
+    pub content_len: u64,
+    /// Rate schedule of the client's direct path.
+    pub direct: RateSchedule,
+    /// Rate schedule of each overlay path (client→relay leg).
+    pub relays: Vec<RateSchedule>,
+}
+
+/// A running loopback deployment.
+pub struct MiniPlanetLab {
+    origin_direct: OriginServer,
+    origin_fast: OriginServer,
+    relays: Vec<Relay>,
+    content_len: u64,
+}
+
+impl MiniPlanetLab {
+    /// Starts every server of the spec.
+    pub fn start(spec: HarnessSpec) -> std::io::Result<MiniPlanetLab> {
+        let origin_direct =
+            OriginServer::start(OriginConfig::new(spec.content_len).shaped(spec.direct))?;
+        let origin_fast = OriginServer::start(OriginConfig::new(spec.content_len))?;
+        let relays = spec
+            .relays
+            .into_iter()
+            .map(|sched| Relay::start(RelayConfig::shaped(sched)))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(MiniPlanetLab {
+            origin_direct,
+            origin_fast,
+            relays,
+            content_len: spec.content_len,
+        })
+    }
+
+    /// Address of the origin as seen over the client's direct path.
+    pub fn direct_addr(&self) -> SocketAddr {
+        self.origin_direct.addr()
+    }
+
+    /// Address relays use to reach the origin.
+    pub fn origin_for_relays(&self) -> SocketAddr {
+        self.origin_fast.addr()
+    }
+
+    /// Client-facing relay addresses.
+    pub fn relay_addrs(&self) -> Vec<SocketAddr> {
+        self.relays.iter().map(Relay::addr).collect()
+    }
+
+    /// Runs one §2.1 probed download against this deployment.
+    pub fn run_download(&self, probe_bytes: u64) -> Result<DownloadOutcome, RelayError> {
+        let cfg = ClientConfig {
+            path: "/file.bin".into(),
+            probe_bytes,
+            total_bytes: self.content_len,
+            timeout: std::time::Duration::from_secs(60),
+        };
+        download(
+            self.direct_addr(),
+            self.origin_for_relays(),
+            &self.relay_addrs(),
+            &cfg,
+        )
+    }
+
+    /// A direct-only control download (the paper's second client
+    /// process): the whole file over the direct path, no probing.
+    pub fn run_control(&self) -> Result<f64, RelayError> {
+        use crate::wire::exchange;
+        use ir_http::{ByteRange, Request, StatusCode};
+        let t0 = std::time::Instant::now();
+        let mut conn = std::net::TcpStream::connect(self.direct_addr())?;
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
+        let req = Request::get("/file.bin")
+            .with_header("Host", "origin")
+            .with_header("Range", ByteRange::first(self.content_len).to_string());
+        let (head, body) = exchange(&mut conn, &req)?;
+        if head.status != StatusCode::PARTIAL_CONTENT {
+            return Err(crate::error::RelayError::BadStatus(head.status.0));
+        }
+        if body.len() as u64 != self.content_len {
+            return Err(crate::error::RelayError::BadResponse("short body".into()));
+        }
+        Ok(self.content_len as f64 / t0.elapsed().as_secs_f64())
+    }
+
+    /// The paper's methodology over real bytes: `rounds` iterations of
+    /// {probed download + concurrent direct control}, returning per-round
+    /// improvements `(selected_throughput / control_throughput − 1)`.
+    ///
+    /// Both transfers run concurrently (as in §2.2) on separate threads.
+    pub fn run_study(
+        &self,
+        probe_bytes: u64,
+        rounds: usize,
+        gap: std::time::Duration,
+    ) -> Result<Vec<StudyRound>, RelayError> {
+        let mut out = Vec::with_capacity(rounds);
+        for i in 0..rounds {
+            if i > 0 {
+                std::thread::sleep(gap);
+            }
+            let control = std::thread::scope(|scope| {
+                let control = scope.spawn(|| self.run_control());
+                let treatment = self.run_download(probe_bytes)?;
+                let control = control.join().expect("control thread")?;
+                Ok::<_, RelayError>((treatment, control))
+            });
+            let (treatment, control_thr) = control?;
+            out.push(StudyRound {
+                choice: treatment.choice,
+                selected_throughput: treatment.throughput,
+                control_throughput: control_thr,
+                body_ok: treatment.body_ok,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// One round of [`MiniPlanetLab::run_study`].
+#[derive(Debug, Clone, Copy)]
+pub struct StudyRound {
+    /// Which path the selecting process used.
+    pub choice: crate::client::ChosenPath,
+    /// Selecting process end-to-end throughput (bytes/sec).
+    pub selected_throughput: f64,
+    /// Control (direct-only) throughput (bytes/sec).
+    pub control_throughput: f64,
+    /// Content integrity of the selecting process's download.
+    pub body_ok: bool,
+}
+
+impl StudyRound {
+    /// Fractional improvement over the control.
+    pub fn improvement(&self) -> f64 {
+        (self.selected_throughput - self.control_throughput) / self.control_throughput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ChosenPath;
+
+    const KB: f64 = 1000.0;
+
+    #[test]
+    fn study_rounds_measure_real_improvement() {
+        // Relay path 4x the direct path: every round should choose the
+        // relay and register a solid positive improvement over the
+        // concurrently measured control.
+        let lab = MiniPlanetLab::start(HarnessSpec {
+            content_len: 240_000,
+            direct: RateSchedule::constant(150.0 * KB),
+            relays: vec![RateSchedule::constant(600.0 * KB)],
+        })
+        .unwrap();
+        let rounds = lab
+            .run_study(40_000, 3, std::time::Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(rounds.len(), 3);
+        for r in &rounds {
+            assert!(r.body_ok);
+            assert_eq!(r.choice, ChosenPath::Relay(0));
+            assert!(
+                r.improvement() > 0.5,
+                "expected a big win, got {:+.0}%",
+                r.improvement() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_fast_relay_wins_and_improves() {
+        let lab = MiniPlanetLab::start(HarnessSpec {
+            content_len: 400_000,
+            direct: RateSchedule::constant(150.0 * KB),
+            relays: vec![
+                RateSchedule::constant(60.0 * KB),
+                RateSchedule::constant(900.0 * KB),
+            ],
+        })
+        .unwrap();
+        let out = lab.run_download(50_000).unwrap();
+        assert_eq!(out.choice, ChosenPath::Relay(1));
+        assert!(out.body_ok);
+        // Direct would take ~2.5 s; the relay path is several times
+        // faster even counting the probe.
+        assert!(
+            out.throughput > 250.0 * KB,
+            "thr {:.0} B/s",
+            out.throughput
+        );
+    }
+
+    #[test]
+    fn end_to_end_direct_wins_when_relays_slow() {
+        let lab = MiniPlanetLab::start(HarnessSpec {
+            content_len: 300_000,
+            direct: RateSchedule::constant(800.0 * KB),
+            relays: vec![RateSchedule::constant(80.0 * KB)],
+        })
+        .unwrap();
+        let out = lab.run_download(50_000).unwrap();
+        assert_eq!(out.choice, ChosenPath::Direct);
+        assert!(out.body_ok);
+    }
+
+    #[test]
+    fn time_varying_direct_path_flips_choice() {
+        // Direct is fast for 1.2 s then collapses; a transfer starting
+        // immediately probes the fast phase and picks direct... and a
+        // later one (after the collapse) picks the relay.
+        let lab = MiniPlanetLab::start(HarnessSpec {
+            content_len: 250_000,
+            direct: RateSchedule::piecewise(vec![
+                (std::time::Duration::ZERO, 900.0 * KB),
+                (std::time::Duration::from_millis(1200), 60.0 * KB),
+            ]),
+            relays: vec![RateSchedule::constant(350.0 * KB)],
+        })
+        .unwrap();
+        let first = lab.run_download(60_000).unwrap();
+        assert_eq!(first.choice, ChosenPath::Direct, "fast phase → direct");
+        // Let the collapse take effect.
+        std::thread::sleep(std::time::Duration::from_millis(1300));
+        let second = lab.run_download(60_000).unwrap();
+        assert_eq!(second.choice, ChosenPath::Relay(0), "collapsed → relay");
+        assert!(first.body_ok && second.body_ok);
+    }
+}

@@ -1,0 +1,201 @@
+//! Token-bucket rate shaping with optional time-varying schedules.
+//!
+//! On loopback everything runs at gigabytes per second; the shaper is
+//! what turns a localhost socket into a "1.2 Mbps transatlantic path".
+//! Every byte written through a [`crate::stream::ThrottledStream`]
+//! spends tokens; when the bucket runs dry the writer sleeps until the
+//! refill covers the next chunk.
+
+use std::time::{Duration, Instant};
+
+/// A rate schedule: piecewise-constant bytes/sec over time offsets from
+/// the shaper's epoch. Used to emulate the time-varying available
+/// bandwidth of wide-area paths in real time.
+#[derive(Debug, Clone)]
+pub struct RateSchedule {
+    // (offset from epoch, rate in bytes/sec), first offset must be zero.
+    steps: Vec<(Duration, f64)>,
+}
+
+impl RateSchedule {
+    /// A constant rate forever.
+    pub fn constant(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "bad rate {rate}");
+        RateSchedule {
+            steps: vec![(Duration::ZERO, rate)],
+        }
+    }
+
+    /// An explicit piecewise schedule. Offsets must start at zero and
+    /// strictly increase.
+    pub fn piecewise(steps: Vec<(Duration, f64)>) -> Self {
+        assert!(!steps.is_empty(), "empty schedule");
+        assert_eq!(steps[0].0, Duration::ZERO, "first step must be at 0");
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0, "offsets must increase");
+        }
+        for &(_, r) in &steps {
+            assert!(r > 0.0 && r.is_finite(), "bad rate {r}");
+        }
+        RateSchedule { steps }
+    }
+
+    /// The rate in effect at `elapsed` since the epoch.
+    pub fn rate_at(&self, elapsed: Duration) -> f64 {
+        let idx = self
+            .steps
+            .partition_point(|&(off, _)| off <= elapsed)
+            .saturating_sub(1);
+        self.steps[idx].1
+    }
+}
+
+/// A token bucket over a [`RateSchedule`].
+#[derive(Debug)]
+pub struct TokenBucket {
+    schedule: RateSchedule,
+    epoch: Instant,
+    tokens: f64,
+    burst: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// Creates a bucket with the given schedule and burst size (bytes).
+    /// The bucket starts full; the schedule's epoch is now.
+    pub fn new(schedule: RateSchedule, burst: f64) -> Self {
+        Self::with_epoch(schedule, burst, Instant::now())
+    }
+
+    /// Creates a bucket whose schedule is anchored at `epoch` — several
+    /// buckets (one per connection) can then share one path timeline.
+    pub fn with_epoch(schedule: RateSchedule, burst: f64, epoch: Instant) -> Self {
+        assert!(burst > 0.0, "zero burst");
+        TokenBucket {
+            schedule,
+            epoch,
+            tokens: burst,
+            burst,
+            last_refill: Instant::now(),
+        }
+    }
+
+    /// Convenience: constant-rate bucket with a burst of ~50 ms worth
+    /// of tokens (smooth pacing without syscall-per-byte overhead).
+    pub fn at_rate(rate: f64) -> Self {
+        TokenBucket::new(RateSchedule::constant(rate), (rate * 0.05).max(4096.0))
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.duration_since(self.last_refill);
+        // Use the rate at the interval midpoint — close enough for the
+        // ~ms refill cadence the stream produces.
+        let mid = now.duration_since(self.epoch).saturating_sub(dt / 2);
+        let rate = self.schedule.rate_at(mid);
+        self.tokens = (self.tokens + rate * dt.as_secs_f64()).min(self.burst);
+        self.last_refill = now;
+    }
+
+    /// Takes up to `want` tokens; returns how many were granted
+    /// (possibly zero).
+    pub fn take(&mut self, want: usize) -> usize {
+        self.take_at(want, Instant::now())
+    }
+
+    /// Deterministic variant of [`TokenBucket::take`] for tests.
+    pub fn take_at(&mut self, want: usize, now: Instant) -> usize {
+        self.refill(now);
+        let granted = (want as f64).min(self.tokens).floor();
+        self.tokens -= granted;
+        granted as usize
+    }
+
+    /// How long to wait before ~`want` tokens will be available.
+    pub fn eta(&self, want: usize) -> Duration {
+        let missing = (want as f64 - self.tokens).max(0.0);
+        let rate = self
+            .schedule
+            .rate_at(self.last_refill.duration_since(self.epoch));
+        Duration::from_secs_f64((missing / rate).clamp(0.0005, 0.25))
+    }
+
+    /// The currently scheduled rate (bytes/sec).
+    pub fn current_rate(&self) -> f64 {
+        self.schedule
+            .rate_at(Instant::now().duration_since(self.epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_lookup() {
+        let s = RateSchedule::piecewise(vec![
+            (Duration::ZERO, 100.0),
+            (Duration::from_secs(2), 400.0),
+        ]);
+        assert_eq!(s.rate_at(Duration::from_millis(100)), 100.0);
+        assert_eq!(s.rate_at(Duration::from_secs(2)), 400.0);
+        assert_eq!(s.rate_at(Duration::from_secs(60)), 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "first step must be at 0")]
+    fn schedule_must_start_at_zero() {
+        RateSchedule::piecewise(vec![(Duration::from_secs(1), 1.0)]);
+    }
+
+    #[test]
+    fn bucket_grants_burst_then_paces() {
+        let mut b = TokenBucket::new(RateSchedule::constant(1000.0), 500.0);
+        let t0 = Instant::now();
+        // Full burst immediately.
+        assert_eq!(b.take_at(500, t0), 500);
+        // Nothing more at the same instant.
+        assert_eq!(b.take_at(100, t0), 0);
+        // After 100 ms, ~100 tokens refilled.
+        let t1 = t0 + Duration::from_millis(100);
+        let got = b.take_at(200, t1);
+        assert!((95..=105).contains(&got), "got {got}");
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(RateSchedule::constant(1_000_000.0), 1000.0);
+        let t0 = Instant::now();
+        let t_late = t0 + Duration::from_secs(60);
+        // Even after a minute idle, only `burst` tokens available.
+        assert_eq!(b.take_at(1_000_000, t_late), 1000);
+    }
+
+    #[test]
+    fn eta_reasonable() {
+        let mut b = TokenBucket::new(RateSchedule::constant(1000.0), 100.0);
+        let t0 = Instant::now();
+        b.take_at(100, t0); // drain
+        let eta = b.eta(100);
+        // 100 tokens at 1000/s = 100 ms (clamped window 0.5..250 ms).
+        assert!(eta >= Duration::from_millis(50) && eta <= Duration::from_millis(250));
+    }
+
+    #[test]
+    fn schedule_shifts_pace() {
+        let mut b = TokenBucket::new(
+            RateSchedule::piecewise(vec![
+                (Duration::ZERO, 100.0),
+                (Duration::from_secs(1), 10_000.0),
+            ]),
+            100.0,
+        );
+        let t0 = Instant::now();
+        b.take_at(100, t0); // drain burst
+        // During the slow first second: ~100 tokens in 1 s.
+        let got_slow = b.take_at(10_000, t0 + Duration::from_millis(900));
+        assert!(got_slow < 150, "slow phase granted {got_slow}");
+        // Fast phase: ~10k tokens per second (capped by burst anyway).
+        let got_fast = b.take_at(10_000, t0 + Duration::from_secs(3));
+        assert!(got_fast >= 90, "fast phase granted {got_fast}");
+    }
+}

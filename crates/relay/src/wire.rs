@@ -1,0 +1,108 @@
+//! Small blocking HTTP client primitives shared by the racing client
+//! and tests: send a request, read a head, read a sized body.
+
+use crate::error::RelayError;
+use bytes::BytesMut;
+use ir_http::{encode_request, parse_response, Parsed, Request, Response};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Sends a request head on `stream`.
+pub fn send_request(stream: &mut TcpStream, req: &Request) -> Result<(), RelayError> {
+    let mut buf = BytesMut::new();
+    encode_request(req, &mut buf);
+    stream.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a response head; returns it plus any body bytes that arrived
+/// with it.
+pub fn read_head(stream: &mut TcpStream) -> Result<(Response, Vec<u8>), RelayError> {
+    let mut buf = BytesMut::new();
+    loop {
+        match parse_response(&buf[..])? {
+            Parsed::Complete { value, consumed } => {
+                let _ = buf.split_to(consumed);
+                return Ok((value, buf.to_vec()));
+            }
+            Parsed::Partial => {
+                let mut chunk = [0u8; 8192];
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(RelayError::Http(ir_http::HttpError::UnexpectedEof));
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+}
+
+/// Reads exactly `len` body bytes, `prefix` first.
+pub fn read_body(
+    stream: &mut TcpStream,
+    prefix: Vec<u8>,
+    len: u64,
+) -> Result<Vec<u8>, RelayError> {
+    let mut body = prefix;
+    if body.len() as u64 > len {
+        body.truncate(len as usize);
+    }
+    let mut chunk = vec![0u8; 16 * 1024];
+    while (body.len() as u64) < len {
+        let want = ((len - body.len() as u64) as usize).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(RelayError::Http(ir_http::HttpError::UnexpectedEof));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(body)
+}
+
+/// One full request/response exchange; returns the head and the sized
+/// body (by `Content-Length`).
+pub fn exchange(stream: &mut TcpStream, req: &Request) -> Result<(Response, Vec<u8>), RelayError> {
+    send_request(stream, req)?;
+    let (head, prefix) = read_head(stream)?;
+    let len = head
+        .headers
+        .content_length()
+        .map_err(RelayError::Http)?
+        .ok_or_else(|| RelayError::BadResponse("missing Content-Length".into()))?;
+    let body = read_body(stream, prefix, len)?;
+    Ok((head, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::{body_byte, OriginConfig, OriginServer};
+    use ir_http::{ByteRange, StatusCode};
+
+    #[test]
+    fn exchange_round_trip() {
+        let origin = OriginServer::start(OriginConfig::new(5_000)).unwrap();
+        let mut s = TcpStream::connect(origin.addr()).unwrap();
+        let req = Request::get("/f")
+            .with_header("Host", "o")
+            .with_header("Range", ByteRange::first(100).to_string());
+        let (head, body) = exchange(&mut s, &req).unwrap();
+        assert_eq!(head.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(body.len(), 100);
+        assert!(body.iter().enumerate().all(|(i, &b)| b == body_byte(i as u64)));
+    }
+
+    #[test]
+    fn sequential_exchanges_on_one_connection() {
+        let origin = OriginServer::start(OriginConfig::new(5_000)).unwrap();
+        let mut s = TcpStream::connect(origin.addr()).unwrap();
+        for k in 0..3u64 {
+            let req = Request::get("/f")
+                .with_header("Host", "o")
+                .with_header("Range", format!("bytes={}-{}", k * 7, k * 7 + 6));
+            let (_, body) = exchange(&mut s, &req).unwrap();
+            assert_eq!(body.len(), 7);
+            assert_eq!(body[0], body_byte(k * 7));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Max–min fair bandwidth allocation with per-flow rate caps.
+//!
+//! When several flows share a link (e.g. the direct and indirect probes
+//! both crossing the client's access link during a race), the simulator
+//! splits capacity max–min fairly — the classic fluid approximation of
+//! long-lived TCP flows sharing a bottleneck. Each flow may additionally
+//! carry its own rate cap (from the TCP model: slow-start ramp or the
+//! loss-based PFTK ceiling), which the progressive-filling algorithm
+//! honours.
+
+/// A flow, for allocation purposes: the links it traverses and its own
+/// rate cap (`f64::INFINITY` for none).
+#[derive(Debug, Clone)]
+pub struct AllocFlow {
+    /// Indices into the capacity slice of the links this flow crosses.
+    pub links: Vec<usize>,
+    /// Upper bound on this flow's rate (bytes/sec).
+    pub cap: f64,
+}
+
+/// Computes max–min fair rates via progressive filling.
+///
+/// * `link_caps[l]` — capacity of link `l` in bytes/sec;
+/// * `flows[f]` — the links flow `f` crosses and its own cap.
+///
+/// Returns the allocated rate of each flow. A flow crossing no links is
+/// limited only by its own cap.
+///
+/// Invariants (tested property-style):
+/// * feasibility — per-link sums never exceed capacity (up to fp slack);
+/// * cap respect — no flow exceeds its own cap;
+/// * bottleneck saturation — every flow is limited by either its cap or
+///   at least one saturated link.
+///
+/// # Panics
+///
+/// Panics if a flow references an unknown link or a cap/capacity is
+/// negative or NaN.
+pub fn max_min_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
+    for &c in link_caps {
+        assert!(c >= 0.0 && !c.is_nan(), "bad link capacity {c}");
+    }
+    for f in flows {
+        assert!(f.cap >= 0.0 && !f.cap.is_nan(), "bad flow cap {}", f.cap);
+        for &l in &f.links {
+            assert!(l < link_caps.len(), "unknown link index {l}");
+        }
+    }
+
+    let nf = flows.len();
+    let nl = link_caps.len();
+    let mut rate = vec![0.0_f64; nf];
+    let mut frozen = vec![false; nf];
+    let mut residual: Vec<f64> = link_caps.to_vec();
+    // Number of unfrozen flows on each link.
+    let mut active_on: Vec<usize> = vec![0; nl];
+    for f in flows {
+        for &l in &f.links {
+            active_on[l] += 1;
+        }
+    }
+    let mut unfrozen = nf;
+
+    // Progressive filling: raise the common water level until a link
+    // saturates or a flow hits its cap, freeze, repeat.
+    while unfrozen > 0 {
+        // Largest uniform increment every unfrozen flow can take.
+        let mut inc = f64::INFINITY;
+        for l in 0..nl {
+            if active_on[l] > 0 {
+                inc = inc.min(residual[l] / active_on[l] as f64);
+            }
+        }
+        for (f, flow) in flows.iter().enumerate() {
+            if !frozen[f] {
+                inc = inc.min(flow.cap - rate[f]);
+            }
+        }
+        if !inc.is_finite() {
+            // All unfrozen flows cross no links and have infinite caps;
+            // give them "infinite" rate. (Degenerate; callers shouldn't
+            // construct this, but don't loop forever.)
+            for (f, r) in rate.iter_mut().enumerate() {
+                if !frozen[f] {
+                    *r = f64::INFINITY;
+                }
+            }
+            break;
+        }
+        let inc = inc.max(0.0);
+
+        // Apply the increment.
+        for (f, flow) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            rate[f] += inc;
+            for &l in &flow.links {
+                residual[l] -= inc;
+            }
+        }
+
+        // Freeze flows that hit their cap or cross a saturated link.
+        const EPS: f64 = 1e-9;
+        let mut any_frozen = false;
+        for (f, flow) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            let cap_hit = rate[f] >= flow.cap - EPS * flow.cap.max(1.0);
+            // Infinite-capacity links never saturate (INF - x == INF and
+            // INF <= EPS*INF would be vacuously true).
+            let link_hit = flow.links.iter().any(|&l| {
+                link_caps[l].is_finite() && residual[l] <= EPS * link_caps[l].max(1.0)
+            });
+            if cap_hit || link_hit {
+                frozen[f] = true;
+                any_frozen = true;
+                unfrozen -= 1;
+                for &l in &flow.links {
+                    active_on[l] -= 1;
+                }
+            }
+        }
+        // Safety: if nothing froze despite a finite increment, numerical
+        // trouble; freeze everything at current rates rather than spin.
+        if !any_frozen && inc <= 0.0 {
+            break;
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(links: &[usize], cap: f64) -> AllocFlow {
+        AllocFlow {
+            links: links.to_vec(),
+            cap,
+        }
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "{a} !~ {b}");
+    }
+
+    #[test]
+    fn single_flow_takes_bottleneck() {
+        let rates = max_min_rates(&[10.0, 4.0], &[flow(&[0, 1], f64::INFINITY)]);
+        assert_close(rates[0], 4.0);
+    }
+
+    #[test]
+    fn two_flows_split_shared_link() {
+        let rates = max_min_rates(
+            &[10.0],
+            &[flow(&[0], f64::INFINITY), flow(&[0], f64::INFINITY)],
+        );
+        assert_close(rates[0], 5.0);
+        assert_close(rates[1], 5.0);
+    }
+
+    #[test]
+    fn capped_flow_releases_share() {
+        // Link of 10; one flow capped at 2 → other gets 8.
+        let rates = max_min_rates(&[10.0], &[flow(&[0], 2.0), flow(&[0], f64::INFINITY)]);
+        assert_close(rates[0], 2.0);
+        assert_close(rates[1], 8.0);
+    }
+
+    #[test]
+    fn classic_three_flow_two_link_example() {
+        // Links: A(cap 10), B(cap 4).
+        // f0 crosses A+B, f1 crosses A, f2 crosses B.
+        // Max-min: f0 and f2 share B → 2 each; f1 gets A's residual 8.
+        let rates = max_min_rates(
+            &[10.0, 4.0],
+            &[
+                flow(&[0, 1], f64::INFINITY),
+                flow(&[0], f64::INFINITY),
+                flow(&[1], f64::INFINITY),
+            ],
+        );
+        assert_close(rates[0], 2.0);
+        assert_close(rates[1], 8.0);
+        assert_close(rates[2], 2.0);
+    }
+
+    #[test]
+    fn disjoint_flows_each_get_full_capacity() {
+        let rates = max_min_rates(
+            &[3.0, 7.0],
+            &[flow(&[0], f64::INFINITY), flow(&[1], f64::INFINITY)],
+        );
+        assert_close(rates[0], 3.0);
+        assert_close(rates[1], 7.0);
+    }
+
+    #[test]
+    fn no_links_flow_limited_by_cap() {
+        let rates = max_min_rates(&[], &[flow(&[], 5.0)]);
+        assert_close(rates[0], 5.0);
+    }
+
+    #[test]
+    fn empty_flows_empty_result() {
+        assert!(max_min_rates(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_link_starves_flow() {
+        let rates = max_min_rates(&[0.0], &[flow(&[0], f64::INFINITY)]);
+        assert_close(rates[0], 0.0);
+    }
+
+    #[test]
+    fn zero_cap_flow_gets_zero_and_frees_link() {
+        let rates = max_min_rates(&[6.0], &[flow(&[0], 0.0), flow(&[0], f64::INFINITY)]);
+        assert_close(rates[0], 0.0);
+        assert_close(rates[1], 6.0);
+    }
+
+    #[test]
+    fn infinite_capacity_links_never_freeze_flows() {
+        // Two flows on disjoint infinite links, different own caps: each
+        // must reach its own cap (regression: INF<=EPS*INF once froze
+        // everyone at the smaller cap).
+        let rates = max_min_rates(
+            &[f64::INFINITY, f64::INFINITY],
+            &[flow(&[0], 100.0), flow(&[1], 400.0)],
+        );
+        assert_close(rates[0], 100.0);
+        assert_close(rates[1], 400.0);
+    }
+
+    #[test]
+    fn mixed_infinite_and_finite_links() {
+        // Flow 0 crosses an infinite link then a finite one shared with
+        // flow 1.
+        let rates = max_min_rates(
+            &[f64::INFINITY, 10.0],
+            &[flow(&[0, 1], f64::INFINITY), flow(&[1], f64::INFINITY)],
+        );
+        assert_close(rates[0], 5.0);
+        assert_close(rates[1], 5.0);
+    }
+
+    #[test]
+    fn feasibility_and_saturation_invariants() {
+        // A semi-random but fixed mesh; check the max-min invariants.
+        let caps = [5.0, 8.0, 3.0, 12.0];
+        let flows = [
+            flow(&[0, 1], f64::INFINITY),
+            flow(&[1, 2], 4.0),
+            flow(&[2, 3], f64::INFINITY),
+            flow(&[0, 3], 1.5),
+            flow(&[1], f64::INFINITY),
+        ];
+        let rates = max_min_rates(&caps, &flows);
+        // Feasibility.
+        for (l, &cap) in caps.iter().enumerate() {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.links.contains(&l))
+                .map(|(_, &r)| r)
+                .sum();
+            assert!(load <= cap + 1e-6, "link {l} overloaded: {load} > {cap}");
+        }
+        // Cap respect + bottleneck condition.
+        for (i, f) in flows.iter().enumerate() {
+            assert!(rates[i] <= f.cap + 1e-6);
+            let cap_bound = rates[i] >= f.cap - 1e-6;
+            let saturated_link = f.links.iter().any(|&l| {
+                let load: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(g, _)| g.links.contains(&l))
+                    .map(|(_, &r)| r)
+                    .sum();
+                load >= caps[l] - 1e-6
+            });
+            assert!(
+                cap_bound || saturated_link,
+                "flow {i} not limited by anything (rate {})",
+                rates[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the max–min fair allocator: feasibility, cap
+//! respect, and the bottleneck condition must hold for arbitrary
+//! topologies.
+
+use ir_simnet::fairshare::{max_min_rates, AllocFlow};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = (Vec<f64>, Vec<AllocFlow>)> {
+    // 1..6 links with capacities 0..1e6 (occasionally infinite), 1..8
+    // flows crossing random link subsets with random caps.
+    let caps = prop::collection::vec(
+        prop_oneof![
+            (0.0f64..1e6),
+            Just(f64::INFINITY),
+            Just(0.0f64),
+        ],
+        1..6,
+    );
+    caps.prop_flat_map(|caps| {
+        let nl = caps.len();
+        let flows = prop::collection::vec(
+            (
+                prop::collection::btree_set(0..nl, 0..=nl),
+                prop_oneof![(1.0f64..1e6), Just(f64::INFINITY), Just(0.0f64)],
+            )
+                .prop_map(|(links, cap)| AllocFlow {
+                    links: links.into_iter().collect(),
+                    cap,
+                }),
+            1..8,
+        );
+        (Just(caps), flows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn allocation_invariants((caps, flows) in arb_problem()) {
+        let rates = max_min_rates(&caps, &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+
+        // Rates are non-negative and respect flow caps.
+        for (i, f) in flows.iter().enumerate() {
+            prop_assert!(rates[i] >= 0.0, "negative rate {}", rates[i]);
+            if f.cap.is_finite() {
+                prop_assert!(
+                    rates[i] <= f.cap + 1e-6 * f.cap.max(1.0),
+                    "rate {} exceeds cap {}", rates[i], f.cap
+                );
+            }
+        }
+
+        // Feasibility: finite links are not overloaded.
+        for (l, &cap) in caps.iter().enumerate() {
+            if !cap.is_finite() {
+                continue;
+            }
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.links.contains(&l))
+                .map(|(_, &r)| r)
+                .sum();
+            prop_assert!(load <= cap + 1e-6 * cap.max(1.0), "link {l} overloaded: {load} > {cap}");
+        }
+
+        // Bottleneck condition: every finite-rate flow is pinned by its
+        // cap or by a saturated finite link (unless it is unconstrained
+        // entirely, in which case the allocator reports infinity).
+        for (i, f) in flows.iter().enumerate() {
+            if rates[i].is_infinite() {
+                continue;
+            }
+            let cap_hit = f.cap.is_finite() && rates[i] >= f.cap - 1e-6 * f.cap.max(1.0);
+            let link_hit = f.links.iter().any(|&l| {
+                if !caps[l].is_finite() {
+                    return false;
+                }
+                let load: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(g, _)| g.links.contains(&l))
+                    .map(|(_, &r)| r)
+                    .sum();
+                load >= caps[l] - 1e-6 * caps[l].max(1.0)
+            });
+            prop_assert!(
+                cap_hit || link_hit,
+                "flow {i} (rate {}) limited by nothing", rates[i]
+            );
+        }
+    }
+
+    #[test]
+    fn equal_flows_get_equal_shares(
+        cap in 1.0f64..1e6,
+        n in 1usize..6,
+    ) {
+        let flows: Vec<AllocFlow> = (0..n)
+            .map(|_| AllocFlow { links: vec![0], cap: f64::INFINITY })
+            .collect();
+        let rates = max_min_rates(&[cap], &flows);
+        for &r in &rates {
+            prop_assert!((r - cap / n as f64).abs() < 1e-6 * cap);
+        }
+    }
+
+    #[test]
+    fn adding_a_flow_never_increases_others(
+        cap in 1.0f64..1e6,
+        n in 1usize..5,
+    ) {
+        let mk = |k: usize| -> Vec<f64> {
+            let flows: Vec<AllocFlow> = (0..k)
+                .map(|_| AllocFlow { links: vec![0], cap: f64::INFINITY })
+                .collect();
+            max_min_rates(&[cap], &flows)
+        };
+        let before = mk(n);
+        let after = mk(n + 1);
+        for i in 0..n {
+            prop_assert!(after[i] <= before[i] + 1e-9 * cap);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Bootstrap confidence intervals.
+//!
+//! The paper reports point estimates (mean 49%, median 37%) without
+//! uncertainty; our reports attach percentile-bootstrap intervals so
+//! paper-vs-measured comparisons are honest about sampling noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Whether `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile bootstrap for an arbitrary statistic.
+///
+/// Resamples `data` with replacement `iters` times, computes `stat` on
+/// each resample, and returns the `[alpha/2, 1 - alpha/2]` percentile
+/// interval. Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics on empty data, `iters == 0`, or `alpha` outside (0, 1).
+pub fn bootstrap_ci<F: Fn(&[f64]) -> f64>(
+    data: &[f64],
+    stat: F,
+    iters: usize,
+    alpha: f64,
+    seed: u64,
+) -> Interval {
+    assert!(!data.is_empty(), "bootstrap of empty sample");
+    assert!(iters > 0, "zero bootstrap iterations");
+    assert!(alpha > 0.0 && alpha < 1.0, "bad alpha {alpha}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(iters);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..iters {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.gen_range(0..data.len())];
+        }
+        stats.push(stat(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic"));
+    Interval {
+        lo: crate::summary::percentile_sorted(&stats, alpha / 2.0 * 100.0),
+        hi: crate::summary::percentile_sorted(&stats, (1.0 - alpha / 2.0) * 100.0),
+    }
+}
+
+/// 95% bootstrap CI of the mean (1000 resamples).
+pub fn mean_ci95(data: &[f64], seed: u64) -> Interval {
+    bootstrap_ci(
+        data,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        1000,
+        0.05,
+        seed,
+    )
+}
+
+/// 95% bootstrap CI of the median (1000 resamples).
+pub fn median_ci95(data: &[f64], seed: u64) -> Interval {
+    bootstrap_ci(data, |s| crate::summary::percentile(s, 50.0), 1000, 0.05, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<f64> {
+        // Deterministic pseudo-noise around 10.
+        (0..n)
+            .map(|i| 10.0 + ((i as f64 * 1.7).sin() * 2.0))
+            .collect()
+    }
+
+    #[test]
+    fn ci_brackets_the_truth() {
+        let data = sample(500);
+        let truth = data.iter().sum::<f64>() / data.len() as f64;
+        let ci = mean_ci95(&data, 7);
+        assert!(ci.contains(truth), "{ci:?} should contain {truth}");
+        assert!(ci.width() < 1.0, "CI too wide: {ci:?}");
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let small = mean_ci95(&sample(30), 7);
+        let large = mean_ci95(&sample(3000), 7);
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data = sample(100);
+        assert_eq!(mean_ci95(&data, 42), mean_ci95(&data, 42));
+        assert_ne!(mean_ci95(&data, 42), mean_ci95(&data, 43));
+    }
+
+    #[test]
+    fn median_ci_works() {
+        let data = sample(400);
+        let ci = median_ci95(&data, 3);
+        let med = crate::summary::percentile(&data, 50.0);
+        assert!(ci.contains(med));
+    }
+
+    #[test]
+    fn constant_data_gives_degenerate_interval() {
+        let data = vec![5.0; 50];
+        let ci = mean_ci95(&data, 1);
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        mean_ci95(&[], 1);
+    }
+}

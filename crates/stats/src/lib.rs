@@ -1,0 +1,43 @@
+//! Statistics substrate for the indirect-routing reproduction.
+//!
+//! The paper's evaluation is almost entirely statistical: improvement
+//! histograms (Fig 1, Fig 2), penalty summaries (Table I), utilization
+//! tables (Table II, Fig 5, Table III), scatter trends (Fig 3), and a
+//! "no discernable trend" claim about throughput over time (Fig 4).
+//! This crate provides the numerical machinery for all of them:
+//!
+//! * [`summary`] — online (Welford) and batch summaries: mean, median,
+//!   standard deviation, RMS, percentiles.
+//! * [`histogram`] — uniform-bin histograms with underflow/overflow bins
+//!   and an ASCII renderer, used for Figs 1 and 2.
+//! * [`correlation`] — Pearson and Spearman correlation, ordinary
+//!   least-squares regression, and the robust Theil–Sen slope, used for
+//!   Fig 3 and Table III.
+//! * [`trend`] — the Mann–Kendall trend test, which turns Fig 4's visual
+//!   "no discernable uptrend or downtrend" into a hypothesis test.
+//! * [`sampling`] — Normal, LogNormal, Exponential and Pareto samplers
+//!   over any [`rand::Rng`] (kept here so the workspace does not need a
+//!   `rand_distr` dependency).
+//! * [`table`] — a fixed-width text-table renderer shared by every
+//!   experiment report.
+//! * [`ecdf`] — empirical CDFs and exact quantiles.
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals, so the
+//!   reports carry uncertainty alongside the paper's point estimates.
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod ecdf;
+pub mod histogram;
+pub mod sampling;
+pub mod summary;
+pub mod table;
+pub mod trend;
+
+pub use bootstrap::{bootstrap_ci, mean_ci95, median_ci95, Interval};
+pub use correlation::{ols, pearson, spearman, theil_sen, OlsFit};
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use sampling::{Exponential, LogNormal, Normal, Pareto, Sample};
+pub use summary::{OnlineStats, Summary};
+pub use table::TextTable;
+pub use trend::{mann_kendall, MannKendall, Trend};

@@ -1,0 +1,287 @@
+//! Distribution samplers over any [`rand::Rng`].
+//!
+//! The workload generator draws path base rates from lognormal
+//! distributions (throughput across Internet paths is classically
+//! lognormal-ish with a heavy upper tail), holding times from
+//! exponentials, and rare-event magnitudes from Paretos. Implemented
+//! here so the workspace does not need `rand_distr`.
+
+use rand::Rng;
+
+/// A distribution from which `f64` values can be sampled.
+pub trait Sample {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Normal distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (must be >= 0).
+    pub stdev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stdev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, stdev: f64) -> Self {
+        assert!(mean.is_finite() && stdev.is_finite(), "non-finite parameter");
+        assert!(stdev >= 0.0, "negative stdev");
+        Normal { mean, stdev }
+    }
+}
+
+impl Sample for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 in (0,1] so ln is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.stdev * z
+    }
+}
+
+/// Lognormal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (log-scale location).
+    pub mu: f64,
+    /// Stdev of the underlying normal (log-scale shape).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal from log-scale parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite(), "non-finite parameter");
+        assert!(sigma >= 0.0, "negative sigma");
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a lognormal with a given **median** and log-scale sigma.
+    /// The median of `exp(N(mu, sigma))` is `exp(mu)`, which makes
+    /// calibration intuitive: "this path's typical rate is 1.2 Mbps".
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// The distribution median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal::new(self.mu, self.sigma).sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter (must be > 0).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with rate `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be > 0");
+        Exponential { lambda }
+    }
+
+    /// Creates an exponential with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be > 0");
+        Exponential::new(1.0 / mean)
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // in (0,1]
+        -u.ln() / self.lambda
+    }
+}
+
+/// Pareto (type I) distribution: support `[scale, inf)`, tail index
+/// `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Minimum value (scale), must be > 0.
+    pub scale: f64,
+    /// Tail index, must be > 0; smaller = heavier tail.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    pub fn new(scale: f64, alpha: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be > 0");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be > 0");
+        Pareto { scale, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // in (0,1]
+        self.scale / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Samples an index from a non-negative weight vector (weighted
+/// categorical). Used by the utilization-weighted selection policy.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative/non-finite value, or
+/// sums to zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "empty weight vector");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0 && w.is_finite(), "bad weight {w}");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "weights sum to zero");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    // Floating-point slack: return last non-zero weight.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("total > 0 implies a positive weight")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x1D1EC7)
+    }
+
+    fn mean_of(dist: &impl Sample, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| dist.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0);
+        let mut r = rng();
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn normal_zero_stdev_is_constant() {
+        let d = Normal::new(7.0, 0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 7.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::with_median(1.5, 0.6);
+        assert!((d.median() - 1.5).abs() < 1e-12);
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..100_001).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 1.5).abs() < 0.05, "median {med}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::with_mean(4.0);
+        let m = mean_of(&d, 200_000);
+        assert!((m - 4.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_nonnegative() {
+        let d = Exponential::new(0.1);
+        let mut r = rng();
+        assert!((0..10_000).all(|_| d.sample(&mut r) >= 0.0));
+    }
+
+    #[test]
+    fn pareto_support_and_mean() {
+        let d = Pareto::new(2.0, 3.0);
+        let mut r = rng();
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // Mean of Pareto = alpha*scale/(alpha-1) = 3.
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_single_element() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&mut r, &[0.5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn weighted_index_all_zero_panics() {
+        weighted_index(&mut rng(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative stdev")]
+    fn normal_negative_stdev_panics() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = LogNormal::with_median(1.0, 0.5);
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..16).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..16).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,207 @@
+//! Fixed-width text-table rendering.
+//!
+//! Every experiment report (Tables I–III and the figure summaries) is
+//! printed as a monospace table matching the layout of the paper's
+//! tables, so paper-vs-measured comparison is a visual diff.
+
+/// A simple left/right-aligned text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: Option<String>,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TextTable::default()
+    }
+
+    /// Sets a title printed above the table.
+    pub fn title(mut self, t: impl Into<String>) -> Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Sets the header row.
+    pub fn header<I, S>(mut self, cols: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a header is set and the row width differs from it.
+    pub fn row<I, S>(&mut self, cols: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cols.into_iter().map(Into::into).collect();
+        if !self.header.is_empty() {
+            assert_eq!(
+                row.len(),
+                self.header.len(),
+                "row width {} != header width {}",
+                row.len(),
+                self.header.len()
+            );
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table. The first column is left-aligned, the rest are
+    /// right-aligned (numbers read better that way).
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        if ncols == 0 {
+            return String::new();
+        }
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = width.saturating_sub(cell.chars().count());
+                if i == 0 {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+            // Trailing spaces from a left-aligned last column are noise.
+            line.trim_end().to_string()
+        };
+
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+            out.push_str(&"=".repeat(t.chars().count()));
+            out.push('\n');
+        }
+        if !self.header.is_empty() {
+            out.push_str(&render_row(&self.header));
+            out.push('\n');
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percent string with the given precision,
+/// e.g. `pct(0.451, 0)` → `"45%"`.
+pub fn pct(frac: f64, decimals: usize) -> String {
+    format!("{:.*}%", decimals, frac * 100.0)
+}
+
+/// Formats a throughput in bits/s at a human scale (Kbps/Mbps/Gbps).
+pub fn fmt_rate(bits_per_sec: f64) -> String {
+    if bits_per_sec >= 1e9 {
+        format!("{:.2} Gbps", bits_per_sec / 1e9)
+    } else if bits_per_sec >= 1e6 {
+        format!("{:.2} Mbps", bits_per_sec / 1e6)
+    } else if bits_per_sec >= 1e3 {
+        format!("{:.1} Kbps", bits_per_sec / 1e3)
+    } else {
+        format!("{bits_per_sec:.0} bps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = TextTable::new().header(["Node", "Util (%)", "Impr (%)"]);
+        t.row(["Texas", "76.1", "71.0"]);
+        t.row(["MIT", "1.3", "-19.6"]);
+        let s = t.render();
+        assert!(s.contains("Node"), "{s}");
+        assert!(s.contains("Texas"), "{s}");
+        assert!(s.contains("-19.6"), "{s}");
+        // Right alignment: "1.3" should be padded to the width of "Util (%)".
+        let mit_line = s.lines().find(|l| l.starts_with("MIT")).unwrap();
+        assert!(mit_line.contains("   1.3"), "{mit_line:?}");
+    }
+
+    #[test]
+    fn title_underlined() {
+        let mut t = TextTable::new().title("TABLE I");
+        t.row(["a", "b"]);
+        let s = t.render();
+        let mut lines = s.lines();
+        assert_eq!(lines.next().unwrap(), "TABLE I");
+        assert_eq!(lines.next().unwrap(), "=======");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new().header(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        assert_eq!(TextTable::new().render(), "");
+        assert!(TextTable::new().is_empty());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.451, 0), "45%");
+        assert_eq!(pct(0.4567, 1), "45.7%");
+        assert_eq!(pct(-0.12, 0), "-12%");
+    }
+
+    #[test]
+    fn fmt_rate_scales() {
+        assert_eq!(fmt_rate(500.0), "500 bps");
+        assert_eq!(fmt_rate(1_500.0), "1.5 Kbps");
+        assert_eq!(fmt_rate(2_000_000.0), "2.00 Mbps");
+        assert_eq!(fmt_rate(3_100_000_000.0), "3.10 Gbps");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the statistics substrate.
+
+use ir_stats::{mann_kendall, pearson, spearman, Ecdf, Histogram, OnlineStats, Summary, Trend};
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn online_merge_equals_sequential(data in arb_sample(), split_frac in 0.0f64..1.0) {
+        let split = ((data.len() - 1) as f64 * split_frac) as usize;
+        let seq: OnlineStats = data.iter().copied().collect();
+        let a: OnlineStats = data[..split].iter().copied().collect();
+        let b: OnlineStats = data[split..].iter().copied().collect();
+        let mut merged = a;
+        merged.merge(&b);
+        prop_assert_eq!(merged.count(), seq.count());
+        prop_assert!((merged.mean() - seq.mean()).abs() <= 1e-6 * seq.mean().abs().max(1.0));
+        prop_assert!((merged.variance() - seq.variance()).abs() <= 1e-4 * seq.variance().abs().max(1.0));
+    }
+
+    #[test]
+    fn summary_bounds(data in arb_sample()) {
+        let s = Summary::of(&data).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.stdev >= 0.0);
+        prop_assert!(s.rms + 1e-9 >= s.mean.abs() * 0.999999);
+        prop_assert_eq!(s.count, data.len());
+    }
+
+    #[test]
+    fn histogram_conserves_mass(data in arb_sample(), bins in 1usize..50) {
+        let h = Histogram::of(-1e5, 1e5, bins, &data);
+        let in_range: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(in_range + h.underflow() + h.overflow(), data.len() as u64);
+    }
+
+    #[test]
+    fn histogram_bins_partition(data in arb_sample(), bins in 1usize..30) {
+        let h = Histogram::of(-1e6, 1e6, bins, &data);
+        // Every in-range point is counted exactly once: since bounds
+        // cover the sample space, no under/overflow.
+        prop_assert_eq!(h.underflow() + h.overflow(), 0);
+        let total: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(total, data.len() as u64);
+    }
+
+    #[test]
+    fn ecdf_is_monotone(data in arb_sample(), probes in prop::collection::vec(-2e6f64..2e6, 2..20)) {
+        let e = Ecdf::new(&data);
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &sorted {
+            let c = e.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn correlation_in_unit_interval(data in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 3..100)) {
+        let xs: Vec<f64> = data.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = data.iter().map(|p| p.1).collect();
+        let r = pearson(&xs, &ys);
+        if r.is_finite() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        }
+        let rho = spearman(&xs, &ys);
+        if rho.is_finite() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+        }
+    }
+
+    #[test]
+    fn correlation_is_scale_invariant(
+        data in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50),
+        scale in 0.001f64..1000.0,
+        shift in -1e3f64..1e3,
+    ) {
+        let xs: Vec<f64> = data.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = data.iter().map(|p| p.1).collect();
+        let xs2: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let a = pearson(&xs, &ys);
+        let b = pearson(&xs2, &ys);
+        if a.is_finite() && b.is_finite() {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mann_kendall_detects_planted_monotone(data in prop::collection::vec(0.0f64..1.0, 30..100)) {
+        // Turn arbitrary noise into a strictly increasing series; the
+        // test must call it Increasing.
+        let mut acc = 0.0;
+        let series: Vec<f64> = data.iter().map(|&d| { acc += d + 0.001; acc }).collect();
+        let mk = mann_kendall(&series);
+        prop_assert_eq!(mk.trend(0.01), Trend::Increasing);
+        // And its mirror must be Decreasing.
+        let mirrored: Vec<f64> = series.iter().map(|v| -v).collect();
+        prop_assert_eq!(mann_kendall(&mirrored).trend(0.01), Trend::Decreasing);
+    }
+
+    #[test]
+    fn mann_kendall_symmetric(data in prop::collection::vec(-1e3f64..1e3, 3..60)) {
+        let mk = mann_kendall(&data);
+        let mirrored: Vec<f64> = data.iter().map(|v| -v).collect();
+        let mk2 = mann_kendall(&mirrored);
+        prop_assert_eq!(mk.s, -mk2.s);
+        prop_assert!((mk.p_value - mk2.p_value).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! `ir-tcp` — a fluid model of long-lived TCP throughput.
+//!
+//! The paper's probe protocol measures the throughput of the first
+//! x = 100 KB of a transfer and uses it to predict the throughput of the
+//! remaining megabytes. For that prediction problem to exist in our
+//! reproduction, the substrate must model the two things that make
+//! short-probe throughput differ from long-transfer throughput:
+//!
+//! 1. **Slow start** — early rounds run well below the path's capacity;
+//!    x must be "large enough … to marginalize the initial effects of
+//!    TCP slow-start" (§2.1).
+//! 2. **A steady-state ceiling** — the classic PFTK loss/window bound a
+//!    long flow converges to.
+//!
+//! Components:
+//! * [`config::TcpConfig`] — MSS, RTT, initial window, receiver window,
+//!   loss rate, handshake delay (2005-era defaults).
+//! * [`pftk::pftk_rate`] — Padhye et al. steady-state throughput.
+//! * [`cap::TcpRateCap`] — an [`ir_simnet::sim::RateCap`] gluing the
+//!   model into the flow engine: zero rate during the handshake, a
+//!   doubling per-RTT ramp, then the steady ceiling.
+//! * [`transfer`] — standalone solo-flow transfer-time integration used
+//!   as an analytic oracle and by the probe-size ablation.
+
+pub mod cap;
+pub mod config;
+pub mod pftk;
+pub mod transfer;
+
+pub use cap::TcpRateCap;
+pub use config::TcpConfig;
+pub use pftk::pftk_rate;
+pub use transfer::{bytes_by, transfer_time, TransferResult};

@@ -1,0 +1,306 @@
+//! Standalone transfer-time integration.
+//!
+//! A fast path that answers "how long does TCP take to move `b` bytes
+//! over this path" without instantiating the full flow engine — the
+//! flow is alone on the path, so its rate at any instant is simply
+//! `min(tcp_cap(age), available_bandwidth(t))`. Used by unit tests, the
+//! probe-size ablation, and as a cross-check oracle for the engine
+//! (`tests/engine_vs_analytic.rs`).
+
+use crate::cap::TcpRateCap;
+use crate::config::TcpConfig;
+use ir_simnet::bandwidth::BandwidthProcess;
+use ir_simnet::sim::RateCap;
+use ir_simnet::time::{SimDuration, SimTime};
+
+/// Result of an analytic transfer computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferResult {
+    /// Total wall-clock duration, including connection startup.
+    pub duration: SimDuration,
+    /// Mean goodput, bytes/sec (`bytes / duration`).
+    pub throughput: f64,
+}
+
+/// Computes the completion time of a solo TCP transfer of `bytes` bytes
+/// starting at absolute time `start` over the available-bandwidth
+/// process `avail`.
+///
+/// Returns `None` if the transfer would not finish within `horizon`
+/// after start (e.g. the path is effectively down).
+pub fn transfer_time(
+    bytes: u64,
+    start: SimTime,
+    cfg: TcpConfig,
+    avail: &mut dyn BandwidthProcess,
+    horizon: SimDuration,
+) -> Option<TransferResult> {
+    cfg.validate();
+    let mut cap = TcpRateCap::new(cfg);
+    let deadline = start + horizon;
+    let mut now = start;
+    let mut done = 0.0f64;
+    let total = bytes as f64;
+
+    if bytes == 0 {
+        return Some(TransferResult {
+            duration: SimDuration::ZERO,
+            throughput: f64::INFINITY,
+        });
+    }
+
+    while now < deadline {
+        let age = now - start;
+        let rate = cap.cap(age, done as u64).min(avail.rate_at(now));
+
+        // Next boundary: cap change, availability change, completion.
+        let mut boundary = deadline;
+        if let Some(next_age) = cap.next_cap_change(age) {
+            boundary = boundary.min(start + next_age);
+        }
+        if let Some(ch) = avail.next_change_after(now) {
+            boundary = boundary.min(ch);
+        }
+        if rate > 0.0 {
+            let remaining = total - done;
+            let dt = SimDuration::from_secs_f64_ceil(remaining / rate);
+            let dt = if dt.is_zero() {
+                SimDuration::from_micros(1)
+            } else {
+                dt
+            };
+            boundary = boundary.min(now.saturating_add(dt));
+        }
+        if boundary <= now {
+            boundary = now + SimDuration::from_micros(1);
+        }
+
+        let dt = (boundary - now).as_secs_f64();
+        done = (done + rate * dt).min(total);
+        now = boundary;
+        if total - done < 0.5 {
+            let duration = now - start;
+            return Some(TransferResult {
+                duration,
+                throughput: total / duration.as_secs_f64(),
+            });
+        }
+    }
+    None
+}
+
+/// Bytes delivered by flow age `age` (inverse query), same model as
+/// [`transfer_time`]. Useful for "how much of the probe has arrived by
+/// time t" questions.
+pub fn bytes_by(
+    age: SimDuration,
+    start: SimTime,
+    cfg: TcpConfig,
+    avail: &mut dyn BandwidthProcess,
+) -> u64 {
+    cfg.validate();
+    let mut cap = TcpRateCap::new(cfg);
+    let end = start + age;
+    let mut now = start;
+    let mut done = 0.0f64;
+    while now < end {
+        let flow_age = now - start;
+        let rate = cap.cap(flow_age, done as u64).min(avail.rate_at(now));
+        let mut boundary = end;
+        if let Some(next_age) = cap.next_cap_change(flow_age) {
+            boundary = boundary.min(start + next_age);
+        }
+        if let Some(ch) = avail.next_change_after(now) {
+            boundary = boundary.min(ch);
+        }
+        if boundary <= now {
+            boundary = now + SimDuration::from_micros(1);
+        }
+        done += rate * (boundary - now).as_secs_f64();
+        now = boundary;
+    }
+    done as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_simnet::bandwidth::{ConstantProcess, PiecewiseProcess};
+
+    fn cfg(rtt_ms: u64) -> TcpConfig {
+        TcpConfig::for_rtt(SimDuration::from_millis(rtt_ms)).with_loss(0.0)
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        let mut p = ConstantProcess::new(1e6);
+        let r = transfer_time(
+            0,
+            SimTime::ZERO,
+            cfg(100),
+            &mut p,
+            SimDuration::from_secs(10),
+        )
+        .unwrap();
+        assert!(r.duration.is_zero());
+    }
+
+    #[test]
+    fn large_transfer_approaches_bottleneck() {
+        // 64 KiB window / 100 ms RTT = 655 KB/s window bound; link 10
+        // MB/s → TCP-bound. 50 MB at ~655 KB/s ≈ 76 s.
+        let mut p = ConstantProcess::new(10e6);
+        let r = transfer_time(
+            50_000_000,
+            SimTime::ZERO,
+            cfg(100),
+            &mut p,
+            SimDuration::from_secs(600),
+        )
+        .unwrap();
+        let expect = cfg(100).window_rate();
+        assert!(
+            (r.throughput - expect).abs() / expect < 0.02,
+            "thr {} vs {}",
+            r.throughput,
+            expect
+        );
+    }
+
+    #[test]
+    fn link_bound_when_slower_than_window() {
+        let mut p = ConstantProcess::new(50_000.0);
+        let r = transfer_time(
+            5_000_000,
+            SimTime::ZERO,
+            cfg(100),
+            &mut p,
+            SimDuration::from_secs(600),
+        )
+        .unwrap();
+        assert!(
+            (r.throughput - 50_000.0).abs() / 50_000.0 < 0.03,
+            "thr {}",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes() {
+        let mut prev = SimDuration::ZERO;
+        for &b in &[10_000u64, 100_000, 1_000_000, 10_000_000] {
+            let mut p = ConstantProcess::new(1e6);
+            let r = transfer_time(
+                b,
+                SimTime::ZERO,
+                cfg(80),
+                &mut p,
+                SimDuration::from_secs(600),
+            )
+            .unwrap();
+            assert!(r.duration > prev, "not monotone at {b}");
+            prev = r.duration;
+        }
+    }
+
+    #[test]
+    fn respects_availability_drop() {
+        // 1 MB/s for 5 s then 10 KB/s: a 10 MB transfer must slow down.
+        let mk = || {
+            PiecewiseProcess::new(vec![
+                (SimTime::ZERO, 1e6),
+                (SimTime::from_secs(5), 1e4),
+            ])
+        };
+        let big_window = cfg(10).with_recv_window(16 * 1024 * 1024);
+        let mut p = mk();
+        let r = transfer_time(
+            10_000_000,
+            SimTime::ZERO,
+            big_window,
+            &mut p,
+            SimDuration::from_secs(3600),
+        )
+        .unwrap();
+        // ~5 MB in the first 5 s (minus ramp), rest at 10 KB/s → ~500+ s.
+        assert!(r.duration.as_secs_f64() > 400.0, "{:?}", r);
+    }
+
+    #[test]
+    fn start_time_offsets_into_process_timeline() {
+        // Process is slow before t=100 s and fast after; starting late
+        // must be faster.
+        let mk = || {
+            PiecewiseProcess::new(vec![
+                (SimTime::ZERO, 1e4),
+                (SimTime::from_secs(100), 1e6),
+            ])
+        };
+        let c = cfg(50);
+        let mut p1 = mk();
+        let early = transfer_time(
+            1_000_000,
+            SimTime::ZERO,
+            c,
+            &mut p1,
+            SimDuration::from_secs(3600),
+        )
+        .unwrap();
+        let mut p2 = mk();
+        let late = transfer_time(
+            1_000_000,
+            SimTime::from_secs(100),
+            c,
+            &mut p2,
+            SimDuration::from_secs(3600),
+        )
+        .unwrap();
+        assert!(late.duration < early.duration);
+    }
+
+    #[test]
+    fn horizon_timeout_returns_none() {
+        let mut p = ConstantProcess::new(10.0);
+        let r = transfer_time(
+            1_000_000,
+            SimTime::ZERO,
+            cfg(100),
+            &mut p,
+            SimDuration::from_secs(10),
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn bytes_by_is_monotone_and_bounded() {
+        let c = cfg(100);
+        let mut prev = 0;
+        for secs in [0u64, 1, 2, 5, 10, 30] {
+            let mut p = ConstantProcess::new(1e5);
+            let b = bytes_by(SimDuration::from_secs(secs), SimTime::ZERO, c, &mut p);
+            assert!(b >= prev, "not monotone at {secs}");
+            assert!(b as f64 <= 1e5 * secs as f64 + 1.0, "over link capacity");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bytes_by_consistent_with_transfer_time() {
+        let c = cfg(80);
+        let mut p1 = ConstantProcess::new(2e5);
+        let r = transfer_time(
+            500_000,
+            SimTime::ZERO,
+            c,
+            &mut p1,
+            SimDuration::from_secs(600),
+        )
+        .unwrap();
+        let mut p2 = ConstantProcess::new(2e5);
+        let b = bytes_by(r.duration, SimTime::ZERO, c, &mut p2);
+        assert!(
+            (b as i64 - 500_000i64).unsigned_abs() < 2_000,
+            "b = {b}"
+        );
+    }
+}

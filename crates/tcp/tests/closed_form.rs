@@ -1,0 +1,100 @@
+//! The fluid TCP model against closed-form arithmetic.
+//!
+//! For a constant-rate link the transfer time decomposes exactly into
+//! startup + ramp + steady phases, each computable by hand from the
+//! quarter-RTT geometric ramp. These tests pin the model to that
+//! arithmetic so refactors cannot silently bend it.
+
+use ir_simnet::bandwidth::ConstantProcess;
+use ir_simnet::time::{SimDuration, SimTime};
+use ir_tcp::{transfer_time, TcpConfig, TcpRateCap};
+
+/// Closed-form transfer time for `bytes` on an infinitely fast link
+/// (TCP ceiling is the only constraint): walk the quarter-RTT sub-round
+/// rates exactly as the cap does.
+fn closed_form_secs(cfg: &TcpConfig, bytes: u64) -> f64 {
+    let mut cap = TcpRateCap::new(*cfg);
+    use ir_simnet::sim::RateCap;
+    let startup = cfg.startup.as_secs_f64();
+    let step = (cfg.rtt.as_micros() / 4).max(1) as f64 / 1e6;
+    let mut done = 0.0;
+    let mut t = startup;
+    let total = bytes as f64;
+    // Walk sub-rounds; each holds a constant rate.
+    for q in 0..10_000u64 {
+        let age = SimDuration::from_secs_f64(startup + q as f64 * step + step / 2.0);
+        let rate = cap.cap(age, done as u64);
+        if done + rate * step >= total {
+            return t + (total - done) / rate;
+        }
+        done += rate * step;
+        t += step;
+    }
+    panic!("did not converge");
+}
+
+#[test]
+fn model_matches_closed_form_on_fast_link() {
+    for rtt_ms in [40u64, 100, 250] {
+        for bytes in [50_000u64, 102_400, 1_000_000] {
+            let cfg = TcpConfig::for_rtt(SimDuration::from_millis(rtt_ms)).with_loss(0.0);
+            let mut link = ConstantProcess::new(1e9); // never the constraint
+            let measured = transfer_time(
+                bytes,
+                SimTime::ZERO,
+                cfg,
+                &mut link,
+                SimDuration::from_secs(3600),
+            )
+            .unwrap()
+            .duration
+            .as_secs_f64();
+            let expected = closed_form_secs(&cfg, bytes);
+            assert!(
+                (measured - expected).abs() < 1e-3 * expected.max(0.1),
+                "rtt {rtt_ms}ms bytes {bytes}: measured {measured:.4}s vs closed-form {expected:.4}s"
+            );
+        }
+    }
+}
+
+#[test]
+fn steady_phase_is_window_rate_exactly() {
+    // Once the ramp converges, added bytes cost exactly 1/window_rate
+    // seconds per byte.
+    let cfg = TcpConfig::for_rtt(SimDuration::from_millis(100)).with_loss(0.0);
+    let w = cfg.window_rate();
+    let run = |bytes: u64| {
+        let mut link = ConstantProcess::new(1e9);
+        transfer_time(bytes, SimTime::ZERO, cfg, &mut link, SimDuration::from_secs(3600))
+            .unwrap()
+            .duration
+            .as_secs_f64()
+    };
+    let t1 = run(5_000_000);
+    let t2 = run(10_000_000);
+    let marginal = (t2 - t1) / 5_000_000.0;
+    assert!(
+        (marginal - 1.0 / w).abs() < 1e-9,
+        "marginal {marginal} vs 1/window {}",
+        1.0 / w
+    );
+}
+
+#[test]
+fn slow_link_time_is_bytes_over_rate_plus_overheads() {
+    // When the link rate is far below the TCP ceiling, total time ≈
+    // startup + short ramp + bytes/rate; bound the overhead tightly.
+    let cfg = TcpConfig::for_rtt(SimDuration::from_millis(80)).with_loss(0.0);
+    let rate = 50_000.0;
+    let bytes = 2_000_000u64;
+    let mut link = ConstantProcess::new(rate);
+    let t = transfer_time(bytes, SimTime::ZERO, cfg, &mut link, SimDuration::from_secs(3600))
+        .unwrap()
+        .duration
+        .as_secs_f64();
+    let floor = bytes as f64 / rate;
+    assert!(t >= floor, "cannot beat the link");
+    // Startup 0.12 s + ramp-to-50KBps (~couple RTTs of deficit).
+    assert!(t < floor + 1.0, "overhead too large: {t} vs floor {floor}");
+}

@@ -1,0 +1,111 @@
+//! Property tests for the TCP model: monotonicity and consistency of
+//! the transfer-time integration, PFTK bounds, ramp sanity.
+
+use ir_simnet::bandwidth::ConstantProcess;
+use ir_simnet::sim::RateCap;
+use ir_simnet::time::{SimDuration, SimTime};
+use ir_tcp::{bytes_by, pftk_rate, transfer_time, TcpConfig, TcpRateCap};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = TcpConfig> {
+    (5u64..400, 0.0f64..0.2, 16u32..512).prop_map(|(rtt_ms, loss, win_kb)| {
+        TcpConfig::for_rtt(SimDuration::from_millis(rtt_ms))
+            .with_loss(loss)
+            .with_recv_window(win_kb * 1024)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pftk_bounded_by_window_rate(cfg in arb_cfg()) {
+        let r = pftk_rate(&cfg);
+        prop_assert!(r > 0.0);
+        prop_assert!(r <= cfg.window_rate() + 1e-9);
+    }
+
+    #[test]
+    fn cap_never_exceeds_steady(cfg in arb_cfg(), ages in prop::collection::vec(0u64..120_000, 1..20)) {
+        let mut cap = TcpRateCap::new(cfg);
+        let steady = cap.steady_rate();
+        for &ms in &ages {
+            let c = cap.cap(SimDuration::from_millis(ms), 0);
+            prop_assert!(c <= steady + 1e-9);
+            prop_assert!(c >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cap_is_monotone_in_age(cfg in arb_cfg()) {
+        let mut cap = TcpRateCap::new(cfg);
+        let mut prev = -1.0;
+        for ms in (0..30_000).step_by(97) {
+            let c = cap.cap(SimDuration::from_millis(ms), 0);
+            prop_assert!(c + 1e-9 >= prev, "cap decreased at {ms} ms");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes(
+        cfg in arb_cfg(),
+        rate in 1e4f64..1e7,
+        b1 in 1u64..5_000_000,
+        extra in 1u64..5_000_000,
+    ) {
+        let horizon = SimDuration::from_secs(100_000);
+        let mut p1 = ConstantProcess::new(rate);
+        let t1 = transfer_time(b1, SimTime::ZERO, cfg, &mut p1, horizon).unwrap();
+        let mut p2 = ConstantProcess::new(rate);
+        let t2 = transfer_time(b1 + extra, SimTime::ZERO, cfg, &mut p2, horizon).unwrap();
+        prop_assert!(t2.duration >= t1.duration);
+    }
+
+    #[test]
+    fn throughput_below_both_bounds(
+        cfg in arb_cfg(),
+        rate in 1e4f64..1e7,
+        bytes in 100_000u64..5_000_000,
+    ) {
+        let mut p = ConstantProcess::new(rate);
+        let r = transfer_time(bytes, SimTime::ZERO, cfg, &mut p, SimDuration::from_secs(100_000)).unwrap();
+        let steady = TcpRateCap::new(cfg).steady_rate();
+        prop_assert!(r.throughput <= rate + 1.0, "above link rate");
+        prop_assert!(r.throughput <= steady + 1.0, "above TCP ceiling");
+    }
+
+    #[test]
+    fn faster_links_never_slower(
+        cfg in arb_cfg(),
+        rate in 1e4f64..1e6,
+        factor in 1.0f64..50.0,
+        bytes in 50_000u64..2_000_000,
+    ) {
+        let horizon = SimDuration::from_secs(100_000);
+        let mut slow = ConstantProcess::new(rate);
+        let mut fast = ConstantProcess::new(rate * factor);
+        let ts = transfer_time(bytes, SimTime::ZERO, cfg, &mut slow, horizon).unwrap();
+        let tf = transfer_time(bytes, SimTime::ZERO, cfg, &mut fast, horizon).unwrap();
+        prop_assert!(tf.duration <= ts.duration);
+    }
+
+    #[test]
+    fn bytes_by_monotone_and_consistent(
+        cfg in arb_cfg(),
+        rate in 1e4f64..1e6,
+        secs in prop::collection::vec(0u64..600, 2..8),
+    ) {
+        let mut sorted = secs.clone();
+        sorted.sort_unstable();
+        let mut prev = 0;
+        for &s in &sorted {
+            let mut p = ConstantProcess::new(rate);
+            let b = bytes_by(SimDuration::from_secs(s), SimTime::ZERO, cfg, &mut p);
+            prop_assert!(b >= prev);
+            // Never more than the raw link could carry.
+            prop_assert!(b as f64 <= rate * s as f64 + 1.0);
+            prev = b;
+        }
+    }
+}

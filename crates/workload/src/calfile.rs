@@ -1,0 +1,193 @@
+//! Calibration file I/O — a minimal `key = value` format.
+//!
+//! Lets users sweep calibrations from the command line without adding a
+//! serialization-format dependency: every [`Calibration`] field is a
+//! line, arrays are comma-separated, `#` starts a comment.
+
+use crate::scenario::Calibration;
+
+/// Serializes a calibration to the `key = value` format.
+pub fn to_kv(cal: &Calibration) -> String {
+    let arr = |a: &[f64; 3]| format!("{},{},{}", a[0], a[1], a[2]);
+    let pair = |p: (f64, f64)| format!("{},{}", p.0, p.1);
+    let mut s = String::from("# indirect-routing calibration (see DESIGN.md §5)\n");
+    let mut kv = |k: &str, v: String| {
+        s.push_str(k);
+        s.push_str(" = ");
+        s.push_str(&v);
+        s.push('\n');
+    };
+    kv("low_mbps", pair(cal.low_mbps));
+    kv("med_mbps", pair(cal.med_mbps));
+    kv("high_mbps", pair(cal.high_mbps));
+    kv("frac_medium", cal.frac_medium.to_string());
+    kv("frac_high", cal.frac_high.to_string());
+    kv("var_frac_low_med", cal.var_frac_low_med.to_string());
+    kv("var_frac_high", cal.var_frac_high.to_string());
+    kv("stable_levels", arr(&cal.stable_levels));
+    kv("variable_levels", arr(&cal.variable_levels));
+    kv("high_variable_levels", arr(&cal.high_variable_levels));
+    kv("stable_hold_secs", arr(&cal.stable_hold_secs));
+    kv("variable_hold_secs", arr(&cal.variable_hold_secs));
+    kv("stable_noise", cal.stable_noise.to_string());
+    kv("variable_noise", cal.variable_noise.to_string());
+    kv("overlay_median_mbps", cal.overlay_median_mbps.to_string());
+    kv("access_headroom_median", cal.access_headroom_median.to_string());
+    kv("access_headroom_sigma", cal.access_headroom_sigma.to_string());
+    kv("relay_quality_sigma", cal.relay_quality_sigma.to_string());
+    kv("pair_sigma", cal.pair_sigma.to_string());
+    kv("overlay_phi", cal.overlay_phi.to_string());
+    kv("overlay_sigma", cal.overlay_sigma.to_string());
+    kv("overlay_tick_secs", cal.overlay_tick_secs.to_string());
+    kv("jump_arrival_secs", cal.jump_arrival_secs.to_string());
+    kv("jump_duration_secs", cal.jump_duration_secs.to_string());
+    kv("jump_factor", cal.jump_factor.to_string());
+    kv("relay_server_mbps", pair(cal.relay_server_mbps));
+    s
+}
+
+/// Parse error: which line and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the `key = value` format. Unknown keys error (typos must not
+/// silently no-op); missing keys keep their default.
+pub fn from_kv(input: &str) -> Result<Calibration, ParseError> {
+    let mut cal = Calibration::default();
+    for (ln, raw) in input.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("expected `key = value`, got {line:?}"),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        let f = |v: &str| -> Result<f64, ParseError> {
+            v.trim()
+                .parse()
+                .map_err(|_| err(format!("bad number {v:?}")))
+        };
+        let pair = |v: &str| -> Result<(f64, f64), ParseError> {
+            let parts: Vec<&str> = v.split(',').collect();
+            if parts.len() != 2 {
+                return Err(err(format!("expected two numbers, got {v:?}")));
+            }
+            Ok((f(parts[0])?, f(parts[1])?))
+        };
+        let arr = |v: &str| -> Result<[f64; 3], ParseError> {
+            let parts: Vec<&str> = v.split(',').collect();
+            if parts.len() != 3 {
+                return Err(err(format!("expected three numbers, got {v:?}")));
+            }
+            Ok([f(parts[0])?, f(parts[1])?, f(parts[2])?])
+        };
+        match key {
+            "low_mbps" => cal.low_mbps = pair(value)?,
+            "med_mbps" => cal.med_mbps = pair(value)?,
+            "high_mbps" => cal.high_mbps = pair(value)?,
+            "frac_medium" => cal.frac_medium = f(value)?,
+            "frac_high" => cal.frac_high = f(value)?,
+            "var_frac_low_med" => cal.var_frac_low_med = f(value)?,
+            "var_frac_high" => cal.var_frac_high = f(value)?,
+            "stable_levels" => cal.stable_levels = arr(value)?,
+            "variable_levels" => cal.variable_levels = arr(value)?,
+            "high_variable_levels" => cal.high_variable_levels = arr(value)?,
+            "stable_hold_secs" => cal.stable_hold_secs = arr(value)?,
+            "variable_hold_secs" => cal.variable_hold_secs = arr(value)?,
+            "stable_noise" => cal.stable_noise = f(value)?,
+            "variable_noise" => cal.variable_noise = f(value)?,
+            "overlay_median_mbps" => cal.overlay_median_mbps = f(value)?,
+            "access_headroom_median" => cal.access_headroom_median = f(value)?,
+            "access_headroom_sigma" => cal.access_headroom_sigma = f(value)?,
+            "relay_quality_sigma" => cal.relay_quality_sigma = f(value)?,
+            "pair_sigma" => cal.pair_sigma = f(value)?,
+            "overlay_phi" => cal.overlay_phi = f(value)?,
+            "overlay_sigma" => cal.overlay_sigma = f(value)?,
+            "overlay_tick_secs" => cal.overlay_tick_secs = f(value)?,
+            "jump_arrival_secs" => cal.jump_arrival_secs = f(value)?,
+            "jump_duration_secs" => cal.jump_duration_secs = f(value)?,
+            "jump_factor" => cal.jump_factor = f(value)?,
+            "relay_server_mbps" => cal.relay_server_mbps = pair(value)?,
+            other => {
+                return Err(err(format!("unknown key {other:?}")));
+            }
+        }
+    }
+    Ok(cal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_identity() {
+        let cal = Calibration::default();
+        let text = to_kv(&cal);
+        let back = from_kv(&text).unwrap();
+        assert_eq!(cal, back);
+    }
+
+    #[test]
+    fn partial_file_keeps_defaults() {
+        let cal = from_kv("overlay_median_mbps = 2.5\n# comment\n").unwrap();
+        assert_eq!(cal.overlay_median_mbps, 2.5);
+        assert_eq!(cal.pair_sigma, Calibration::default().pair_sigma);
+    }
+
+    #[test]
+    fn arrays_and_pairs_parse() {
+        let cal = from_kv("stable_levels = 0.5, 1.0, 1.5\nlow_mbps = 0.2,0.9\n").unwrap();
+        assert_eq!(cal.stable_levels, [0.5, 1.0, 1.5]);
+        assert_eq!(cal.low_mbps, (0.2, 0.9));
+    }
+
+    #[test]
+    fn unknown_key_errors_with_line() {
+        let e = from_kv("nope = 1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown key"));
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let e = from_kv("\n\nfrac_high = banana\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bad number"));
+    }
+
+    #[test]
+    fn malformed_line_errors() {
+        let e = from_kv("just words\n").unwrap_err();
+        assert!(e.message.contains("key = value"));
+    }
+
+    #[test]
+    fn comments_and_inline_comments_ignored() {
+        let cal = from_kv("# header\njump_factor = 0.4 # drop to 40%\n").unwrap();
+        assert_eq!(cal.jump_factor, 0.4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for scenario construction: invariants must hold for
+//! any seed and any roster subset.
+
+use ir_workload::{build, roster, Calibration, Category, MBPS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scenario_invariants_hold_for_any_seed(
+        seed in any::<u64>(),
+        n_clients in 1usize..6,
+        n_relays in 1usize..6,
+        n_servers in 1usize..4,
+    ) {
+        let sc = build(
+            seed,
+            &roster::CLIENTS[..n_clients],
+            &roster::INTERMEDIATES[..n_relays],
+            &roster::SERVERS[..n_servers],
+            Calibration::default(),
+            false,
+        );
+        // Exact link inventory.
+        prop_assert_eq!(
+            sc.network.topology().link_count(),
+            n_clients * n_servers + n_clients * n_relays + n_relays * n_servers
+        );
+        // Every client profiled, in its band, with a positive rate.
+        for &c in &sc.clients {
+            let p = sc.profile(c);
+            prop_assert!(p.base_rate > 0.0);
+            let mbps = p.base_rate / MBPS;
+            match p.category {
+                Category::Low => prop_assert!(mbps <= 1.5),
+                Category::Medium => prop_assert!(mbps > 1.5 && mbps <= 3.0),
+                Category::High => prop_assert!(mbps > 3.0),
+            }
+        }
+        // Relay qualities positive and finite.
+        for q in sc.relay_quality.values() {
+            prop_assert!(*q > 0.0 && q.is_finite());
+        }
+        // Every path the experiments need resolves.
+        for &c in &sc.clients {
+            for &s in &sc.servers {
+                prop_assert!(ir_core::PathSpec::direct(c, s)
+                    .resolve(sc.network.topology())
+                    .is_some());
+                for &v in &sc.relays {
+                    prop_assert!(ir_core::PathSpec::indirect(c, s, v)
+                        .resolve(sc.network.topology())
+                        .is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_low_med_never_yields_high(seed in any::<u64>()) {
+        let sc = build(
+            seed,
+            &roster::SELECTION_CLIENTS[..2],
+            &roster::INTERMEDIATES[..3],
+            &roster::SERVERS[..1],
+            Calibration::default(),
+            true,
+        );
+        for &c in &sc.clients {
+            prop_assert_ne!(sc.profile(c).category, Category::High);
+        }
+    }
+
+    #[test]
+    fn link_rates_stay_positive_over_study_window(seed in any::<u64>()) {
+        use ir_simnet::time::{SimDuration, SimTime};
+        use ir_simnet::tracer::trace_link;
+        let sc = build(
+            seed,
+            &roster::CLIENTS[..2],
+            &roster::INTERMEDIATES[..2],
+            &roster::SERVERS[..1],
+            Calibration::default(),
+            false,
+        );
+        for l in 0..sc.network.topology().link_count() as u32 {
+            let tr = trace_link(
+                &sc.network,
+                ir_simnet::topology::LinkId(l),
+                SimTime::ZERO,
+                SimTime::from_secs(36_000),
+                SimDuration::from_secs(1800),
+            );
+            prop_assert!(tr.rates.iter().all(|&r| r >= ir_simnet::bandwidth::MIN_RATE));
+        }
+    }
+}

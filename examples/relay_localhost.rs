@@ -1,0 +1,62 @@
+//! Real sockets: the indirect-routing system on loopback.
+//!
+//! Starts an origin server and three relay daemons with token-bucket
+//! shapers emulating heterogeneous path rates, then runs probed
+//! downloads with genuine TCP connections and HTTP range requests —
+//! the same protocol the simulator studies, exercised end to end.
+//!
+//! ```text
+//! cargo run --release --example relay_localhost
+//! ```
+
+use indirect_routing::relay::{ChosenPath, HarnessSpec, MiniPlanetLab, RateSchedule};
+use std::time::Duration;
+
+const KB: f64 = 1000.0;
+
+fn main() {
+    // Direct path: 180 KB/s that collapses to 50 KB/s after 4 seconds.
+    // Relays: one poor (70 KB/s), one decent (240 KB/s), one good but
+    // jittery (starts at 400 KB/s, dips at t = 6 s).
+    let lab = MiniPlanetLab::start(HarnessSpec {
+        content_len: 600_000,
+        direct: RateSchedule::piecewise(vec![
+            (Duration::ZERO, 180.0 * KB),
+            (Duration::from_secs(4), 50.0 * KB),
+        ]),
+        relays: vec![
+            RateSchedule::constant(70.0 * KB),
+            RateSchedule::constant(240.0 * KB),
+            RateSchedule::piecewise(vec![
+                (Duration::ZERO, 400.0 * KB),
+                (Duration::from_secs(6), 90.0 * KB),
+            ]),
+        ],
+    })
+    .expect("harness start");
+
+    println!("origin (direct path) at {}", lab.direct_addr());
+    for (i, a) in lab.relay_addrs().iter().enumerate() {
+        println!("relay {i} at {a}");
+    }
+    println!();
+
+    // The paper's methodology over real bytes: each round runs the
+    // selecting process and a direct-only control concurrently.
+    let rounds = lab
+        .run_study(60_000, 4, Duration::from_secs(2))
+        .expect("study");
+    for (i, r) in rounds.iter().enumerate() {
+        let choice = match r.choice {
+            ChosenPath::Direct => "direct".to_string(),
+            ChosenPath::Relay(k) => format!("relay {k}"),
+        };
+        println!(
+            "round {i}: chose {choice:8}  selected {:6.0} KB/s  control {:6.0} KB/s  improvement {:+5.0}%  content {}",
+            r.selected_throughput / KB,
+            r.control_throughput / KB,
+            r.improvement() * 100.0,
+            if r.body_ok { "verified" } else { "CORRUPT" }
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration: everything is a pure function of its seed.
+
+use indirect_routing::core::SessionConfig;
+use indirect_routing::experiments::runner;
+use indirect_routing::workload;
+
+fn records_digest(data: &runner::MeasurementData) -> Vec<(u64, u64, bool)> {
+    data.all_records()
+        .map(|r| {
+            (
+                r.direct_throughput.to_bits(),
+                r.selected_throughput.to_bits(),
+                r.chose_indirect(),
+            )
+        })
+        .collect()
+}
+
+fn run(seed: u64) -> runner::MeasurementData {
+    let sc = workload::build(
+        seed,
+        &workload::roster::CLIENTS[..4],
+        &workload::roster::INTERMEDIATES[..4],
+        &workload::roster::SERVERS[..1],
+        workload::Calibration::default(),
+        false,
+    );
+    runner::run_measurement_study(
+        &sc,
+        0,
+        workload::Schedule::measurement_study().spread(8),
+        SessionConfig::paper_defaults(),
+    )
+}
+
+#[test]
+fn same_seed_bitwise_identical_despite_parallelism() {
+    // The study runner is multi-threaded; results must not depend on
+    // scheduling.
+    let a = records_digest(&run(42));
+    let b = records_digest(&run(42));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = records_digest(&run(42));
+    let b = records_digest(&run(43));
+    assert_ne!(a, b);
+}
+
+#[test]
+fn scenario_profiles_are_seed_deterministic() {
+    let a = workload::planetlab_study(7);
+    let b = workload::planetlab_study(7);
+    assert_eq!(a.profiles, b.profiles);
+    assert_eq!(a.relay_quality, b.relay_quality);
+}
+
+#[test]
+fn selection_study_deterministic() {
+    let mk = || {
+        let sc = workload::selection_study(9);
+        let data = runner::run_selection_study(
+            &sc,
+            &[1, 3],
+            workload::Schedule::selection_study().spread(10),
+            SessionConfig::paper_defaults(),
+            9,
+        );
+        data.runs
+            .iter()
+            .flat_map(|r| r.records.iter())
+            .map(|r| (r.selected_throughput.to_bits(), r.candidates.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(mk(), mk());
+}

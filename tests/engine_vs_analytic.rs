@@ -1,0 +1,82 @@
+//! Integration: the flow engine and the standalone analytic
+//! transfer-time integration must agree for a solo flow — they are two
+//! implementations of the same fluid model.
+
+use indirect_routing::simnet::prelude::*;
+use indirect_routing::tcp::{transfer_time, TcpConfig, TcpRateCap};
+
+fn world_with(process: Box<dyn BandwidthProcess>) -> (Network, Route) {
+    let mut topo = Topology::new();
+    let a = topo.add_node("a", NodeKind::Client);
+    let b = topo.add_node("b", NodeKind::Server);
+    let l = topo.add_link(a, b, SimDuration::from_millis(50));
+    let route = topo.route(&[a, b]).unwrap();
+    let mut net = Network::new(topo, 1.0);
+    net.set_link_process(l, process);
+    (net, route)
+}
+
+fn check_agreement(process_a: Box<dyn BandwidthProcess>, mut process_b: Box<dyn BandwidthProcess>, bytes: u64) {
+    let cfg = TcpConfig::for_rtt(SimDuration::from_millis(100)).with_loss(0.0);
+    let (mut net, route) = world_with(process_a);
+    let id = net.start_flow(route, bytes, Box::new(TcpRateCap::new(cfg)));
+    let engine = net
+        .run_flow(id, SimTime::from_secs(100_000))
+        .expect("engine finished");
+
+    let analytic = transfer_time(
+        bytes,
+        SimTime::ZERO,
+        cfg,
+        process_b.as_mut(),
+        SimDuration::from_secs(100_000),
+    )
+    .expect("analytic finished");
+
+    let e = engine.finished.as_secs_f64();
+    let a = analytic.duration.as_secs_f64();
+    assert!(
+        (e - a).abs() <= 1e-3 * a.max(1.0),
+        "engine {e}s vs analytic {a}s for {bytes} bytes"
+    );
+}
+
+#[test]
+fn agree_on_constant_link() {
+    for bytes in [10_000u64, 100_000, 2_000_000] {
+        check_agreement(
+            Box::new(ConstantProcess::new(150_000.0)),
+            Box::new(ConstantProcess::new(150_000.0)),
+            bytes,
+        );
+    }
+}
+
+#[test]
+fn agree_on_piecewise_link() {
+    let mk = || {
+        Box::new(PiecewiseProcess::new(vec![
+            (SimTime::ZERO, 50_000.0),
+            (SimTime::from_secs(5), 400_000.0),
+            (SimTime::from_secs(12), 20_000.0),
+        ]))
+    };
+    for bytes in [30_000u64, 500_000, 3_000_000] {
+        check_agreement(mk(), mk(), bytes);
+    }
+}
+
+#[test]
+fn agree_on_stochastic_link() {
+    let mk = || {
+        Box::new(RegimeSwitchingProcess::new(
+            vec![40_000.0, 120_000.0, 300_000.0],
+            SimDuration::from_secs(30),
+            0.2,
+            99,
+        ))
+    };
+    for bytes in [80_000u64, 1_000_000] {
+        check_agreement(mk(), mk(), bytes);
+    }
+}

@@ -1,0 +1,163 @@
+//! Integration: the paper's qualitative shapes must hold on scaled-down
+//! studies with a fixed seed.
+//!
+//! These tests are the contract of the reproduction: who wins, by
+//! roughly what factor, and where the crossovers are — not absolute
+//! numbers (see EXPERIMENTS.md).
+
+use indirect_routing::experiments::{
+    fig1, fig3, fig4, fig5, measurement_reports, runner, selection_reports, table1, table3,
+    Scale,
+};
+use indirect_routing::workload;
+
+fn small_measurement() -> runner::MeasurementData {
+    // 8 clients × 8 relays keeps this under a second while leaving
+    // enough statistics for shape checks.
+    let sc = workload::build(
+        2007,
+        &workload::roster::CLIENTS[..8],
+        &workload::roster::INTERMEDIATES[..8],
+        &workload::roster::SERVERS[..1],
+        workload::Calibration::default(),
+        false,
+    );
+    runner::run_measurement_study(
+        &sc,
+        0,
+        workload::Schedule::measurement_study().spread(20),
+        indirect_routing::core::SessionConfig::paper_defaults(),
+    )
+}
+
+fn small_selection() -> runner::SelectionData {
+    let sc = workload::selection_study(2007);
+    runner::run_selection_study(
+        &sc,
+        &[1, 5, 10, 35],
+        workload::Schedule::selection_study().spread(60),
+        indirect_routing::core::SessionConfig::paper_defaults(),
+        2007,
+    )
+}
+
+#[test]
+fn fig1_improvement_distribution_shape() {
+    let data = small_measurement();
+    let imps = data.indirect_improvements_pct();
+    assert!(imps.len() > 100, "too few indirect transfers: {}", imps.len());
+    let s = indirect_routing::stats::Summary::of(&imps).unwrap();
+    // Paper: mean 49%, median 37%. Loose bands — shape, not numbers.
+    assert!(s.mean > 10.0 && s.mean < 110.0, "mean {}", s.mean);
+    assert!(s.median > 5.0 && s.median < 90.0, "median {}", s.median);
+    let e = indirect_routing::stats::Ecdf::new(&imps);
+    // Paper: 84% in [0,100], 12% penalties.
+    assert!(e.mass_in(0.0, 100.0) > 0.55, "band mass {}", e.mass_in(0.0, 100.0));
+    assert!(e.below(0.0) < 0.30, "penalties {}", e.below(0.0));
+}
+
+#[test]
+fn fig3_improvement_inversely_related_to_throughput() {
+    let data = small_measurement();
+    let pts = fig3::scatter(&data);
+    assert!(pts.len() > 50);
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    let r = indirect_routing::stats::pearson(&xs, &ys);
+    assert!(r < -0.05, "no inverse relation: r = {r}");
+    let ts = indirect_routing::stats::theil_sen(&xs, &ys).unwrap();
+    assert!(ts < 0.0, "Theil-Sen slope {ts} not negative");
+}
+
+#[test]
+fn fig4_no_systematic_trend_in_indirect_throughput() {
+    let data = small_measurement();
+    let report = fig4::report(&data);
+    assert!(report.all_pass(), "{}", report.render());
+}
+
+#[test]
+fn table1_filters_cut_penalties_monotonically() {
+    let data = small_measurement();
+    let classes = table1::classify(&data);
+    let all = table1::penalty_stats(&data, |_| true);
+    let filtered = table1::penalty_stats(&data, |c| {
+        classes.category.get(&c) != Some(&workload::Category::High)
+            && classes.variability.get(&c) != Some(&workload::Variability::Variable)
+    });
+    assert!(filtered.population < all.population, "filter removed nothing");
+    // Both the frequency and the magnitude of penalties shrink (or at
+    // worst stay put) once High/variable clients are excluded.
+    assert!(
+        filtered.points_pct <= all.points_pct + 1.0,
+        "filtered {} vs all {}",
+        filtered.points_pct,
+        all.points_pct
+    );
+    assert!(
+        filtered.avg_pct <= all.avg_pct + 1.0,
+        "filtered avg {} vs all {}",
+        filtered.avg_pct,
+        all.avg_pct
+    );
+}
+
+#[test]
+fn fig5_every_relay_sees_real_utilization() {
+    let data = small_measurement();
+    let report = fig5::report(&data);
+    assert!(report.all_pass(), "{}", report.render());
+}
+
+#[test]
+fn fig6_curve_rises_then_plateaus() {
+    let data = small_selection();
+    for &client in &data.clients {
+        let lo = data.mean_improvement_pct(client, 1).unwrap();
+        let knee = data.mean_improvement_pct(client, 10).unwrap();
+        let hi = data.mean_improvement_pct(client, 35).unwrap();
+        assert!(knee > lo, "{}: k=10 ({knee}) !> k=1 ({lo})", data.name(client));
+        // Plateau: k=10 already captures most of the full-set value.
+        assert!(
+            knee > 0.6 * hi,
+            "{}: knee {knee} far below full-set {hi}",
+            data.name(client)
+        );
+    }
+}
+
+#[test]
+fn table3_utilization_correlates_with_improvement() {
+    let data = small_selection();
+    let rows = table3::rows_for(&data, data.clients[0]);
+    assert!(rows.len() >= 5, "only {} relays ever chosen", rows.len());
+    let xs: Vec<f64> = rows.iter().map(|r| r.utilization_pct).collect();
+    let ys: Vec<f64> = rows
+        .iter()
+        .map(|r| r.improvement_pct)
+        .collect();
+    let rho = indirect_routing::stats::spearman(&xs, &ys);
+    assert!(rho > 0.0, "no positive correlation: {rho}");
+}
+
+#[test]
+fn full_quick_suite_all_checks_pass() {
+    // The authoritative gate: every paper-vs-measured band in every
+    // report must hold at quick scale with the default seed.
+    let m = runner::measurement_study_default(2007, Scale::Quick);
+    for report in measurement_reports(&m) {
+        assert!(report.all_pass(), "{}", report.render());
+    }
+    let s = runner::selection_study_default(2007, Scale::Quick, &[1, 5, 10, 20, 35]);
+    for report in selection_reports(&s) {
+        assert!(report.all_pass(), "{}", report.render());
+    }
+}
+
+#[test]
+fn fig1_report_summarises_expected_population() {
+    let data = small_measurement();
+    let report = fig1::report(&data);
+    assert!(report.render().contains("transfers where the indirect path was chosen"));
+    assert_eq!(report.id, "fig1");
+}

@@ -1,0 +1,125 @@
+//! Integration: the real-socket overlay implements the same protocol
+//! the simulator studies — probe race over shaped paths, remainder on
+//! the warm winner, byte-exact reassembly.
+
+use indirect_routing::relay::{
+    body_byte, ChosenPath, ClientConfig, HarnessSpec, MiniPlanetLab, OriginConfig, OriginServer,
+    RateSchedule, Relay, RelayConfig,
+};
+use std::time::Duration;
+
+const KB: f64 = 1000.0;
+
+#[test]
+fn probed_download_picks_best_of_three_relays() {
+    let lab = MiniPlanetLab::start(HarnessSpec {
+        content_len: 300_000,
+        direct: RateSchedule::constant(120.0 * KB),
+        relays: vec![
+            RateSchedule::constant(60.0 * KB),
+            RateSchedule::constant(700.0 * KB),
+            RateSchedule::constant(200.0 * KB),
+        ],
+    })
+    .unwrap();
+    let out = lab.run_download(50_000).unwrap();
+    assert_eq!(out.choice, ChosenPath::Relay(1));
+    assert!(out.body_ok);
+    assert!(out.throughput > 150.0 * KB, "thr {:.0}", out.throughput);
+}
+
+#[test]
+fn direct_kept_when_fastest() {
+    let lab = MiniPlanetLab::start(HarnessSpec {
+        content_len: 200_000,
+        direct: RateSchedule::constant(900.0 * KB),
+        relays: vec![RateSchedule::constant(100.0 * KB)],
+    })
+    .unwrap();
+    let out = lab.run_download(40_000).unwrap();
+    assert_eq!(out.choice, ChosenPath::Direct);
+    assert!(out.body_ok);
+}
+
+#[test]
+fn misprediction_penalty_reproduced_with_real_bytes() {
+    // The paper's §3.1 failure mode, live: the direct path looks bad
+    // during the probe but recovers right after; the client is stuck
+    // with the mediocre relay and a measurably worse outcome than the
+    // direct path would have delivered.
+    let lab = MiniPlanetLab::start(HarnessSpec {
+        content_len: 500_000,
+        direct: RateSchedule::piecewise(vec![
+            (Duration::ZERO, 60.0 * KB),            // dip during the probe
+            (Duration::from_millis(900), 900.0 * KB), // recovery
+        ]),
+        relays: vec![RateSchedule::constant(180.0 * KB)],
+    })
+    .unwrap();
+    let out = lab.run_download(50_000).unwrap();
+    assert_eq!(out.choice, ChosenPath::Relay(0), "probe should catch the dip");
+    assert!(out.body_ok);
+    // The relay path delivers ~180 KB/s; the recovered direct path
+    // would have been ~5x that. The selection is a penalty.
+    assert!(
+        out.throughput < 400.0 * KB,
+        "expected a penalty outcome, got {:.0} B/s",
+        out.throughput
+    );
+}
+
+#[test]
+fn remainder_rides_warm_connection() {
+    // One relay only; verify the full body arrives intact and that two
+    // requests (probe + remainder) sufficed — implied by body_ok plus
+    // the known request pattern of `download`.
+    let origin_fast = OriginServer::start(OriginConfig::new(150_000)).unwrap();
+    let origin_direct = OriginServer::start(
+        OriginConfig::new(150_000).shaped(RateSchedule::constant(40.0 * KB)),
+    )
+    .unwrap();
+    let relay = Relay::start(RelayConfig::shaped(RateSchedule::constant(400.0 * KB))).unwrap();
+    let cfg = ClientConfig {
+        path: "/f".into(),
+        probe_bytes: 30_000,
+        total_bytes: 150_000,
+        timeout: Duration::from_secs(30),
+    };
+    let out = indirect_routing::relay::download(
+        origin_direct.addr(),
+        origin_fast.addr(),
+        &[relay.addr()],
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(out.choice, ChosenPath::Relay(0));
+    assert!(out.body_ok);
+}
+
+#[test]
+fn content_pattern_spans_probe_boundary() {
+    // Regression guard for off-by-one at the probe/remainder seam.
+    let x = 12_345u64;
+    assert_eq!(body_byte(x - 1), ((x - 1) % 251) as u8);
+    assert_eq!(body_byte(x), (x % 251) as u8);
+    let lab = MiniPlanetLab::start(HarnessSpec {
+        content_len: 40_000,
+        direct: RateSchedule::constant(500.0 * KB),
+        relays: vec![],
+    })
+    .unwrap();
+    let cfg = ClientConfig {
+        path: "/f".into(),
+        probe_bytes: x,
+        total_bytes: 40_000,
+        timeout: Duration::from_secs(20),
+    };
+    let out = indirect_routing::relay::download(
+        lab.direct_addr(),
+        lab.origin_for_relays(),
+        &[],
+        &cfg,
+    )
+    .unwrap();
+    assert!(out.body_ok, "seam corruption");
+}
