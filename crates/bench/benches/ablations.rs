@@ -47,8 +47,14 @@ fn quality(records: &[ir_core::TransferRecord]) -> (f64, f64) {
 fn ablation_probe_size(c: &mut Criterion) {
     let sc = scenario();
     let schedule = Schedule::selection_study().spread(60);
-    eprintln!("\n=== ablation: probe size x (client {}, k=5) ===", sc.name(sc.clients[0]));
-    eprintln!("{:>10} {:>12} {:>12}", "x (KB)", "mean impr %", "penalties %");
+    eprintln!(
+        "\n=== ablation: probe size x (client {}, k=5) ===",
+        sc.name(sc.clients[0])
+    );
+    eprintln!(
+        "{:>10} {:>12} {:>12}",
+        "x (KB)", "mean impr %", "penalties %"
+    );
     for x_kb in [10u64, 25, 50, 100, 200, 400] {
         let mut session = SessionConfig::paper_defaults();
         session.probe_bytes = x_kb * 1024;
@@ -86,12 +92,24 @@ fn ablation_policies(c: &mut Criterion) {
     let sc = scenario();
     let schedule = Schedule::selection_study().spread(120);
     let session = SessionConfig::paper_defaults();
-    eprintln!("\n=== ablation: selection policy (client {}) ===", sc.name(sc.clients[0]));
-    eprintln!("{:>30} {:>12} {:>12}", "policy", "mean impr %", "penalties %");
+    eprintln!(
+        "\n=== ablation: selection policy (client {}) ===",
+        sc.name(sc.clients[0])
+    );
+    eprintln!(
+        "{:>30} {:>12} {:>12}",
+        "policy", "mean impr %", "penalties %"
+    );
     let policies: Vec<(&str, Box<dyn SelectionPolicy>)> = vec![
-        ("static-single (first relay)", Box::new(StaticSingle(sc.relays[0]))),
+        (
+            "static-single (first relay)",
+            Box::new(StaticSingle(sc.relays[0])),
+        ),
         ("uniform random set k=5", Box::new(RandomSet::new(5, 7))),
-        ("utilization-weighted k=5", Box::new(UtilizationWeighted::new(5, 7))),
+        (
+            "utilization-weighted k=5",
+            Box::new(UtilizationWeighted::new(5, 7)),
+        ),
         ("epsilon-greedy 0.1", Box::new(EpsilonGreedy::new(0.1, 7))),
         ("ucb1", Box::new(Ucb1::new())),
     ];
@@ -168,7 +186,11 @@ fn ablation_predictors(c: &mut Criterion) {
             };
             let candidates = policy.candidates(&ctx);
             let paths: Vec<PathSpec> = std::iter::once(PathSpec::direct(client, server))
-                .chain(candidates.iter().map(|&v| PathSpec::indirect(client, server, v)))
+                .chain(
+                    candidates
+                        .iter()
+                        .map(|&v| PathSpec::indirect(client, server, v)),
+                )
                 .collect();
             // What a probe would measure, and the ground truth.
             let probe_rates: Vec<Option<f64>> = paths
@@ -233,8 +255,14 @@ fn ablation_file_size(c: &mut Criterion) {
     // converges to the path-rate ratio.
     let sc = scenario();
     let schedule = Schedule::selection_study().spread(60);
-    eprintln!("\n=== ablation: file size n (client {}, k=5, x=100KB) ===", sc.name(sc.clients[0]));
-    eprintln!("{:>10} {:>12} {:>12}", "n (MB)", "mean impr %", "penalties %");
+    eprintln!(
+        "\n=== ablation: file size n (client {}, k=5, x=100KB) ===",
+        sc.name(sc.clients[0])
+    );
+    eprintln!(
+        "{:>10} {:>12} {:>12}",
+        "n (MB)", "mean impr %", "penalties %"
+    );
     for n_mb in [0.25f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let mut session = SessionConfig::paper_defaults();
         session.file_bytes = (n_mb * 1024.0 * 1024.0) as u64;

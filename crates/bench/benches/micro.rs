@@ -75,7 +75,11 @@ fn flow_engine(c: &mut Criterion) {
                 .run_until_first_of(&[a, bflow], SimTime::from_secs(600))
                 .unwrap();
             let rem = net.start_flow(
-                if win.id == a { direct.clone() } else { indirect.clone() },
+                if win.id == a {
+                    direct.clone()
+                } else {
+                    indirect.clone()
+                },
                 2_000_000,
                 Box::new(TcpRateCap::new(cfg)),
             );

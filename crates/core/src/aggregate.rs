@@ -43,8 +43,7 @@ impl StudySummary {
         if records.is_empty() {
             return None;
         }
-        let chosen: Vec<&TransferRecord> =
-            records.iter().filter(|r| r.chose_indirect()).collect();
+        let chosen: Vec<&TransferRecord> = records.iter().filter(|r| r.chose_indirect()).collect();
         let imps: Vec<f64> = chosen
             .iter()
             .map(|r| r.improvement_pct())
@@ -54,8 +53,7 @@ impl StudySummary {
         let in_band = if imps.is_empty() {
             f64::NAN
         } else {
-            imps.iter().filter(|v| (0.0..=100.0).contains(*v)).count() as f64
-                / imps.len() as f64
+            imps.iter().filter(|v| (0.0..=100.0).contains(*v)).count() as f64 / imps.len() as f64
                 * 100.0
         };
         let penalties: Vec<f64> = chosen

@@ -37,11 +37,11 @@ pub mod transport;
 pub use aggregate::StudySummary;
 pub use path::PathSpec;
 pub use policy::{
-    DirectOnly, EpsilonGreedy, FullSet, RandomSet, SelectCtx, SelectionPolicy, StaticSingle,
-    Ucb1, UtilizationWeighted,
+    DirectOnly, EpsilonGreedy, FullSet, RandomSet, SelectCtx, SelectionPolicy, StaticSingle, Ucb1,
+    UtilizationWeighted,
 };
 pub use predictor::{EwmaBlend, FirstPortion, Predictor};
 pub use record::{improvement, TransferRecord, UtilizationTracker};
-pub use session::{run_session, ControlMode, ProbeMode, SessionConfig};
+pub use session::{run_session, run_session_traced, ControlMode, ProbeMode, SessionConfig};
 pub use sim_transport::{SimTransport, TcpDerivation};
 pub use transport::{Handle, RaceWin, Timing, Transport};

@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn describe_uses_names() {
         let (t, c, v, s) = topo();
-        assert_eq!(PathSpec::direct(c, s).describe(&t), "Berlin -> eBay (direct)");
+        assert_eq!(
+            PathSpec::direct(c, s).describe(&t),
+            "Berlin -> eBay (direct)"
+        );
         assert_eq!(
             PathSpec::indirect(c, s, v).describe(&t),
             "Berlin -> Texas -> eBay"

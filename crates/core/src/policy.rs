@@ -424,7 +424,7 @@ mod tests {
     fn epsilon_greedy_explores_then_exploits() {
         let full = nodes(&[1, 2, 3]);
         let mut p = EpsilonGreedy::new(0.0, 9); // pure exploit after init
-        // First three picks visit each arm once.
+                                                // First three picks visit each arm once.
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..3 {
             let c = p.candidates(&ctx(&full));
@@ -459,7 +459,9 @@ mod tests {
     #[test]
     fn bandits_handle_empty_full_set() {
         let full: Vec<NodeId> = Vec::new();
-        assert!(EpsilonGreedy::new(0.1, 1).candidates(&ctx(&full)).is_empty());
+        assert!(EpsilonGreedy::new(0.1, 1)
+            .candidates(&ctx(&full))
+            .is_empty());
         assert!(Ucb1::new().candidates(&ctx(&full)).is_empty());
     }
 }

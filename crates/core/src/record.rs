@@ -182,7 +182,13 @@ mod tests {
         NodeId(i)
     }
 
-    fn rec(client: u32, via: Option<u32>, candidates: &[u32], sel: f64, dir: f64) -> TransferRecord {
+    fn rec(
+        client: u32,
+        via: Option<u32>,
+        candidates: &[u32],
+        sel: f64,
+        dir: f64,
+    ) -> TransferRecord {
         let c = node(client);
         let s = node(99);
         TransferRecord {

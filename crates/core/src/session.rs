@@ -18,6 +18,8 @@ use crate::record::TransferRecord;
 use crate::transport::{Handle, Timing, Transport};
 use ir_simnet::time::SimDuration;
 use ir_simnet::topology::NodeId;
+use ir_telemetry::trace::{Event, EventKind};
+use ir_telemetry::Telemetry;
 
 /// How the probe phase decides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +106,36 @@ pub fn run_session(
     transfer_index: u64,
     cfg: &SessionConfig,
 ) -> TransferRecord {
+    run_session_traced(
+        transport,
+        policy,
+        predictor,
+        client,
+        server,
+        full_set,
+        transfer_index,
+        cfg,
+        None,
+    )
+}
+
+/// [`run_session`] with an optional telemetry handle. With `None` this
+/// is exactly `run_session`; with `Some` it additionally emits
+/// session-layer events (probe race, selection decision, fallback) and
+/// metrics. Telemetry is strictly observational — the returned record
+/// is identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn run_session_traced(
+    transport: &mut dyn Transport,
+    policy: &mut dyn SelectionPolicy,
+    predictor: &mut dyn Predictor,
+    client: NodeId,
+    server: NodeId,
+    full_set: &[NodeId],
+    transfer_index: u64,
+    cfg: &SessionConfig,
+    tel: Option<&Telemetry>,
+) -> TransferRecord {
     cfg.validate();
     let ctx = SelectCtx {
         client,
@@ -114,6 +146,15 @@ pub fn run_session(
     let candidates = policy.candidates(&ctx);
     let direct = PathSpec::direct(client, server);
     let t0 = transport.now();
+    if let Some(tel) = tel {
+        tel.metrics.counter("session_started", vec![]).inc();
+        tel.tracer.record(
+            Event::new(EventKind::SessionStart, t0.as_micros(), transfer_index)
+                .with_u64("client", client.0 as u64)
+                .with_u64("server", server.0 as u64)
+                .with_u64("candidates", candidates.len() as u64),
+        );
+    }
 
     // Control process: whole file on the direct path.
     let control = match cfg.control {
@@ -148,21 +189,31 @@ pub fn run_session(
             .iter()
             .map(|p| transport.begin(p, cfg.probe_bytes))
             .collect();
+        if let Some(tel) = tel {
+            tel.metrics.counter("session_probe_races", vec![]).inc();
+            tel.tracer.record(
+                Event::new(
+                    EventKind::ProbeStart,
+                    transport.now().as_micros(),
+                    transfer_index,
+                )
+                .with_u64("paths", handles.len() as u64)
+                .with_u64("probe_bytes", cfg.probe_bytes),
+            );
+        }
 
         let decision = match cfg.probe_mode {
-            ProbeMode::FirstToFinish => {
-                match transport.race(&handles, cfg.horizon) {
-                    Some(win) => {
-                        for (i, &h) in handles.iter().enumerate() {
-                            if i != win.index {
-                                transport.cancel(h);
-                            }
+            ProbeMode::FirstToFinish => match transport.race(&handles, cfg.horizon) {
+                Some(win) => {
+                    for (i, &h) in handles.iter().enumerate() {
+                        if i != win.index {
+                            transport.cancel(h);
                         }
-                        Some((paths[win.index], win.timing.throughput()))
                     }
-                    None => None,
+                    Some((paths[win.index], win.timing.throughput()))
                 }
-            }
+                None => None,
+            },
             ProbeMode::MeasureAll => {
                 let timings: Vec<Option<Timing>> = handles
                     .iter()
@@ -184,6 +235,30 @@ pub fn run_session(
 
         match decision {
             Some((path, probe_rate)) => {
+                if let Some(tel) = tel {
+                    let now_us = transport.now().as_micros();
+                    let mut won = Event::new(EventKind::ProbeWon, now_us, transfer_index)
+                        .with_str(
+                            "path",
+                            if path.is_indirect() {
+                                "indirect"
+                            } else {
+                                "direct"
+                            },
+                        )
+                        .with_f64("probe_rate", probe_rate);
+                    if let Some(via) = path.via {
+                        won = won.with_u64("via", via.0 as u64);
+                    }
+                    tel.tracer.record(won);
+                    if let Some(via) = path.via {
+                        tel.metrics.counter("session_path_switches", vec![]).inc();
+                        tel.tracer.record(
+                            Event::new(EventKind::PathSwitch, now_us, transfer_index)
+                                .with_u64("via", via.0 as u64),
+                        );
+                    }
+                }
                 // The remainder rides the winning probe's warm
                 // connection (another Range request, §2.1).
                 let rem = transport.begin_warm(&path, cfg.file_bytes - cfg.probe_bytes);
@@ -202,6 +277,16 @@ pub fn run_session(
                 // fall back to a direct transfer of the whole file.
                 for &h in &handles {
                     transport.cancel(h);
+                }
+                if let Some(tel) = tel {
+                    let now_us = transport.now().as_micros();
+                    tel.metrics.counter("session_probe_timeouts", vec![]).inc();
+                    tel.tracer
+                        .record(Event::new(EventKind::ProbeTimeout, now_us, transfer_index));
+                    tel.tracer.record(
+                        Event::new(EventKind::Retry, now_us, transfer_index)
+                            .with_str("fallback", "direct"),
+                    );
                 }
                 let h = transport.begin(&direct, cfg.file_bytes);
                 let ok = transport.finish(h, cfg.horizon).is_some();
@@ -249,6 +334,24 @@ pub fn run_session(
         selected_path_rate: path_rate,
         probe_timeout,
     };
+    if let Some(tel) = tel {
+        let wall_us = (t_end - t0).as_micros();
+        tel.metrics.counter("session_completed", vec![]).inc();
+        tel.metrics
+            .histogram("session_wall_us", vec![])
+            .record(wall_us);
+        tel.tracer.record(
+            Event::span(
+                EventKind::SessionComplete,
+                t0.as_micros(),
+                wall_us,
+                transfer_index,
+            )
+            .with_f64("improvement", record.improvement())
+            .with_f64("direct_bps", record.direct_throughput)
+            .with_f64("selected_bps", record.selected_throughput),
+        );
+    }
     policy.observe(&record);
     record
 }
@@ -338,7 +441,11 @@ mod tests {
         // With an isolated control, the direct throughput is the path's
         // clean rate (no probe contention), so improvement is measured
         // against an undisturbed baseline.
-        assert!(rec.direct_throughput > 150_000.0, "{}", rec.direct_throughput);
+        assert!(
+            rec.direct_throughput > 150_000.0,
+            "{}",
+            rec.direct_throughput
+        );
         assert!(rec.chose_indirect());
     }
 
@@ -359,7 +466,10 @@ mod tests {
 
     #[test]
     fn probe_timeout_falls_back_to_direct() {
-        let (mut tp, c, v, s) = world(ir_simnet::bandwidth::MIN_RATE, ir_simnet::bandwidth::MIN_RATE);
+        let (mut tp, c, v, s) = world(
+            ir_simnet::bandwidth::MIN_RATE,
+            ir_simnet::bandwidth::MIN_RATE,
+        );
         let mut cfg = SessionConfig::paper_defaults();
         cfg.horizon = SimDuration::from_secs(5);
         let rec = run(&mut tp, &mut StaticSingle(v), c, s, &[v], &cfg);
@@ -375,6 +485,74 @@ mod tests {
         let rec = run(&mut tp, &mut StaticSingle(v), c, s, &[v], &cfg);
         assert_eq!(rec.candidates, vec![v]);
         assert_eq!(rec.file_bytes, cfg.file_bytes);
+    }
+
+    #[test]
+    fn traced_session_is_bit_identical_and_emits_events() {
+        let (mut tp1, c1, v1, s1) = world(100_000.0, 800_000.0);
+        let cfg = SessionConfig::paper_defaults();
+        let plain = run(&mut tp1, &mut StaticSingle(v1), c1, s1, &[v1], &cfg);
+
+        let (mut tp2, c2, v2, s2) = world(100_000.0, 800_000.0);
+        let tel = Telemetry::new();
+        let traced = run_session_traced(
+            &mut tp2,
+            &mut StaticSingle(v2),
+            &mut FirstPortion,
+            c2,
+            s2,
+            &[v2],
+            0,
+            &cfg,
+            Some(&tel),
+        );
+        assert_eq!(plain, traced, "telemetry changed the record");
+
+        let kinds: Vec<EventKind> = tel.tracer.snapshot().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::SessionStart));
+        assert!(kinds.contains(&EventKind::ProbeStart));
+        assert!(kinds.contains(&EventKind::ProbeWon));
+        assert!(
+            kinds.contains(&EventKind::PathSwitch),
+            "indirect won → switch"
+        );
+        assert!(kinds.contains(&EventKind::SessionComplete));
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("session_started", &vec![]), Some(1));
+        assert_eq!(snap.counter("session_path_switches", &vec![]), Some(1));
+        assert_eq!(snap.counter("session_completed", &vec![]), Some(1));
+    }
+
+    #[test]
+    fn traced_probe_timeout_emits_retry() {
+        let (mut tp, c, v, s) = world(
+            ir_simnet::bandwidth::MIN_RATE,
+            ir_simnet::bandwidth::MIN_RATE,
+        );
+        let mut cfg = SessionConfig::paper_defaults();
+        cfg.horizon = SimDuration::from_secs(5);
+        let tel = Telemetry::new();
+        let rec = run_session_traced(
+            &mut tp,
+            &mut StaticSingle(v),
+            &mut FirstPortion,
+            c,
+            s,
+            &[v],
+            3,
+            &cfg,
+            Some(&tel),
+        );
+        assert!(rec.probe_timeout);
+        let kinds: Vec<EventKind> = tel.tracer.snapshot().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::ProbeTimeout));
+        assert!(kinds.contains(&EventKind::Retry));
+        assert_eq!(
+            tel.metrics
+                .snapshot()
+                .counter("session_probe_timeouts", &vec![]),
+            Some(1)
+        );
     }
 
     #[test]

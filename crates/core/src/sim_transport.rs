@@ -128,7 +128,9 @@ impl Transport for SimTransport {
         // Warm connection: the window is already open, so the only
         // ceiling left is the steady-state one.
         let steady = TcpRateCap::new(cfg).steady_rate();
-        let id = self.net.start_flow(route, bytes, Box::new(ConstCap(steady)));
+        let id = self
+            .net
+            .start_flow(route, bytes, Box::new(ConstCap(steady)));
         let h = Handle(self.handles.len() as u64);
         self.handles.push(id);
         h

@@ -1,19 +1,32 @@
-//! Property tests for the session protocol over constant-rate worlds,
-//! where ground truth is computable by hand.
+//! Randomized property tests for the session protocol over
+//! constant-rate worlds, where ground truth is computable by hand.
+//!
+//! These were proptest-based; the offline build has no proptest, so the
+//! same invariants are checked over seeded random case sweeps (every
+//! failure reproduces from the printed case seed).
 
 use ir_core::{
-    run_session, FirstPortion, PathSpec, SessionConfig, SimTransport, StaticSingle,
-    TransferRecord, UtilizationTracker,
+    run_session, FirstPortion, PathSpec, SessionConfig, SimTransport, StaticSingle, TransferRecord,
+    UtilizationTracker,
 };
 use ir_simnet::bandwidth::ConstantProcess;
 use ir_simnet::sim::Network;
 use ir_simnet::time::SimDuration;
 use ir_simnet::topology::{NodeKind, Sharing, Topology};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// client -> server (direct at `direct`), client -> relay -> server
 /// (overlay leg at `overlay`, relay-server leg fast).
-fn world(direct: f64, overlay: f64) -> (SimTransport, ir_simnet::topology::NodeId, ir_simnet::topology::NodeId, ir_simnet::topology::NodeId) {
+fn world(
+    direct: f64,
+    overlay: f64,
+) -> (
+    SimTransport,
+    ir_simnet::topology::NodeId,
+    ir_simnet::topology::NodeId,
+    ir_simnet::topology::NodeId,
+) {
     let mut t = Topology::new();
     let c = t.add_node("c", NodeKind::Client);
     let v = t.add_node("v", NodeKind::Intermediate);
@@ -44,66 +57,91 @@ fn run_one(direct: f64, overlay: f64) -> TransferRecord {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn clearly_better_overlay_is_chosen(
-        direct in 30_000.0f64..150_000.0,
-        factor in 2.5f64..8.0,
-    ) {
+#[test]
+fn clearly_better_overlay_is_chosen() {
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E_0000 + case);
+        let direct = rng.gen_range(30_000.0..150_000.0);
+        let factor = rng.gen_range(2.5..8.0);
         let rec = run_one(direct, direct * factor);
-        prop_assert!(rec.chose_indirect(), "2.5x+ faster relay not chosen");
-        prop_assert!(rec.improvement() > 0.2, "improvement {}", rec.improvement());
-        prop_assert!(!rec.probe_timeout);
+        assert!(
+            rec.chose_indirect(),
+            "case {case}: 2.5x+ faster relay not chosen"
+        );
+        assert!(
+            rec.improvement() > 0.2,
+            "case {case}: improvement {}",
+            rec.improvement()
+        );
+        assert!(!rec.probe_timeout, "case {case}");
     }
+}
 
-    #[test]
-    fn clearly_worse_overlay_is_rejected(
-        direct in 100_000.0f64..400_000.0,
-        factor in 0.05f64..0.4,
-    ) {
+#[test]
+fn clearly_worse_overlay_is_rejected() {
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E_1000 + case);
+        let direct = rng.gen_range(100_000.0..400_000.0);
+        let factor = rng.gen_range(0.05..0.4);
         let rec = run_one(direct, direct * factor);
-        prop_assert!(!rec.chose_indirect(), "slow relay chosen");
+        assert!(!rec.chose_indirect(), "case {case}: slow relay chosen");
         // Direct selected: treatment ~= control; no large deviation.
-        prop_assert!(rec.improvement().abs() < 0.25, "improvement {}", rec.improvement());
+        assert!(
+            rec.improvement().abs() < 0.25,
+            "case {case}: improvement {}",
+            rec.improvement()
+        );
     }
+}
 
-    #[test]
-    fn improvement_tracks_rate_ratio_on_constant_paths(
-        direct in 40_000.0f64..120_000.0,
-        factor in 2.0f64..6.0,
-    ) {
+#[test]
+fn improvement_tracks_rate_ratio_on_constant_paths() {
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E_2000 + case);
+        let direct = rng.gen_range(40_000.0..120_000.0);
+        let factor = rng.gen_range(2.0..6.0);
         let rec = run_one(direct, direct * factor);
-        prop_assert!(rec.chose_indirect());
+        assert!(rec.chose_indirect(), "case {case}");
         // With constant rates, improvement ≈ factor − 1 up to TCP and
         // probe overheads (which only push it down, never up, and by a
         // bounded amount).
         let imp = rec.improvement();
-        prop_assert!(imp <= factor - 1.0 + 0.15, "imp {imp} vs factor {factor}");
-        prop_assert!(imp >= (factor - 1.0) * 0.4 - 0.1, "imp {imp} too low for factor {factor}");
+        assert!(
+            imp <= factor - 1.0 + 0.15,
+            "case {case}: imp {imp} vs factor {factor}"
+        );
+        assert!(
+            imp >= (factor - 1.0) * 0.4 - 0.1,
+            "case {case}: imp {imp} too low for factor {factor}"
+        );
     }
+}
 
-    #[test]
-    fn throughputs_never_exceed_link_rates(
-        direct in 30_000.0f64..300_000.0,
-        overlay in 30_000.0f64..300_000.0,
-    ) {
+#[test]
+fn throughputs_never_exceed_link_rates() {
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E_3000 + case);
+        let direct = rng.gen_range(30_000.0..300_000.0);
+        let overlay = rng.gen_range(30_000.0..300_000.0);
         let rec = run_one(direct, overlay);
         let cap = direct.max(overlay) + 1.0;
-        prop_assert!(rec.direct_throughput <= direct + 1.0);
-        prop_assert!(rec.selected_throughput <= cap);
+        assert!(rec.direct_throughput <= direct + 1.0, "case {case}");
+        assert!(rec.selected_throughput <= cap, "case {case}");
         if rec.selected_path_rate.is_finite() {
-            prop_assert!(rec.selected_path_rate <= cap);
+            assert!(rec.selected_path_rate <= cap, "case {case}");
         }
-        prop_assert!(rec.direct_throughput > 0.0);
+        assert!(rec.direct_throughput > 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn utilization_tracker_is_consistent_with_records(
-        outcomes in prop::collection::vec(any::<bool>(), 1..50),
-    ) {
-        use ir_simnet::topology::NodeId;
+#[test]
+fn utilization_tracker_is_consistent_with_records() {
+    use ir_simnet::topology::NodeId;
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E_4000 + case);
+        let outcomes: Vec<bool> = (0..rng.gen_range(1..50usize))
+            .map(|_| rng.gen::<bool>())
+            .collect();
         let client = NodeId(0);
         let server = NodeId(1);
         let via = NodeId(2);
@@ -131,8 +169,11 @@ proptest! {
             });
         }
         let u = tracker.utilization(client, via).unwrap();
-        prop_assert!((u - chosen as f64 / outcomes.len() as f64).abs() < 1e-12);
-        prop_assert_eq!(tracker.appeared_count(client, via), outcomes.len() as u64);
-        prop_assert_eq!(tracker.chosen_count(client, via), chosen);
+        assert!(
+            (u - chosen as f64 / outcomes.len() as f64).abs() < 1e-12,
+            "case {case}"
+        );
+        assert_eq!(tracker.appeared_count(client, via), outcomes.len() as u64);
+        assert_eq!(tracker.chosen_count(client, via), chosen);
     }
 }

@@ -57,10 +57,7 @@ pub fn report(data: &MeasurementData) -> Report {
         id: "fig1",
         title: "Fig 1: throughput improvement histogram (all clients)".into(),
         body,
-        csv: vec![(
-            "histogram".into(),
-            csv(&["bin_center_pct", "count"], &rows),
-        )],
+        csv: vec![("histogram".into(), csv(&["bin_center_pct", "count"], &rows))],
         checks: vec![
             Check::banded("mean improvement (%)", 49.0, summary.mean, 25.0, 85.0),
             Check::banded("median improvement (%)", 37.0, summary.median, 15.0, 70.0),

@@ -14,7 +14,14 @@ use std::collections::BTreeMap;
 
 /// Clients the paper's Fig 2 highlights (any subset present in the data
 /// is rendered).
-pub const HIGHLIGHTED: &[&str] = &["Australia 2", "Berlin", "Brazil", "France", "Israel", "Sweden"];
+pub const HIGHLIGHTED: &[&str] = &[
+    "Australia 2",
+    "Berlin",
+    "Brazil",
+    "France",
+    "Israel",
+    "Sweden",
+];
 
 /// Per-client improvement samples (indirect-chosen, percent).
 fn per_client(data: &MeasurementData) -> BTreeMap<NodeId, Vec<f64>> {
@@ -76,11 +83,7 @@ pub fn report(data: &MeasurementData) -> Report {
 
     // ASCII histograms for the paper's highlighted clients.
     for name in HIGHLIGHTED {
-        let Some(&client) = data
-            .clients
-            .iter()
-            .find(|&&c| data.name(c) == *name)
-        else {
+        let Some(&client) = data.clients.iter().find(|&&c| data.name(c) == *name) else {
             continue;
         };
         if let Some(vals) = samples.get(&client) {

@@ -82,7 +82,8 @@ pub fn report(data: &MeasurementData) -> Report {
                 format!(">= {lo:.2}")
             },
             vals.len().to_string(),
-            mean.map(|m| format!("{m:+.1}")).unwrap_or_else(|| "-".into()),
+            mean.map(|m| format!("{m:+.1}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
         if let Some(m) = mean {
             band_means.push(m);

@@ -28,10 +28,7 @@ pub fn report(data: &SelectionData) -> Report {
         let mut csv_row = vec![k.to_string()];
         for &c in &data.clients {
             let m = data.mean_improvement_pct(c, k);
-            row.push(
-                m.map(|v| format!("{v:+.1}"))
-                    .unwrap_or_else(|| "-".into()),
-            );
+            row.push(m.map(|v| format!("{v:+.1}")).unwrap_or_else(|| "-".into()));
             csv_row.push(m.map(|v| format!("{v:.3}")).unwrap_or_default());
         }
         table.row(row);

@@ -109,7 +109,9 @@ pub fn run(seed: u64, transfers: u64) -> Vec<Headroom> {
 
             Headroom {
                 client: scenario.name(client).to_string(),
-                oracle_pct: Summary::of(&oracle_imps).map(|s| s.mean).unwrap_or(f64::NAN),
+                oracle_pct: Summary::of(&oracle_imps)
+                    .map(|s| s.mean)
+                    .unwrap_or(f64::NAN),
                 random10_pct: random10,
                 static_pct: static_single,
             }
@@ -145,9 +147,7 @@ pub fn report(seed: u64, transfers: u64) -> Report {
         .map(|r| r.random10_pct / r.oracle_pct)
         .collect();
     let mean_capture = Summary::of(&capture).map(|s| s.mean).unwrap_or(0.0);
-    let ordered = results
-        .iter()
-        .all(|r| r.random10_pct <= r.oracle_pct + 5.0);
+    let ordered = results.iter().all(|r| r.random10_pct <= r.oracle_pct + 5.0);
 
     let mut body = table.render();
     body.push_str(&format!(
@@ -161,7 +161,10 @@ pub fn report(seed: u64, transfers: u64) -> Report {
         body,
         csv: vec![(
             "headroom".into(),
-            csv(&["client", "oracle_pct", "random10_pct", "static_pct"], &rows),
+            csv(
+                &["client", "oracle_pct", "random10_pct", "static_pct"],
+                &rows,
+            ),
         )],
         checks: vec![
             // Fig 6's qualitative claim, quantified: a random 10-subset

@@ -26,14 +26,27 @@ pub fn report_for(scenario: &Scenario) -> Report {
 
     let mut clients = ir_stats::TextTable::new()
         .title("clients (ground truth + realised direct path to server 0)")
-        .header(["client", "category", "variability", "base (Mbps)", "realised mean", "realised CoV"]);
+        .header([
+            "client",
+            "category",
+            "variability",
+            "base (Mbps)",
+            "realised mean",
+            "realised CoV",
+        ]);
     let mut rows = Vec::new();
     for &c in &scenario.clients {
         let prof = scenario.profile(c);
         let direct = PathSpec::direct(c, scenario.servers[0])
             .resolve(topo)
             .expect("direct path");
-        let trace = trace_link(&scenario.network, direct.links[0], SimTime::ZERO, window_end, step);
+        let trace = trace_link(
+            &scenario.network,
+            direct.links[0],
+            SimTime::ZERO,
+            window_end,
+            step,
+        );
         clients.row([
             scenario.name(c).to_string(),
             prof.category.label().to_string(),
@@ -79,7 +92,14 @@ pub fn report_for(scenario: &Scenario) -> Report {
             (
                 "clients".into(),
                 csv(
-                    &["client", "category", "variability", "base_mbps", "realised_mbps", "cov"],
+                    &[
+                        "client",
+                        "category",
+                        "variability",
+                        "base_mbps",
+                        "realised_mbps",
+                        "cov",
+                    ],
                     &rows,
                 ),
             ),
@@ -131,10 +151,7 @@ mod tests {
             let cols: Vec<&str> = line.split(',').collect();
             let base: f64 = cols[3].parse().unwrap();
             let realised: f64 = cols[4].parse().unwrap();
-            assert!(
-                realised > base / 3.0 && realised < base * 3.0,
-                "{line}"
-            );
+            assert!(realised > base / 3.0 && realised < base * 3.0, "{line}");
         }
     }
 }

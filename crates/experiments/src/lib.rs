@@ -33,18 +33,19 @@ pub mod inspect;
 pub mod overhead;
 pub mod report;
 pub mod robustness;
-pub mod variability;
 pub mod runner;
 pub mod sites;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod variability;
 
 pub use report::{Check, Report};
 pub use runner::{
-    measurement_study_default, run_measurement_study, run_selection_study,
-    selection_study_default, MeasurementData, PairRun, Scale, SelectionData, SelectionRun,
-    FIG6_KS,
+    measurement_study_default, measurement_study_default_traced, run_measurement_study,
+    run_measurement_study_traced, run_selection_study, run_selection_study_traced,
+    selection_study_default, selection_study_default_traced, set_worker_threads, MeasurementData,
+    PairRun, Scale, SelectionData, SelectionRun, FIG6_KS,
 };
 
 /// Runs every measurement-study artefact on shared data.

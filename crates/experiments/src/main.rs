@@ -2,21 +2,34 @@
 //!
 //! ```text
 //! experiments <artefact> [--seed N] [--scale quick|paper] [--csv DIR]
+//!             [--cal FILE] [--threads N] [--trace FILE] [--metrics]
 //!
 //! artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3
-//!            measurement (figs 1-5 + tables 1-2 on one shared run)
+//!            variability overhead
+//!            measurement (figs 1-5, tables 1-2, variability,
+//!                         overhead on one shared run)
 //!            selection   (fig 6 + table 3 on one shared run)
 //!            sites       (per-site 33-49% range, extension)
 //!            headroom    (oracle-attainable vs captured, extension)
+//!            scenario    (workload inspection, no study)
+//!            robustness  (headline numbers across seeds)
 //!            all         (everything)
 //! ```
+//!
+//! `--trace FILE` writes a Chrome `trace_event` JSON of the study to
+//! FILE (open in `chrome://tracing` or Perfetto); `--metrics` prints a
+//! telemetry counter/histogram section after the reports. Both are
+//! strictly observational: artefact numbers are bit-identical with and
+//! without them.
 
 use ir_experiments::{
-    measurement_reports, measurement_study_default, selection_reports,
-    selection_study_default, Report, Scale, FIG6_KS,
+    measurement_reports, measurement_study_default_traced, selection_reports,
+    selection_study_default_traced, Report, Scale, FIG6_KS,
 };
+use ir_telemetry::Telemetry;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     artefact: String,
@@ -24,12 +37,17 @@ struct Args {
     scale: Scale,
     csv_dir: Option<PathBuf>,
     cal: Option<ir_workload::Calibration>,
+    threads: Option<usize>,
+    trace_file: Option<PathBuf>,
+    metrics: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <artefact> [--seed N] [--scale quick|paper] [--csv DIR] [--cal FILE]\n\
+         \x20                           [--threads N] [--trace FILE] [--metrics]\n\
          artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3\n\
+         \x20          variability overhead\n\
          \x20          measurement selection sites headroom scenario robustness all"
     );
     std::process::exit(2);
@@ -44,6 +62,9 @@ fn parse_args() -> Args {
         scale: Scale::Quick,
         csv_dir: None,
         cal: None,
+        threads: None,
+        trace_file: None,
+        metrics: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -73,6 +94,20 @@ fn parse_args() -> Args {
                     eprintln!("bad calibration file {path}: {e}");
                     std::process::exit(2);
                 }));
+            }
+            "--threads" => {
+                args.threads = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--trace" => {
+                args.trace_file = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage())));
+            }
+            "--metrics" => {
+                args.metrics = true;
             }
             _ => usage(),
         }
@@ -107,10 +142,29 @@ fn emit(reports: &[Report], csv_dir: &Option<PathBuf>) -> bool {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        ir_experiments::set_worker_threads(n);
+    }
+    // One shared handle for every study this invocation runs; None
+    // (the default) keeps every layer on its no-op path.
+    let tel: Option<Arc<Telemetry>> = if args.trace_file.is_some() || args.metrics {
+        Some(Arc::new(Telemetry::new()))
+    } else {
+        None
+    };
     let needs_measurement = matches!(
         args.artefact.as_str(),
-        "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "table1" | "table2" | "variability"
-            | "overhead" | "measurement" | "all"
+        "fig1"
+            | "fig2"
+            | "fig3"
+            | "fig4"
+            | "fig5"
+            | "table1"
+            | "table2"
+            | "variability"
+            | "overhead"
+            | "measurement"
+            | "all"
     );
     let needs_selection = matches!(
         args.artefact.as_str(),
@@ -139,7 +193,7 @@ fn main() -> ExitCode {
         );
         let t0 = std::time::Instant::now();
         let data = match &args.cal {
-            None => measurement_study_default(args.seed, args.scale),
+            None => measurement_study_default_traced(args.seed, args.scale, tel.clone()),
             Some(cal) => {
                 let scenario = ir_workload::build(
                     args.seed,
@@ -149,12 +203,13 @@ fn main() -> ExitCode {
                     *cal,
                     false,
                 );
-                ir_experiments::run_measurement_study(
+                ir_experiments::run_measurement_study_traced(
                     &scenario,
                     0,
                     ir_workload::Schedule::measurement_study()
                         .spread(args.scale.measurement_transfers()),
                     ir_core::SessionConfig::paper_defaults(),
+                    tel.clone(),
                 )
             }
         };
@@ -179,7 +234,7 @@ fn main() -> ExitCode {
             args.seed, args.scale
         );
         let t0 = std::time::Instant::now();
-        let data = selection_study_default(args.seed, args.scale, FIG6_KS);
+        let data = selection_study_default_traced(args.seed, args.scale, FIG6_KS, tel.clone());
         eprintln!(
             "selection study: {} runs in {:.1}s",
             data.runs.len(),
@@ -224,6 +279,27 @@ fn main() -> ExitCode {
         };
         let r = ir_experiments::headroom::report(args.seed, transfers);
         ok &= emit(&[r], &args.csv_dir);
+    }
+
+    if let Some(tel) = &tel {
+        if let Some(path) = &args.trace_file {
+            match std::fs::write(path, tel.chrome_trace()) {
+                Ok(()) => eprintln!(
+                    "wrote {} trace events to {}",
+                    tel.tracer.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("trace write failed for {}: {e}", path.display());
+                    ok = false;
+                }
+            }
+        }
+        if args.metrics {
+            println!("== telemetry ==");
+            print!("{}", tel.metrics.snapshot().render_text());
+            println!();
+        }
     }
 
     if ok {

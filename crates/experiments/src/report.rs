@@ -84,7 +84,11 @@ impl Report {
                         Some((lo, hi)) => format!("[{lo:.0},{hi:.0}]"),
                         None => "-".into(),
                     },
-                    if c.passes() { "yes".into() } else { "NO".to_string() },
+                    if c.passes() {
+                        "yes".into()
+                    } else {
+                        "NO".to_string()
+                    },
                 ]);
             }
             out.push('\n');

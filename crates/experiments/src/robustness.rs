@@ -71,7 +71,14 @@ pub fn report(seeds: &[u64]) -> Report {
     let stats = run(seeds);
     let mut table = ir_stats::TextTable::new()
         .title("Fig 1 headline statistics per seed")
-        .header(["seed", "mean %", "median %", "in [0,100] %", "penalties %", "passes"]);
+        .header([
+            "seed",
+            "mean %",
+            "median %",
+            "in [0,100] %",
+            "penalties %",
+            "passes",
+        ]);
     let mut rows = Vec::new();
     for s in &stats {
         table.row([
@@ -80,7 +87,11 @@ pub fn report(seeds: &[u64]) -> Report {
             format!("{:+.1}", s.median_pct),
             format!("{:.1}", s.band_pct),
             format!("{:.1}", s.penalty_pct),
-            if s.passes() { "yes".into() } else { "NO".to_string() },
+            if s.passes() {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
         rows.push(vec![
             s.seed.to_string(),
@@ -95,7 +106,9 @@ pub fn report(seeds: &[u64]) -> Report {
         stats.iter().filter(|s| s.passes()).count() as f64 / stats.len().max(1) as f64 * 100.0;
 
     let mut body = table.render();
-    body.push_str(&format!("\nseeds passing all Fig 1 bands: {pass_rate:.0}%\n"));
+    body.push_str(&format!(
+        "\nseeds passing all Fig 1 bands: {pass_rate:.0}%\n"
+    ));
 
     Report {
         id: "robustness",
@@ -104,7 +117,14 @@ pub fn report(seeds: &[u64]) -> Report {
         csv: vec![(
             "seeds".into(),
             csv(
-                &["seed", "mean_pct", "median_pct", "band_pct", "penalty_pct", "passes"],
+                &[
+                    "seed",
+                    "mean_pct",
+                    "median_pct",
+                    "band_pct",
+                    "penalty_pct",
+                    "passes",
+                ],
                 &rows,
             ),
         )],

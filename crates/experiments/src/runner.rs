@@ -15,15 +15,17 @@
 //! the scenario network is *exactly* equivalent to one shared world.
 
 use ir_core::{
-    run_session, FirstPortion, RandomSet, SelectionPolicy, SessionConfig,
-    SimTransport, StaticSingle, TransferRecord, Transport, UtilizationTracker,
+    run_session_traced, FirstPortion, RandomSet, SelectionPolicy, SessionConfig, SimTransport,
+    StaticSingle, TransferRecord, Transport, UtilizationTracker,
 };
 use ir_simnet::time::{SimDuration, SimTime};
 use ir_simnet::topology::NodeId;
+use ir_telemetry::trace::{Event, EventKind};
+use ir_telemetry::Telemetry;
 use ir_workload::{ClientProfile, Scenario, Schedule};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Scale of a study run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +146,7 @@ impl MeasurementData {
 }
 
 /// Runs one scheduled task: a session per schedule instant.
+#[allow(clippy::too_many_arguments)]
 fn run_task(
     scenario: &Scenario,
     client: NodeId,
@@ -152,8 +155,12 @@ fn run_task(
     mut policy: Box<dyn SelectionPolicy>,
     schedule: Schedule,
     session: &SessionConfig,
+    task_id: u64,
+    tel: Option<&Arc<Telemetry>>,
 ) -> Vec<TransferRecord> {
-    let mut transport = SimTransport::new(scenario.network.clone());
+    let mut net = scenario.network.clone();
+    net.set_telemetry(tel.cloned());
+    let mut transport = SimTransport::new(net);
     let mut predictor = FirstPortion;
     let mut records = Vec::with_capacity(schedule.count as usize);
     for (i, at) in schedule.instants(SimTime::ZERO).enumerate() {
@@ -161,7 +168,7 @@ fn run_task(
         // the clock backwards.
         let target = at.max(transport.now());
         transport.network_mut().advance_until(target);
-        let rec = run_session(
+        let rec = run_session_traced(
             &mut transport,
             policy.as_mut(),
             &mut predictor,
@@ -170,8 +177,22 @@ fn run_task(
             full_set,
             i as u64,
             session,
+            tel.map(|t| t.as_ref()),
         );
         records.push(rec);
+    }
+    if let Some(tel) = tel {
+        tel.metrics.counter("runner_tasks", vec![]).inc();
+        tel.tracer.record(
+            Event::span(
+                EventKind::RunnerTask,
+                0,
+                transport.now().as_micros(),
+                task_id,
+            )
+            .with_u64("client", client.0 as u64)
+            .with_u64("transfers", records.len() as u64),
+        );
     }
     records
 }
@@ -188,7 +209,20 @@ pub fn run_task_with(
     schedule: Schedule,
     session: &SessionConfig,
 ) -> Vec<TransferRecord> {
-    run_task(scenario, client, server, full_set, policy, schedule, session)
+    run_task(
+        scenario, client, server, full_set, policy, schedule, session, 0, None,
+    )
+}
+
+/// Worker-thread override for [`parallel_map`]-driven studies: 0 (the
+/// default) means one worker per available core.
+static WORKER_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps study parallelism at `n` OS threads (0 restores the default:
+/// one per available core). Affects all subsequent study runs in this
+/// process; thread count never changes study *results*, only wall time.
+pub fn set_worker_threads(n: usize) {
+    WORKER_THREADS.store(n, Ordering::Relaxed);
 }
 
 /// Generic indexed parallel map over tasks. Deterministic: output `i`
@@ -196,10 +230,15 @@ pub fn run_task_with(
 fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
+    let configured = WORKER_THREADS.load(Ordering::Relaxed);
+    let workers = if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    }
+    .min(n.max(1));
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -229,6 +268,19 @@ pub fn run_measurement_study(
     schedule: Schedule,
     session: SessionConfig,
 ) -> MeasurementData {
+    run_measurement_study_traced(scenario, server_index, schedule, session, None)
+}
+
+/// [`run_measurement_study`] with an optional telemetry handle shared
+/// by every task (simnet, session, and runner layers all report into
+/// it). With `None` this is exactly the untraced study.
+pub fn run_measurement_study_traced(
+    scenario: &Scenario,
+    server_index: usize,
+    schedule: Schedule,
+    session: SessionConfig,
+    tel: Option<Arc<Telemetry>>,
+) -> MeasurementData {
     let server = scenario.servers[server_index];
     let tasks: Vec<(NodeId, NodeId)> = scenario
         .clients
@@ -246,6 +298,8 @@ pub fn run_measurement_study(
             Box::new(StaticSingle(via)),
             schedule,
             &session,
+            i as u64,
+            tel.as_ref(),
         );
         PairRun {
             client,
@@ -300,10 +354,7 @@ impl SelectionData {
     /// Mean percent improvement for a (client, k) run, over **all**
     /// transfers (Fig 6's y-axis).
     pub fn mean_improvement_pct(&self, client: NodeId, k: usize) -> Option<f64> {
-        let run = self
-            .runs
-            .iter()
-            .find(|r| r.client == client && r.k == k)?;
+        let run = self.runs.iter().find(|r| r.client == client && r.k == k)?;
         let vals: Vec<f64> = run
             .records
             .iter()
@@ -342,6 +393,19 @@ pub fn run_selection_study(
     session: SessionConfig,
     seed: u64,
 ) -> SelectionData {
+    run_selection_study_traced(scenario, ks, schedule, session, seed, None)
+}
+
+/// [`run_selection_study`] with an optional telemetry handle (see
+/// [`run_measurement_study_traced`]).
+pub fn run_selection_study_traced(
+    scenario: &Scenario,
+    ks: &[usize],
+    schedule: Schedule,
+    session: SessionConfig,
+    seed: u64,
+    tel: Option<Arc<Telemetry>>,
+) -> SelectionData {
     // §4.1 starts a preliminary download on every node of the random
     // set; "which produces the best throughput" over the first x bytes
     // is the first to deliver them — the default FirstToFinish race.
@@ -367,6 +431,8 @@ pub fn run_selection_study(
             Box::new(RandomSet::new(k, policy_seed)),
             schedule,
             &session,
+            i as u64,
+            tel.as_ref(),
         );
         SelectionRun { client, k, records }
     });
@@ -390,21 +456,41 @@ pub fn run_selection_study(
 /// Convenience: the measurement study at a given scale with default
 /// session parameters (x = 100 KB, n = 2 MB).
 pub fn measurement_study_default(seed: u64, scale: Scale) -> MeasurementData {
+    measurement_study_default_traced(seed, scale, None)
+}
+
+/// [`measurement_study_default`] with an optional telemetry handle.
+pub fn measurement_study_default_traced(
+    seed: u64,
+    scale: Scale,
+    tel: Option<Arc<Telemetry>>,
+) -> MeasurementData {
     let scenario = ir_workload::planetlab_study(seed);
     let schedule = Schedule::measurement_study().spread(scale.measurement_transfers());
-    run_measurement_study(&scenario, 0, schedule, SessionConfig::paper_defaults())
+    run_measurement_study_traced(&scenario, 0, schedule, SessionConfig::paper_defaults(), tel)
 }
 
 /// Convenience: the selection study at a given scale.
 pub fn selection_study_default(seed: u64, scale: Scale, ks: &[usize]) -> SelectionData {
+    selection_study_default_traced(seed, scale, ks, None)
+}
+
+/// [`selection_study_default`] with an optional telemetry handle.
+pub fn selection_study_default_traced(
+    seed: u64,
+    scale: Scale,
+    ks: &[usize],
+    tel: Option<Arc<Telemetry>>,
+) -> SelectionData {
     let scenario = ir_workload::selection_study(seed);
     let schedule = Schedule::selection_study().spread(scale.selection_transfers());
-    run_selection_study(
+    run_selection_study_traced(
         &scenario,
         ks,
         schedule,
         SessionConfig::paper_defaults(),
         seed,
+        tel,
     )
 }
 
@@ -437,8 +523,7 @@ mod tests {
     fn measurement_study_produces_expected_counts() {
         let sc = tiny_scenario();
         let schedule = Schedule::measurement_study().truncated(4);
-        let data =
-            run_measurement_study(&sc, 0, schedule, SessionConfig::paper_defaults());
+        let data = run_measurement_study(&sc, 0, schedule, SessionConfig::paper_defaults());
         assert_eq!(data.pairs.len(), 3 * 4);
         assert!(data.pairs.iter().all(|p| p.records.len() == 4));
         // Every record has a positive control throughput.
@@ -476,13 +561,7 @@ mod tests {
     fn selection_study_produces_expected_counts() {
         let sc = tiny_scenario();
         let schedule = Schedule::selection_study().truncated(5);
-        let data = run_selection_study(
-            &sc,
-            &[1, 2],
-            schedule,
-            SessionConfig::paper_defaults(),
-            7,
-        );
+        let data = run_selection_study(&sc, &[1, 2], schedule, SessionConfig::paper_defaults(), 7);
         assert_eq!(data.runs.len(), 3 * 2);
         assert_eq!(data.ks(), vec![1, 2]);
         let c0 = data.clients[0];
@@ -510,5 +589,43 @@ mod tests {
         for p in &data.pairs {
             assert_eq!(u.appeared_count(p.client, p.via), 5);
         }
+    }
+
+    #[test]
+    fn traced_study_matches_untraced_and_emits_runner_spans() {
+        let schedule = || Schedule::measurement_study().truncated(3);
+        let plain = {
+            let sc = tiny_scenario();
+            run_measurement_study(&sc, 0, schedule(), SessionConfig::paper_defaults())
+        };
+        let tel = Arc::new(Telemetry::new());
+        let traced = {
+            let sc = tiny_scenario();
+            run_measurement_study_traced(
+                &sc,
+                0,
+                schedule(),
+                SessionConfig::paper_defaults(),
+                Some(Arc::clone(&tel)),
+            )
+        };
+        // Telemetry is observational: record-for-record identical.
+        assert_eq!(plain.pairs.len(), traced.pairs.len());
+        for (p, t) in plain.pairs.iter().zip(traced.pairs.iter()) {
+            assert_eq!(p.records, t.records);
+        }
+        // One runner span per (client, relay) task, and the layers
+        // below reported through the same handle.
+        let snap = tel.metrics.snapshot();
+        assert_eq!(
+            snap.counter("runner_tasks", &vec![]),
+            Some(plain.pairs.len() as u64)
+        );
+        let sessions = plain.pairs.len() as u64 * 3;
+        assert_eq!(snap.counter("session_completed", &vec![]), Some(sessions));
+        let events = tel.tracer.snapshot();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == ir_telemetry::trace::EventKind::RunnerTask));
     }
 }

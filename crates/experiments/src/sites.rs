@@ -31,12 +31,8 @@ pub fn run(seed: u64, transfers_per_pair: u64) -> Vec<SiteResult> {
     let schedule = Schedule::measurement_study().spread(transfers_per_pair);
     (0..scenario.servers.len())
         .map(|si| {
-            let data = run_measurement_study(
-                &scenario,
-                si,
-                schedule,
-                SessionConfig::paper_defaults(),
-            );
+            let data =
+                run_measurement_study(&scenario, si, schedule, SessionConfig::paper_defaults());
             let imps = data.indirect_improvements_pct();
             let total = data.all_records().count();
             SiteResult {
@@ -92,7 +88,10 @@ pub fn report(seed: u64, transfers_per_pair: u64) -> Report {
         body,
         csv: vec![(
             "per_site".into(),
-            csv(&["site", "mean_improvement_pct", "chose_indirect_pct", "n"], &rows),
+            csv(
+                &["site", "mean_improvement_pct", "chose_indirect_pct", "n"],
+                &rows,
+            ),
         )],
         checks: vec![
             Check::banded("lowest per-site mean (%)", 33.0, lo, 15.0, 70.0),

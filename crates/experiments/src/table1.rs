@@ -155,9 +155,27 @@ pub fn report(data: &MeasurementData) -> Report {
     ));
 
     let rows = vec![
-        vec!["all".into(), format!("{:.2}", all.points_pct), format!("{:.2}", all.avg_pct), format!("{:.2}", all.stdev_pct), format!("{:.2}", all.max_pct)],
-        vec!["med_low".into(), format!("{:.2}", med_low.points_pct), format!("{:.2}", med_low.avg_pct), format!("{:.2}", med_low.stdev_pct), format!("{:.2}", med_low.max_pct)],
-        vec!["low_var".into(), format!("{:.2}", low_var.points_pct), format!("{:.2}", low_var.avg_pct), format!("{:.2}", low_var.stdev_pct), format!("{:.2}", low_var.max_pct)],
+        vec![
+            "all".into(),
+            format!("{:.2}", all.points_pct),
+            format!("{:.2}", all.avg_pct),
+            format!("{:.2}", all.stdev_pct),
+            format!("{:.2}", all.max_pct),
+        ],
+        vec![
+            "med_low".into(),
+            format!("{:.2}", med_low.points_pct),
+            format!("{:.2}", med_low.avg_pct),
+            format!("{:.2}", med_low.stdev_pct),
+            format!("{:.2}", med_low.max_pct),
+        ],
+        vec![
+            "low_var".into(),
+            format!("{:.2}", low_var.points_pct),
+            format!("{:.2}", low_var.avg_pct),
+            format!("{:.2}", low_var.stdev_pct),
+            format!("{:.2}", low_var.max_pct),
+        ],
     ];
 
     Report {
@@ -166,7 +184,10 @@ pub fn report(data: &MeasurementData) -> Report {
         body,
         csv: vec![(
             "penalties".into(),
-            csv(&["filter", "points_pct", "avg_pct", "stdev_pct", "max_pct"], &rows),
+            csv(
+                &["filter", "points_pct", "avg_pct", "stdev_pct", "max_pct"],
+                &rows,
+            ),
         )],
         checks: vec![
             Check::banded("all: penalty points (%)", 12.0, all.points_pct, 3.0, 25.0),
@@ -230,9 +251,7 @@ mod tests {
         );
         let all = penalty_stats(&data, |_| true);
         let classes = classify(&data);
-        let no_high = penalty_stats(&data, |c| {
-            classes.category.get(&c) != Some(&Category::High)
-        });
+        let no_high = penalty_stats(&data, |c| classes.category.get(&c) != Some(&Category::High));
         // Filtered population can only shrink.
         assert!(no_high.population <= all.population);
         let r = report(&data);

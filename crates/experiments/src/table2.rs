@@ -37,18 +37,8 @@ pub fn report(data: &MeasurementData) -> Report {
                 .entry(data.name(*via).to_string())
                 .or_insert(0) += 1;
         }
-        t.row([
-            data.name(client).to_string(),
-            fmt(0),
-            fmt(1),
-            fmt(2),
-        ]);
-        rows.push(vec![
-            data.name(client).to_string(),
-            fmt(0),
-            fmt(1),
-            fmt(2),
-        ]);
+        t.row([data.name(client).to_string(), fmt(0), fmt(1), fmt(2)]);
+        rows.push(vec![data.name(client).to_string(), fmt(0), fmt(1), fmt(2)]);
     }
 
     let mut body = t.render();

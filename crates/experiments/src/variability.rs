@@ -30,7 +30,10 @@ pub fn rows(data: &MeasurementData) -> Vec<VariabilityRow> {
     let mut selected: BTreeMap<NodeId, OnlineStats> = BTreeMap::new();
     for r in data.all_records() {
         if r.direct_throughput > 0.0 && r.direct_throughput.is_finite() {
-            direct.entry(r.client).or_default().push(r.direct_throughput);
+            direct
+                .entry(r.client)
+                .or_default()
+                .push(r.direct_throughput);
         }
         if r.selected_throughput > 0.0 && r.selected_throughput.is_finite() {
             selected
@@ -98,14 +101,26 @@ pub fn report(data: &MeasurementData) -> Report {
         }
         table.row([
             data.name(r.client).to_string(),
-            if variable { "variable".into() } else { "stable".to_string() },
+            if variable {
+                "variable".into()
+            } else {
+                "stable".to_string()
+            },
             format!("{:.2}", r.direct_cov),
             format!("{:.2}", r.selected_cov),
-            if better { "yes".into() } else { "no".to_string() },
+            if better {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
         csv_rows.push(vec![
             data.name(r.client).to_string(),
-            if variable { "variable".into() } else { "stable".to_string() },
+            if variable {
+                "variable".into()
+            } else {
+                "stable".to_string()
+            },
             format!("{:.4}", r.direct_cov),
             format!("{:.4}", r.selected_cov),
             better.to_string(),

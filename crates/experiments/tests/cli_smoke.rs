@@ -22,8 +22,15 @@ fn unknown_artefact_is_usage_error() {
 
 #[test]
 fn scenario_inspector_succeeds() {
-    let out = bin().args(["scenario", "--seed", "5"]).output().expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["scenario", "--seed", "5"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Scenario inspection"), "{stdout}");
     assert!(stdout.contains("Berlin"), "{stdout}");

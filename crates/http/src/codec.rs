@@ -246,7 +246,10 @@ mod tests {
                 assert_eq!(value, r1);
                 assert_eq!(consumed, first_len);
                 match parse_request(&buf[consumed..]).unwrap() {
-                    Parsed::Complete { value, consumed: c2 } => {
+                    Parsed::Complete {
+                        value,
+                        consumed: c2,
+                    } => {
                         assert_eq!(value, r2);
                         assert_eq!(first_len + c2, buf.len());
                     }

@@ -54,7 +54,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(HttpError::BadRange("x".into()).to_string().contains("Range"));
+        assert!(HttpError::BadRange("x".into())
+            .to_string()
+            .contains("Range"));
         assert!(HttpError::UnexpectedEof.to_string().contains("closed"));
         let e = HttpError::BodyTooLarge {
             declared: 10,

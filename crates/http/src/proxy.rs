@@ -75,7 +75,12 @@ mod tests {
         assert_eq!(plan.request.target, "/big.bin");
         assert_eq!(plan.request.headers.get("Range"), Some("bytes=0-102399"));
         assert_eq!(plan.request.headers.get("Host"), Some("origin.test:8080"));
-        assert!(plan.request.headers.get("Via").unwrap().contains("ir-relay"));
+        assert!(plan
+            .request
+            .headers
+            .get("Via")
+            .unwrap()
+            .contains("ir-relay"));
     }
 
     #[test]

@@ -193,7 +193,10 @@ mod tests {
             ByteRange::parse("bytes=102400-").unwrap(),
             ByteRange::From(102_400)
         );
-        assert_eq!(ByteRange::parse("bytes=-500").unwrap(), ByteRange::Suffix(500));
+        assert_eq!(
+            ByteRange::parse("bytes=-500").unwrap(),
+            ByteRange::Suffix(500)
+        );
     }
 
     #[test]

@@ -98,7 +98,12 @@ mod tests {
     #[test]
     fn parses_origin_form() {
         let t = Target::parse("/a/b.bin").unwrap();
-        assert_eq!(t, Target::Origin { path: "/a/b.bin".into() });
+        assert_eq!(
+            t,
+            Target::Origin {
+                path: "/a/b.bin".into()
+            }
+        );
         assert_eq!(t.path(), "/a/b.bin");
     }
 
@@ -138,7 +143,14 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "ftp://x/y", "http://", "http://:80/x", "relative/path", "http://h:badport/x"] {
+        for bad in [
+            "",
+            "ftp://x/y",
+            "http://",
+            "http://:80/x",
+            "relative/path",
+            "http://h:badport/x",
+        ] {
             assert!(Target::parse(bad).is_err(), "{bad} should fail");
         }
     }

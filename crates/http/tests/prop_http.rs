@@ -1,144 +1,226 @@
-//! Property tests for the HTTP subset: parser/serializer round trips
+//! Randomized tests for the HTTP subset: parser/serializer round trips
 //! and range-resolution invariants.
+//!
+//! These were proptest-based; the offline build has no proptest, so the
+//! same invariants are checked over seeded random case sweeps (every
+//! failure reproduces from the printed case number).
 
 use ir_http::{
     encode_request, encode_response, parse_request, parse_response, ByteRange, ContentRange,
     Headers, Method, Parsed, Request, Response, StatusCode,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_token() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9-]{0,15}".prop_map(|s| s)
+/// `[A-Za-z][A-Za-z0-9-]{0,15}` — an HTTP header token.
+fn gen_token(rng: &mut StdRng) -> String {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-";
+    let mut s = String::new();
+    s.push(FIRST[rng.gen_range(0..FIRST.len())] as char);
+    for _ in 0..rng.gen_range(0..16usize) {
+        s.push(REST[rng.gen_range(0..REST.len())] as char);
+    }
+    s
 }
 
-fn arb_value() -> impl Strategy<Value = String> {
-    // Header values without CR/LF or leading/trailing whitespace.
-    "[!-~][ -~]{0,30}".prop_map(|s| s.trim().to_string())
-        .prop_filter("non-empty", |s| !s.is_empty())
+/// A header value: printable ASCII, no CR/LF, no leading/trailing
+/// whitespace, non-empty.
+fn gen_value(rng: &mut StdRng) -> String {
+    loop {
+        let mut s = String::new();
+        s.push(rng.gen_range(b'!'..=b'~') as char);
+        for _ in 0..rng.gen_range(0..31usize) {
+            s.push(rng.gen_range(b' '..=b'~') as char);
+        }
+        let t = s.trim();
+        if !t.is_empty() {
+            return t.to_string();
+        }
+    }
 }
 
-fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
-    prop::collection::vec((arb_token(), arb_value()), 0..8)
+fn gen_headers(rng: &mut StdRng) -> Vec<(String, String)> {
+    (0..rng.gen_range(0..8usize))
+        .map(|_| (gen_token(rng), gen_value(rng)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// `/[a-z0-9/._-]{0,30}` — a request path.
+fn gen_path(rng: &mut StdRng, max: usize) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/._-";
+    let mut s = String::from("/");
+    for _ in 0..rng.gen_range(0..=max) {
+        s.push(CHARS[rng.gen_range(0..CHARS.len())] as char);
+    }
+    s
+}
 
-    #[test]
-    fn request_round_trips(
-        path in "/[a-z0-9/._-]{0,30}",
-        headers in arb_headers(),
-        is_head in any::<bool>(),
-    ) {
-        let mut req = Request::get(path);
-        if is_head {
+#[test]
+fn request_round_trips() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x47_0000 + case);
+        let mut req = Request::get(gen_path(&mut rng, 30));
+        if rng.gen::<bool>() {
             req.method = Method::Head;
         }
-        for (n, v) in &headers {
-            req.headers.append(n.clone(), v.clone());
+        for (n, v) in gen_headers(&mut rng) {
+            req.headers.append(n, v);
         }
         let mut buf = bytes::BytesMut::new();
         encode_request(&req, &mut buf);
         match parse_request(&buf).unwrap() {
             Parsed::Complete { value, consumed } => {
-                prop_assert_eq!(value, req);
-                prop_assert_eq!(consumed, buf.len());
+                assert_eq!(value, req, "case {case}");
+                assert_eq!(consumed, buf.len(), "case {case}");
             }
-            Parsed::Partial => prop_assert!(false, "complete message parsed as partial"),
+            Parsed::Partial => panic!("case {case}: complete message parsed as partial"),
         }
     }
+}
 
-    #[test]
-    fn response_round_trips(
-        code in 100u16..600,
-        headers in arb_headers(),
-    ) {
-        let mut resp = Response::new(StatusCode(code));
-        for (n, v) in &headers {
-            resp.headers.append(n.clone(), v.clone());
+#[test]
+fn response_round_trips() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x47_1000 + case);
+        let mut resp = Response::new(StatusCode(rng.gen_range(100u16..600)));
+        for (n, v) in gen_headers(&mut rng) {
+            resp.headers.append(n, v);
         }
         let mut buf = bytes::BytesMut::new();
         encode_response(&resp, &mut buf);
         match parse_response(&buf).unwrap() {
             Parsed::Complete { value, consumed } => {
-                prop_assert_eq!(value, resp);
-                prop_assert_eq!(consumed, buf.len());
+                assert_eq!(value, resp, "case {case}");
+                assert_eq!(consumed, buf.len(), "case {case}");
             }
-            Parsed::Partial => prop_assert!(false, "complete message parsed as partial"),
+            Parsed::Partial => panic!("case {case}: complete message parsed as partial"),
         }
     }
+}
 
-    #[test]
-    fn any_prefix_is_partial_or_error_never_complete_wrong(
-        path in "/[a-z0-9]{0,10}",
-        cut_frac in 0.0f64..1.0,
-    ) {
-        let req = Request::get(path).with_header("Host", "h");
+#[test]
+fn any_prefix_is_partial_or_error_never_complete_wrong() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x47_2000 + case);
+        let req = Request::get(gen_path(&mut rng, 10)).with_header("Host", "h");
         let mut buf = bytes::BytesMut::new();
         encode_request(&req, &mut buf);
+        let cut_frac: f64 = rng.gen_range(0.0..1.0);
         let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
         // A strict prefix can be Partial (or an error for pathological
         // cuts, though our grammar has none) — never a Complete parse.
         if let Ok(Parsed::Complete { .. }) = parse_request(&buf[..cut]) {
-            prop_assert!(false, "prefix of length {cut} parsed as complete");
+            panic!("case {case}: prefix of length {cut} parsed as complete");
         }
     }
+}
 
-    #[test]
-    fn byte_range_display_parse_round_trip(a in 0u64..1_000_000, span in 0u64..1_000_000) {
+#[test]
+fn byte_range_display_parse_round_trip() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x47_3000 + case);
+        let a = rng.gen_range(0u64..1_000_000);
+        let span = rng.gen_range(0u64..1_000_000);
         for r in [
             ByteRange::FromTo(a, a + span),
             ByteRange::From(a),
             ByteRange::Suffix(span + 1),
         ] {
-            prop_assert_eq!(ByteRange::parse(&r.to_string()).unwrap(), r);
+            assert_eq!(ByteRange::parse(&r.to_string()).unwrap(), r, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn resolve_is_within_bounds(a in 0u64..2_000_000, b in 0u64..2_000_000, total in 0u64..1_500_000) {
+#[test]
+fn resolve_is_within_bounds() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x47_4000 + case);
+        let a = rng.gen_range(0u64..2_000_000);
+        let b = rng.gen_range(0u64..2_000_000);
+        let total = rng.gen_range(0u64..1_500_000);
         let (lo, hi) = (a.min(b), a.max(b));
-        for r in [ByteRange::FromTo(lo, hi), ByteRange::From(lo), ByteRange::Suffix(hi + 1)] {
+        for r in [
+            ByteRange::FromTo(lo, hi),
+            ByteRange::From(lo),
+            ByteRange::Suffix(hi + 1),
+        ] {
             match r.resolve(total) {
-                None => prop_assert!(total == 0 || matches!(r, ByteRange::FromTo(x, _) | ByteRange::From(x) if x >= total)),
+                None => assert!(
+                    total == 0
+                        || matches!(
+                            r,
+                            ByteRange::FromTo(x, _) | ByteRange::From(x) if x >= total
+                        ),
+                    "case {case}"
+                ),
                 Some((first, last)) => {
-                    prop_assert!(first <= last);
-                    prop_assert!(last < total);
+                    assert!(first <= last, "case {case}");
+                    assert!(last < total, "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn probe_and_remainder_partition_the_file(x in 1u64..1_000_000, extra in 1u64..1_000_000) {
+#[test]
+fn probe_and_remainder_partition_the_file() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x47_5000 + case);
+        let x = rng.gen_range(1u64..1_000_000);
+        let extra = rng.gen_range(1u64..1_000_000);
         // The paper's two requests: bytes=0-(x-1) and bytes=x- must
         // partition an n-byte file exactly.
         let n = x + extra;
         let (p1, p2) = ByteRange::first(x).resolve(n).unwrap();
         let (r1, r2) = ByteRange::from_offset(x).resolve(n).unwrap();
-        prop_assert_eq!(p1, 0);
-        prop_assert_eq!(p2 + 1, r1);
-        prop_assert_eq!(r2, n - 1);
-        prop_assert_eq!(
+        assert_eq!(p1, 0, "case {case}");
+        assert_eq!(p2 + 1, r1, "case {case}");
+        assert_eq!(r2, n - 1, "case {case}");
+        assert_eq!(
             ByteRange::resolved_len(p1, p2) + ByteRange::resolved_len(r1, r2),
-            n
+            n,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn content_range_round_trips(first in 0u64..1_000_000, len in 1u64..1_000_000, slack in 0u64..100) {
+#[test]
+fn content_range_round_trips() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x47_6000 + case);
+        let first = rng.gen_range(0u64..1_000_000);
+        let len = rng.gen_range(1u64..1_000_000);
+        let slack = rng.gen_range(0u64..100);
         let last = first + len - 1;
         let total = last + 1 + slack;
         let cr = ContentRange::new(first, last, total);
-        prop_assert_eq!(ContentRange::parse(&cr.to_string()).unwrap(), cr);
-        prop_assert_eq!(cr.len(), len);
+        assert_eq!(
+            ContentRange::parse(&cr.to_string()).unwrap(),
+            cr,
+            "case {case}"
+        );
+        assert_eq!(cr.len(), len, "case {case}");
     }
+}
 
-    #[test]
-    fn headers_lookup_is_case_insensitive(name in arb_token(), value in arb_value()) {
+#[test]
+fn headers_lookup_is_case_insensitive() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x47_7000 + case);
+        let name = gen_token(&mut rng);
+        let value = gen_value(&mut rng);
         let mut h = Headers::new();
         h.append(name.clone(), value.clone());
-        prop_assert_eq!(h.get(&name.to_uppercase()), Some(value.as_str()));
-        prop_assert_eq!(h.get(&name.to_lowercase()), Some(value.as_str()));
+        assert_eq!(
+            h.get(&name.to_uppercase()),
+            Some(value.as_str()),
+            "case {case}"
+        );
+        assert_eq!(
+            h.get(&name.to_lowercase()),
+            Some(value.as_str()),
+            "case {case}"
+        );
     }
 }

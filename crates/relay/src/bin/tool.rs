@@ -112,7 +112,10 @@ fn main() {
                 })
                 .unwrap_or_default();
             let cfg = ClientConfig {
-                path: flags.get("path").cloned().unwrap_or_else(|| "/file.bin".into()),
+                path: flags
+                    .get("path")
+                    .cloned()
+                    .unwrap_or_else(|| "/file.bin".into()),
                 probe_bytes: flags
                     .get("probe")
                     .and_then(|v| v.parse().ok())

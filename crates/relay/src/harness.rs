@@ -206,11 +206,7 @@ mod tests {
         assert!(out.body_ok);
         // Direct would take ~2.5 s; the relay path is several times
         // faster even counting the probe.
-        assert!(
-            out.throughput > 250.0 * KB,
-            "thr {:.0} B/s",
-            out.throughput
-        );
+        assert!(out.throughput > 250.0 * KB, "thr {:.0} B/s", out.throughput);
     }
 
     #[test]

@@ -218,7 +218,10 @@ fn respond(out: &mut dyn Write, req: &Request, cfg: &OriginConfig) -> Result<(),
         .with_header("Content-Length", len.to_string())
         .with_header("Accept-Ranges", "bytes");
     if status == StatusCode::PARTIAL_CONTENT {
-        resp = resp.with_header("Content-Range", ContentRange::new(first, last, total).to_string());
+        resp = resp.with_header(
+            "Content-Range",
+            ContentRange::new(first, last, total).to_string(),
+        );
     }
     write_head(out, &resp)?;
 
@@ -294,7 +297,10 @@ mod tests {
         let (head, body) = get(origin.addr(), &req);
         assert_eq!(head.status, StatusCode::OK);
         assert_eq!(body.len(), 10_000);
-        assert!(body.iter().enumerate().all(|(i, &b)| b == body_byte(i as u64)));
+        assert!(body
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == body_byte(i as u64)));
     }
 
     #[test]
@@ -405,10 +411,9 @@ mod tests {
     #[test]
     fn latency_delays_first_byte() {
         let fast = OriginServer::start(OriginConfig::new(100)).unwrap();
-        let slow = OriginServer::start(
-            OriginConfig::new(100).with_latency(Duration::from_millis(150)),
-        )
-        .unwrap();
+        let slow =
+            OriginServer::start(OriginConfig::new(100).with_latency(Duration::from_millis(150)))
+                .unwrap();
         let req = Request::get("/f").with_header("Host", "o");
         let t0 = std::time::Instant::now();
         let _ = get(fast.addr(), &req);

@@ -12,6 +12,8 @@ use crate::shaper::{RateSchedule, TokenBucket};
 use crate::stream::ThrottledStream;
 use bytes::BytesMut;
 use ir_http::{encode_request, encode_response, plan_forward, Parsed, Response, StatusCode};
+use ir_telemetry::trace::{Event, EventKind};
+use ir_telemetry::Telemetry;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,6 +29,10 @@ pub struct RelayConfig {
     /// Added delay before forwarding each request — emulates the
     /// client→relay leg's latency.
     pub latency: Duration,
+    /// Observability handle shared with the rest of the process; `None`
+    /// (the default) costs nothing. Events carry wall-clock
+    /// microseconds since the daemon's accept-loop epoch.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl RelayConfig {
@@ -35,6 +41,7 @@ impl RelayConfig {
         RelayConfig {
             rate: None,
             latency: Duration::ZERO,
+            telemetry: None,
         }
     }
 
@@ -43,12 +50,19 @@ impl RelayConfig {
         RelayConfig {
             rate: Some(schedule),
             latency: Duration::ZERO,
+            telemetry: None,
         }
     }
 
     /// Adds per-request latency (overlay-leg propagation emulation).
     pub fn with_latency(mut self, latency: Duration) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Attaches a telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -107,12 +121,23 @@ impl Drop for Relay {
 fn accept_loop(listener: TcpListener, cfg: RelayConfig, shutdown: Arc<AtomicBool>) {
     // One path timeline shared by all connections (see origin).
     let epoch = std::time::Instant::now();
+    let mut conns = 0u64;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                let conn_id = conns;
+                conns += 1;
+                if let Some(tel) = &cfg.telemetry {
+                    tel.metrics.counter("relay_connections", vec![]).inc();
+                    tel.tracer.record(Event::new(
+                        EventKind::RelayAccept,
+                        epoch.elapsed().as_micros() as u64,
+                        conn_id,
+                    ));
+                }
                 let cfg = cfg.clone();
                 std::thread::spawn(move || {
-                    let _ = serve_client(stream, &cfg, epoch);
+                    let _ = serve_client(stream, &cfg, epoch, conn_id);
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -121,12 +146,23 @@ fn accept_loop(listener: TcpListener, cfg: RelayConfig, shutdown: Arc<AtomicBool
             Err(_) => break,
         }
     }
+    if let Some(tel) = &cfg.telemetry {
+        tel.tracer.record(
+            Event::new(
+                EventKind::RelayShutdown,
+                epoch.elapsed().as_micros() as u64,
+                0,
+            )
+            .with_u64("connections", conns),
+        );
+    }
 }
 
 fn serve_client(
     mut client: TcpStream,
     cfg: &RelayConfig,
     epoch: std::time::Instant,
+    conn_id: u64,
 ) -> Result<(), RelayError> {
     client.set_read_timeout(Some(Duration::from_secs(30)))?;
     client.set_nodelay(true)?;
@@ -146,17 +182,44 @@ fn serve_client(
             )),
             None => Box::new(client.try_clone()?),
         };
+        let splice_start = epoch.elapsed();
         match forward_one(&req, &mut *down) {
-            Ok(()) => {}
+            Ok(bytes) => {
+                if let Some(tel) = &cfg.telemetry {
+                    let dur = epoch.elapsed() - splice_start;
+                    tel.metrics.counter("relay_requests", vec![]).inc();
+                    tel.metrics.counter("relay_bytes", vec![]).add(bytes);
+                    tel.metrics
+                        .histogram("relay_splice_us", vec![])
+                        .record(dur.as_micros() as u64);
+                    tel.tracer.record(
+                        Event::span(
+                            EventKind::RelaySplice,
+                            splice_start.as_micros() as u64,
+                            dur.as_micros() as u64,
+                            conn_id,
+                        )
+                        .with_u64("bytes", bytes),
+                    );
+                }
+            }
             Err(RelayError::Http(_)) => {
                 // The client sent something we refuse to proxy.
-                let resp = Response::new(StatusCode::BAD_REQUEST).with_header("Content-Length", "0");
+                if let Some(tel) = &cfg.telemetry {
+                    tel.metrics.counter("relay_errors", vec![]).inc();
+                }
+                let resp =
+                    Response::new(StatusCode::BAD_REQUEST).with_header("Content-Length", "0");
                 let mut buf = BytesMut::new();
                 encode_response(&resp, &mut buf);
                 down.write_all(&buf)?;
             }
             Err(_) => {
-                let resp = Response::new(StatusCode::BAD_GATEWAY).with_header("Content-Length", "0");
+                if let Some(tel) = &cfg.telemetry {
+                    tel.metrics.counter("relay_errors", vec![]).inc();
+                }
+                let resp =
+                    Response::new(StatusCode::BAD_GATEWAY).with_header("Content-Length", "0");
                 let mut buf = BytesMut::new();
                 encode_response(&resp, &mut buf);
                 down.write_all(&buf)?;
@@ -167,8 +230,8 @@ fn serve_client(
 }
 
 /// Forwards a single request to its origin and streams the response
-/// into `down`.
-fn forward_one(req: &ir_http::Request, down: &mut dyn Write) -> Result<(), RelayError> {
+/// into `down`. Returns the number of body bytes spliced through.
+fn forward_one(req: &ir_http::Request, down: &mut dyn Write) -> Result<u64, RelayError> {
     let plan = plan_forward(req)?;
     let mut origin = TcpStream::connect((plan.host.as_str(), plan.port))?;
     origin.set_read_timeout(Some(Duration::from_secs(30)))?;
@@ -227,7 +290,7 @@ fn forward_one(req: &ir_http::Request, down: &mut dyn Write) -> Result<(), Relay
         down.write_all(&chunk[..n])?;
         sent += n as u64;
     }
-    Ok(())
+    Ok(sent)
 }
 
 #[cfg(test)]
@@ -288,18 +351,17 @@ mod tests {
         assert_eq!(head.status, StatusCode::OK);
         assert!(head.headers.get("Via").unwrap().contains("ir-relay"));
         assert_eq!(body.len(), 20_000);
-        assert!(body.iter().enumerate().all(|(i, &b)| b == body_byte(i as u64)));
+        assert!(body
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == body_byte(i as u64)));
     }
 
     #[test]
     fn relays_range_requests() {
         let origin = OriginServer::start(OriginConfig::new(100_000)).unwrap();
         let relay = Relay::start(RelayConfig::new()).unwrap();
-        let (head, body) = fetch_via(
-            relay.addr(),
-            origin.addr(),
-            Some(ByteRange::first(4096)),
-        );
+        let (head, body) = fetch_via(relay.addr(), origin.addr(), Some(ByteRange::first(4096)));
         assert_eq!(head.status, StatusCode::PARTIAL_CONTENT);
         assert_eq!(body.len(), 4096);
         assert_eq!(
@@ -323,7 +385,10 @@ mod tests {
         assert_eq!(b1.len(), 80_000);
         assert_eq!(b2, b1);
         // 80 KB minus burst at 150 KB/s ≈ 0.43 s; fast path ~instant.
-        assert!(slow_dt > fast_dt * 3, "slow {slow_dt:?} vs fast {fast_dt:?}");
+        assert!(
+            slow_dt > fast_dt * 3,
+            "slow {slow_dt:?} vs fast {fast_dt:?}"
+        );
     }
 
     #[test]
@@ -383,6 +448,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(win.choice, ChosenPath::Relay(1), "lag should lose the race");
+    }
+
+    #[test]
+    fn telemetry_observes_accept_splice_and_shutdown() {
+        let tel = Arc::new(Telemetry::new());
+        let origin = OriginServer::start(OriginConfig::new(5_000)).unwrap();
+        {
+            let relay = Relay::start(RelayConfig::new().with_telemetry(tel.clone())).unwrap();
+            let (head, body) = fetch_via(relay.addr(), origin.addr(), None);
+            assert_eq!(head.status, StatusCode::OK);
+            assert_eq!(body.len(), 5_000);
+        } // Drop → shutdown → accept loop exits and records the event.
+
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("relay_connections", &vec![]), Some(1));
+        assert_eq!(snap.counter("relay_requests", &vec![]), Some(1));
+        assert_eq!(snap.counter("relay_bytes", &vec![]), Some(5_000));
+        let kinds: Vec<EventKind> = tel.tracer.snapshot().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::RelayAccept));
+        assert!(kinds.contains(&EventKind::RelaySplice));
+        assert!(kinds.contains(&EventKind::RelayShutdown));
+        // The splice is a span on the daemon's wall clock.
+        let splice = tel
+            .tracer
+            .snapshot()
+            .into_iter()
+            .find(|e| e.kind == EventKind::RelaySplice)
+            .unwrap();
+        assert!(splice.dur_us.is_some());
     }
 
     #[test]

@@ -191,7 +191,7 @@ mod tests {
         );
         let t0 = Instant::now();
         b.take_at(100, t0); // drain burst
-        // During the slow first second: ~100 tokens in 1 s.
+                            // During the slow first second: ~100 tokens in 1 s.
         let got_slow = b.take_at(10_000, t0 + Duration::from_millis(900));
         assert!(got_slow < 150, "slow phase granted {got_slow}");
         // Fast phase: ~10k tokens per second (capped by burst anyway).

@@ -143,12 +143,7 @@ impl RealTransport {
     }
 
     /// Launches a transfer thread; `conn` is `Some` for warm reuse.
-    fn launch(
-        &mut self,
-        path: &PathSpec,
-        bytes: u64,
-        warm_conn: Option<TcpStream>,
-    ) -> Handle {
+    fn launch(&mut self, path: &PathSpec, bytes: u64, warm_conn: Option<TcpStream>) -> Handle {
         let start_offset = if warm_conn.is_some() {
             self.next_offset.get(path).copied().unwrap_or(0)
         } else {

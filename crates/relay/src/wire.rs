@@ -38,11 +38,7 @@ pub fn read_head(stream: &mut TcpStream) -> Result<(Response, Vec<u8>), RelayErr
 }
 
 /// Reads exactly `len` body bytes, `prefix` first.
-pub fn read_body(
-    stream: &mut TcpStream,
-    prefix: Vec<u8>,
-    len: u64,
-) -> Result<Vec<u8>, RelayError> {
+pub fn read_body(stream: &mut TcpStream, prefix: Vec<u8>, len: u64) -> Result<Vec<u8>, RelayError> {
     let mut body = prefix;
     if body.len() as u64 > len {
         body.truncate(len as usize);
@@ -89,7 +85,10 @@ mod tests {
         let (head, body) = exchange(&mut s, &req).unwrap();
         assert_eq!(head.status, StatusCode::PARTIAL_CONTENT);
         assert_eq!(body.len(), 100);
-        assert!(body.iter().enumerate().all(|(i, &b)| b == body_byte(i as u64)));
+        assert!(body
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == body_byte(i as u64)));
     }
 
     #[test]

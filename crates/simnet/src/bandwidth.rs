@@ -175,7 +175,11 @@ impl PiecewiseProcess {
     /// `SimTime::ZERO` and starts must be strictly increasing.
     pub fn new(breakpoints: Vec<(SimTime, f64)>) -> Self {
         assert!(!breakpoints.is_empty(), "no breakpoints");
-        assert_eq!(breakpoints[0].0, SimTime::ZERO, "first breakpoint must be t=0");
+        assert_eq!(
+            breakpoints[0].0,
+            SimTime::ZERO,
+            "first breakpoint must be t=0"
+        );
         let mut starts = Vec::with_capacity(breakpoints.len());
         let mut rates = Vec::with_capacity(breakpoints.len());
         for (t, r) in breakpoints {
@@ -244,7 +248,10 @@ impl RegimeSwitchingProcess {
         seed: u64,
     ) -> Self {
         assert!(!levels.is_empty(), "no levels");
-        assert!(levels.iter().all(|&l| l.is_finite() && l > 0.0), "bad level");
+        assert!(
+            levels.iter().all(|&l| l.is_finite() && l > 0.0),
+            "bad level"
+        );
         assert_eq!(levels.len(), hold_means.len(), "holds/levels mismatch");
         assert!(hold_means.iter().all(|h| !h.is_zero()), "zero holding time");
         assert!(noise_sigma >= 0.0, "negative sigma");
@@ -267,9 +274,7 @@ impl RegimeSwitchingProcess {
         let noise = LogNormal::new(0.0, self.noise_sigma);
         while self.timeline.horizon <= t {
             let hold = Exponential::with_mean(self.hold_means[self.state].as_secs_f64());
-            let dwell = SimDuration::from_secs_f64_ceil(
-                hold.sample(&mut self.rng).max(1e-6),
-            );
+            let dwell = SimDuration::from_secs_f64_ceil(hold.sample(&mut self.rng).max(1e-6));
             let next_start = self.timeline.horizon + dwell;
             // Jump to a uniformly random *different* state when more than
             // one level exists.
@@ -612,11 +617,7 @@ mod tests {
 
     #[test]
     fn piecewise_lookup_and_changes() {
-        let mut p = PiecewiseProcess::new(vec![
-            (SimTime::ZERO, 10.0),
-            (t(10), 20.0),
-            (t(20), 5.0),
-        ]);
+        let mut p = PiecewiseProcess::new(vec![(SimTime::ZERO, 10.0), (t(10), 20.0), (t(20), 5.0)]);
         assert_eq!(p.rate_at(SimTime::ZERO), 10.0);
         assert_eq!(p.rate_at(t(9)), 10.0);
         assert_eq!(p.rate_at(t(10)), 20.0);
@@ -634,12 +635,9 @@ mod tests {
 
     #[test]
     fn regime_switching_is_deterministic_and_positive() {
-        let mk = || RegimeSwitchingProcess::new(
-            vec![1e5, 1e6, 5e6],
-            SimDuration::from_secs(300),
-            0.2,
-            42,
-        );
+        let mk = || {
+            RegimeSwitchingProcess::new(vec![1e5, 1e6, 5e6], SimDuration::from_secs(300), 0.2, 42)
+        };
         let mut a = mk();
         let mut b = mk();
         for s in (0..36_000).step_by(61) {
@@ -651,12 +649,7 @@ mod tests {
 
     #[test]
     fn regime_switching_actually_switches() {
-        let mut p = RegimeSwitchingProcess::new(
-            vec![1e5, 1e6],
-            SimDuration::from_secs(60),
-            0.0,
-            7,
-        );
+        let mut p = RegimeSwitchingProcess::new(vec![1e5, 1e6], SimDuration::from_secs(60), 0.0, 7);
         let mut seen = std::collections::BTreeSet::new();
         for s in 0..3600 {
             seen.insert(p.rate_at(t(s)).to_bits());
@@ -666,12 +659,7 @@ mod tests {
 
     #[test]
     fn regime_switching_rate_stable_after_requery() {
-        let mut p = RegimeSwitchingProcess::new(
-            vec![1e6, 2e6],
-            SimDuration::from_secs(10),
-            0.3,
-            9,
-        );
+        let mut p = RegimeSwitchingProcess::new(vec![1e6, 2e6], SimDuration::from_secs(10), 0.3, 9);
         let early = p.rate_at(t(5));
         let _ = p.rate_at(t(10_000)); // extend far ahead
         assert_eq!(p.rate_at(t(5)), early, "history rewritten");
@@ -679,12 +667,7 @@ mod tests {
 
     #[test]
     fn next_change_is_strictly_after_and_rate_differs_segment() {
-        let mut p = RegimeSwitchingProcess::new(
-            vec![1e5, 1e6],
-            SimDuration::from_secs(30),
-            0.0,
-            3,
-        );
+        let mut p = RegimeSwitchingProcess::new(vec![1e5, 1e6], SimDuration::from_secs(30), 0.0, 3);
         let mut now = SimTime::ZERO;
         for _ in 0..50 {
             let next = p.next_change_after(now).unwrap();

@@ -132,10 +132,16 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime::from_secs(1), 1);
         q.push(SimTime::from_secs(5), 5);
-        assert_eq!(q.pop_until(SimTime::from_secs(2)), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(2)),
+            Some((SimTime::from_secs(1), 1))
+        );
         assert_eq!(q.pop_until(SimTime::from_secs(2)), None);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop_until(SimTime::from_secs(5)), Some((SimTime::from_secs(5), 5)));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(5)),
+            Some((SimTime::from_secs(5), 5))
+        );
     }
 
     #[test]

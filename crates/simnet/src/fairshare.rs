@@ -110,9 +110,10 @@ pub fn max_min_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
             let cap_hit = rate[f] >= flow.cap - EPS * flow.cap.max(1.0);
             // Infinite-capacity links never saturate (INF - x == INF and
             // INF <= EPS*INF would be vacuously true).
-            let link_hit = flow.links.iter().any(|&l| {
-                link_caps[l].is_finite() && residual[l] <= EPS * link_caps[l].max(1.0)
-            });
+            let link_hit = flow
+                .links
+                .iter()
+                .any(|&l| link_caps[l].is_finite() && residual[l] <= EPS * link_caps[l].max(1.0));
             if cap_hit || link_hit {
                 frozen[f] = true;
                 any_frozen = true;

@@ -54,8 +54,8 @@ pub mod prelude {
     pub use crate::fairshare::{max_min_rates, AllocFlow};
     pub use crate::sim::{CompletedFlow, ConstCap, EngineStats, FlowId, Network, NoCap, RateCap};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::tracer::{trace_link, trace_process, RateTrace};
     pub use crate::topology::{LinkId, Node, NodeId, NodeKind, Route, Sharing, Topology};
+    pub use crate::tracer::{trace_link, trace_process, RateTrace};
 }
 
 pub use prelude::*;

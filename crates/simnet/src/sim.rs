@@ -16,9 +16,12 @@
 //! genuinely interference-free control configuration when desired.
 
 use crate::bandwidth::BandwidthProcess;
+use crate::fairshare::{max_min_rates, AllocFlow};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, Route, Topology};
-use crate::fairshare::{max_min_rates, AllocFlow};
+use ir_telemetry::trace::{Event, EventKind};
+use ir_telemetry::Telemetry;
+use std::sync::Arc;
 
 /// Identifier of a flow within one [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -155,6 +158,10 @@ pub struct Network {
     active: std::collections::BTreeSet<usize>,
     now: SimTime,
     stats: EngineStats,
+    /// Observability handle; `None` (the default) costs nothing on any
+    /// path. Strictly observational: never consumes randomness, never
+    /// moves the clock, never changes control flow.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Clone for Network {
@@ -166,6 +173,7 @@ impl Clone for Network {
             active: self.active.clone(),
             now: self.now,
             stats: self.stats,
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -187,12 +195,25 @@ impl Network {
             active: std::collections::BTreeSet::new(),
             now: SimTime::ZERO,
             stats: EngineStats::default(),
+            telemetry: None,
         }
     }
 
     /// Engine counters since construction (clones inherit the donor's).
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Attaches (or with `None`, detaches) a telemetry handle. Clones
+    /// made after this call inherit the handle, so every replica of a
+    /// scenario network reports into the same registry.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.telemetry = telemetry;
+    }
+
+    /// The currently attached telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Attaches a bandwidth process to a link, replacing the previous
@@ -241,6 +262,14 @@ impl Network {
             self.active.insert(id.0 as usize);
         }
         self.stats.flows_started += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.metrics.counter("simnet_flows_started", vec![]).inc();
+            tel.tracer.record(
+                Event::new(EventKind::FlowStart, self.now.as_micros(), id.0)
+                    .with_u64("bytes", bytes)
+                    .with_u64("hops", self.flows[id.0 as usize].route.links.len() as u64),
+            );
+        }
         id
     }
 
@@ -250,8 +279,16 @@ impl Network {
         let f = &mut self.flows[id.0 as usize];
         if f.finished.is_none() {
             f.cancelled = true;
+            let done = f.bytes_done as u64;
             self.active.remove(&(id.0 as usize));
             self.stats.flows_cancelled += 1;
+            if let Some(tel) = &self.telemetry {
+                tel.metrics.counter("simnet_flows_cancelled", vec![]).inc();
+                tel.tracer.record(
+                    Event::new(EventKind::FlowCancel, self.now.as_micros(), id.0)
+                        .with_u64("bytes_done", done),
+                );
+            }
         }
     }
 
@@ -301,10 +338,7 @@ impl Network {
         in_use.dedup();
         // Dense remap: link index -> slot in the fair-share problem.
         let slot_of = |l: usize| in_use.binary_search(&l).expect("in-use link");
-        let rates: Vec<f64> = in_use
-            .iter()
-            .map(|&l| self.procs[l].rate_at(t))
-            .collect();
+        let rates: Vec<f64> = in_use.iter().map(|&l| self.procs[l].rate_at(t)).collect();
         let caps: Vec<f64> = in_use
             .iter()
             .enumerate()
@@ -351,6 +385,13 @@ impl Network {
             return Vec::new();
         }
         let rates = self.current_rates(&active);
+        if let Some(tel) = &self.telemetry {
+            tel.metrics.counter("simnet_recomputes", vec![]).inc();
+            tel.tracer.record(
+                Event::new(EventKind::FairShareRecompute, self.now.as_micros(), 0)
+                    .with_u64("active_flows", active.len() as u64),
+            );
+        }
 
         let mut boundary = until;
         let mut in_use = std::collections::BTreeSet::new();
@@ -411,6 +452,19 @@ impl Network {
             }
         }
         self.now = boundary;
+        if let Some(tel) = &self.telemetry {
+            for c in &done {
+                let dur = (c.finished - c.started).as_micros();
+                tel.metrics.counter("simnet_flows_completed", vec![]).inc();
+                tel.metrics
+                    .histogram("simnet_flow_duration_us", vec![])
+                    .record(dur);
+                tel.tracer.record(
+                    Event::span(EventKind::FlowComplete, c.started.as_micros(), dur, c.id.0)
+                        .with_u64("bytes", c.bytes),
+                );
+            }
+        }
         done
     }
 
@@ -454,7 +508,11 @@ impl Network {
     /// exactly at the winning completion instant, so the caller can
     /// cancel the losers at the moment the race is decided — the probe
     /// protocol in `ir-core` relies on this.
-    pub fn run_until_first_of(&mut self, ids: &[FlowId], horizon: SimTime) -> Option<CompletedFlow> {
+    pub fn run_until_first_of(
+        &mut self,
+        ids: &[FlowId],
+        horizon: SimTime,
+    ) -> Option<CompletedFlow> {
         // One of them may already be done.
         if let Some(c) = self.earliest_completion_of(ids) {
             return Some(c);
@@ -565,10 +623,13 @@ mod tests {
     fn piecewise_rate_change_mid_flow() {
         let (mut net, direct, _) = diamond([1.0, 1.0, 1.0]);
         // Override L0: 100 B/s for 10 s, then 900 B/s.
-        let l0 = net.topology().link_between(
-            net.topology().node_by_name("c").unwrap(),
-            net.topology().node_by_name("s").unwrap(),
-        ).unwrap();
+        let l0 = net
+            .topology()
+            .link_between(
+                net.topology().node_by_name("c").unwrap(),
+                net.topology().node_by_name("s").unwrap(),
+            )
+            .unwrap();
         net.set_link_process(
             l0,
             Box::new(PiecewiseProcess::new(vec![
@@ -726,6 +787,49 @@ mod tests {
         assert_eq!(st.flows_completed, 1);
         assert_eq!(st.flows_cancelled, 1);
         assert!(st.boundaries >= 1);
+    }
+
+    #[test]
+    fn telemetry_observes_without_changing_results() {
+        let (mut plain, direct_p, _) = diamond([1000.0, 1.0, 1.0]);
+        let (mut traced, direct_t, _) = diamond([1000.0, 1.0, 1.0]);
+        let tel = Arc::new(Telemetry::new());
+        traced.set_telemetry(Some(tel.clone()));
+
+        let a = plain.start_flow(direct_p.clone(), 10_000, Box::new(NoCap));
+        let b = traced.start_flow(direct_t.clone(), 10_000, Box::new(NoCap));
+        let ca = plain.run_flow(a, SimTime::from_secs(100)).unwrap();
+        let cb = traced.run_flow(b, SimTime::from_secs(100)).unwrap();
+        assert_eq!(ca.finished, cb.finished, "telemetry changed the sim");
+
+        let x = traced.start_flow(direct_t, 1_000_000, Box::new(NoCap));
+        traced.cancel_flow(x);
+
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("simnet_flows_started", &vec![]), Some(2));
+        assert_eq!(snap.counter("simnet_flows_completed", &vec![]), Some(1));
+        assert_eq!(snap.counter("simnet_flows_cancelled", &vec![]), Some(1));
+        let kinds: Vec<EventKind> = tel.tracer.snapshot().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::FlowStart));
+        assert!(kinds.contains(&EventKind::FlowComplete));
+        assert!(kinds.contains(&EventKind::FlowCancel));
+        assert!(kinds.contains(&EventKind::FairShareRecompute));
+    }
+
+    #[test]
+    fn clones_inherit_the_telemetry_handle() {
+        let (mut net, direct, _) = diamond([1000.0, 1.0, 1.0]);
+        let tel = Arc::new(Telemetry::new());
+        net.set_telemetry(Some(tel.clone()));
+        let mut replica = net.clone();
+        replica.start_flow(direct, 100, Box::new(NoCap));
+        assert_eq!(
+            tel.metrics
+                .snapshot()
+                .counter("simnet_flows_started", &vec![]),
+            Some(1),
+            "replica reports into the shared registry"
+        );
     }
 
     #[test]

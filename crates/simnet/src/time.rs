@@ -70,7 +70,10 @@ impl SimTime {
     ///
     /// Panics if `earlier` is after `self`.
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        assert!(earlier <= self, "time went backwards: {earlier:?} > {self:?}");
+        assert!(
+            earlier <= self,
+            "time went backwards: {earlier:?} > {self:?}"
+        );
         SimDuration(self.0 - earlier.0)
     }
 

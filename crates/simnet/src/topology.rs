@@ -118,7 +118,10 @@ impl Topology {
         latency: SimDuration,
         sharing: Sharing,
     ) -> LinkId {
-        assert!((from.0 as usize) < self.nodes.len(), "unknown node {from:?}");
+        assert!(
+            (from.0 as usize) < self.nodes.len(),
+            "unknown node {from:?}"
+        );
         assert!((to.0 as usize) < self.nodes.len(), "unknown node {to:?}");
         assert_ne!(from, to, "self-link");
         assert!(

@@ -1,43 +1,53 @@
-//! Property tests for bandwidth processes: positivity, determinism,
-//! history stability, and boundary consistency.
+//! Randomized property tests for bandwidth processes: positivity,
+//! determinism, history stability, and boundary consistency.
+//!
+//! These were proptest-based; the offline build has no proptest, so the
+//! same invariants are checked over seeded random case sweeps (every
+//! failure reproduces from the printed case seed).
 
 use ir_simnet::bandwidth::{
     Ar1LogProcess, BandwidthProcess, JumpMixProcess, RegimeSwitchingProcess, MIN_RATE,
 };
 use ir_simnet::time::{SimDuration, SimTime};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn mk_regime(seed: u64, levels: Vec<f64>, hold_s: u64, noise: f64) -> RegimeSwitchingProcess {
     RegimeSwitchingProcess::new(levels, SimDuration::from_secs(hold_s), noise, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn regime_rates_positive_and_deterministic() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xB0_0000 + case);
+        let seed: u64 = rng.gen();
+        let levels: Vec<f64> = (0..rng.gen_range(1..4usize))
+            .map(|_| rng.gen_range(1.0..1e7))
+            .collect();
+        let hold_s = rng.gen_range(1u64..2000);
+        let noise = rng.gen_range(0.0..0.8);
+        let queries: Vec<u64> = (0..rng.gen_range(1..30usize))
+            .map(|_| rng.gen_range(0u64..100_000))
+            .collect();
 
-    #[test]
-    fn regime_rates_positive_and_deterministic(
-        seed in any::<u64>(),
-        levels in prop::collection::vec(1.0f64..1e7, 1..4),
-        hold_s in 1u64..2000,
-        noise in 0.0f64..0.8,
-        queries in prop::collection::vec(0u64..100_000, 1..30),
-    ) {
         let mut a = mk_regime(seed, levels.clone(), hold_s, noise);
         let mut b = mk_regime(seed, levels, hold_s, noise);
         for &q in &queries {
             let t = SimTime::from_secs(q);
             let ra = a.rate_at(t);
-            prop_assert!(ra >= MIN_RATE);
-            prop_assert!(ra.is_finite());
-            prop_assert_eq!(ra, b.rate_at(t), "nondeterministic at {}", q);
+            assert!(ra >= MIN_RATE, "case {case}: rate below floor");
+            assert!(ra.is_finite(), "case {case}: rate not finite");
+            assert_eq!(ra, b.rate_at(t), "case {case}: nondeterministic at {q}");
         }
     }
+}
 
-    #[test]
-    fn regime_history_is_stable_under_out_of_order_queries(
-        seed in any::<u64>(),
-        hold_s in 1u64..500,
-    ) {
+#[test]
+fn regime_history_is_stable_under_out_of_order_queries() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xB1_0000 + case);
+        let seed: u64 = rng.gen();
+        let hold_s = rng.gen_range(1u64..500);
         let mut p = mk_regime(seed, vec![1e4, 1e6], hold_s, 0.2);
         // Sample forward, then re-query the same instants after
         // extending far ahead; answers must not change.
@@ -45,54 +55,61 @@ proptest! {
         let first: Vec<f64> = times.iter().map(|&t| p.rate_at(t)).collect();
         let _ = p.rate_at(SimTime::from_secs(1_000_000));
         let second: Vec<f64> = times.iter().map(|&t| p.rate_at(t)).collect();
-        prop_assert_eq!(first, second);
+        assert_eq!(first, second, "case {case}: history rewritten");
     }
+}
 
-    #[test]
-    fn next_change_is_strictly_increasing_and_rate_constant_between(
-        seed in any::<u64>(),
-        hold_s in 1u64..300,
-    ) {
+#[test]
+fn next_change_is_strictly_increasing_and_rate_constant_between() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xB2_0000 + case);
+        let seed: u64 = rng.gen();
+        let hold_s = rng.gen_range(1u64..300);
         let mut p = mk_regime(seed, vec![5e4, 5e5, 5e6], hold_s, 0.1);
         let mut t = SimTime::ZERO;
         for _ in 0..20 {
             let next = p.next_change_after(t).expect("regimes change forever");
-            prop_assert!(next > t);
+            assert!(next > t, "case {case}: boundary not in the future");
             // Rate just before the boundary equals the rate at t.
             let r_t = p.rate_at(t);
             let just_before = SimTime::from_micros(next.as_micros() - 1);
             if just_before > t {
-                prop_assert_eq!(p.rate_at(just_before), r_t);
+                assert_eq!(p.rate_at(just_before), r_t, "case {case}: rate drifted");
             }
             t = next;
         }
     }
+}
 
-    #[test]
-    fn ar1_stays_positive_and_bounded(
-        seed in any::<u64>(),
-        median in 1e3f64..1e7,
-        phi in 0.0f64..0.99,
-        sigma in 0.0f64..0.3,
-    ) {
-        let mut p = Ar1LogProcess::new(
-            median, phi, sigma, SimDuration::from_secs(60), seed,
-        );
+#[test]
+fn ar1_stays_positive_and_bounded() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xB3_0000 + case);
+        let seed: u64 = rng.gen();
+        let median = rng.gen_range(1e3..1e7);
+        let phi = rng.gen_range(0.0..0.99);
+        let sigma = rng.gen_range(0.0..0.3);
+        let mut p = Ar1LogProcess::new(median, phi, sigma, SimDuration::from_secs(60), seed);
         for i in 0..200u64 {
             let r = p.rate_at(SimTime::from_secs(i * 60));
-            prop_assert!(r >= MIN_RATE);
-            prop_assert!(r.is_finite());
+            assert!(r >= MIN_RATE, "case {case}: below floor");
+            assert!(r.is_finite(), "case {case}: not finite");
             // With stationary log-sigma <= 0.3/sqrt(1-0.98) ≈ 2.1, 8
             // sigmas of slack is astronomically safe.
-            prop_assert!(r < median * 5e7, "rate {r} exploded from median {median}");
+            assert!(
+                r < median * 5e7,
+                "case {case}: rate {r} exploded from median {median}"
+            );
         }
     }
+}
 
-    #[test]
-    fn jump_mix_respects_floor_and_determinism(
-        seed in any::<u64>(),
-        factor in 0.05f64..1.0,
-    ) {
+#[test]
+fn jump_mix_respects_floor_and_determinism() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xB4_0000 + case);
+        let seed: u64 = rng.gen();
+        let factor = rng.gen_range(0.05..1.0);
         let mk = || {
             JumpMixProcess::new(
                 Box::new(mk_regime(seed, vec![1e5], 100, 0.1)),
@@ -107,8 +124,8 @@ proptest! {
         for i in 0..100u64 {
             let t = SimTime::from_secs(i * 13);
             let r = a.rate_at(t);
-            prop_assert!(r >= MIN_RATE);
-            prop_assert_eq!(r, b.rate_at(t));
+            assert!(r >= MIN_RATE, "case {case}: below floor");
+            assert_eq!(r, b.rate_at(t), "case {case}: nondeterministic");
         }
     }
 }

@@ -1,53 +1,64 @@
-//! Property tests for the max–min fair allocator: feasibility, cap
-//! respect, and the bottleneck condition must hold for arbitrary
-//! topologies.
+//! Randomized property tests for the max–min fair allocator:
+//! feasibility, cap respect, and the bottleneck condition must hold for
+//! arbitrary topologies.
+//!
+//! These were proptest-based; the offline build has no proptest, so the
+//! same invariants are checked over seeded random case sweeps.
 
 use ir_simnet::fairshare::{max_min_rates, AllocFlow};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_problem() -> impl Strategy<Value = (Vec<f64>, Vec<AllocFlow>)> {
-    // 1..6 links with capacities 0..1e6 (occasionally infinite), 1..8
-    // flows crossing random link subsets with random caps.
-    let caps = prop::collection::vec(
-        prop_oneof![
-            (0.0f64..1e6),
-            Just(f64::INFINITY),
-            Just(0.0f64),
-        ],
-        1..6,
-    );
-    caps.prop_flat_map(|caps| {
-        let nl = caps.len();
-        let flows = prop::collection::vec(
-            (
-                prop::collection::btree_set(0..nl, 0..=nl),
-                prop_oneof![(1.0f64..1e6), Just(f64::INFINITY), Just(0.0f64)],
-            )
-                .prop_map(|(links, cap)| AllocFlow {
-                    links: links.into_iter().collect(),
-                    cap,
-                }),
-            1..8,
-        );
-        (Just(caps), flows)
-    })
+/// 1..6 links with capacities 0..1e6 (occasionally infinite or zero),
+/// 1..8 flows crossing random link subsets with random caps.
+fn arb_problem(rng: &mut StdRng) -> (Vec<f64>, Vec<AllocFlow>) {
+    let arb_cap = |rng: &mut StdRng, lo: f64| -> f64 {
+        match rng.gen_range(0..4u32) {
+            0 => f64::INFINITY,
+            1 => 0.0,
+            _ => rng.gen_range(lo.max(1e-9)..1e6),
+        }
+    };
+    let nl = rng.gen_range(1..6usize);
+    let caps: Vec<f64> = (0..nl).map(|_| arb_cap(rng, 0.0)).collect();
+    let nf = rng.gen_range(1..8usize);
+    let flows: Vec<AllocFlow> = (0..nf)
+        .map(|_| {
+            let k = rng.gen_range(0..=nl);
+            let mut links: Vec<usize> = (0..nl).collect();
+            // Random k-subset.
+            for i in 0..k {
+                let j = rng.gen_range(i..nl);
+                links.swap(i, j);
+            }
+            links.truncate(k);
+            links.sort_unstable();
+            AllocFlow {
+                links,
+                cap: arb_cap(rng, 1.0),
+            }
+        })
+        .collect();
+    (caps, flows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn allocation_invariants((caps, flows) in arb_problem()) {
+#[test]
+fn allocation_invariants() {
+    for case in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(0xF5_0000 + case);
+        let (caps, flows) = arb_problem(&mut rng);
         let rates = max_min_rates(&caps, &flows);
-        prop_assert_eq!(rates.len(), flows.len());
+        assert_eq!(rates.len(), flows.len());
 
         // Rates are non-negative and respect flow caps.
         for (i, f) in flows.iter().enumerate() {
-            prop_assert!(rates[i] >= 0.0, "negative rate {}", rates[i]);
+            assert!(rates[i] >= 0.0, "case {case}: negative rate {}", rates[i]);
             if f.cap.is_finite() {
-                prop_assert!(
+                assert!(
                     rates[i] <= f.cap + 1e-6 * f.cap.max(1.0),
-                    "rate {} exceeds cap {}", rates[i], f.cap
+                    "case {case}: rate {} exceeds cap {}",
+                    rates[i],
+                    f.cap
                 );
             }
         }
@@ -63,7 +74,10 @@ proptest! {
                 .filter(|(f, _)| f.links.contains(&l))
                 .map(|(_, &r)| r)
                 .sum();
-            prop_assert!(load <= cap + 1e-6 * cap.max(1.0), "link {l} overloaded: {load} > {cap}");
+            assert!(
+                load <= cap + 1e-6 * cap.max(1.0),
+                "case {case}: link {l} overloaded: {load} > {cap}"
+            );
         }
 
         // Bottleneck condition: every finite-rate flow is pinned by its
@@ -86,42 +100,59 @@ proptest! {
                     .sum();
                 load >= caps[l] - 1e-6 * caps[l].max(1.0)
             });
-            prop_assert!(
+            assert!(
                 cap_hit || link_hit,
-                "flow {i} (rate {}) limited by nothing", rates[i]
+                "case {case}: flow {i} (rate {}) limited by nothing",
+                rates[i]
             );
         }
     }
+}
 
-    #[test]
-    fn equal_flows_get_equal_shares(
-        cap in 1.0f64..1e6,
-        n in 1usize..6,
-    ) {
+#[test]
+fn equal_flows_get_equal_shares() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xF6_0000 + case);
+        let cap = rng.gen_range(1.0..1e6);
+        let n = rng.gen_range(1..6usize);
         let flows: Vec<AllocFlow> = (0..n)
-            .map(|_| AllocFlow { links: vec![0], cap: f64::INFINITY })
+            .map(|_| AllocFlow {
+                links: vec![0],
+                cap: f64::INFINITY,
+            })
             .collect();
         let rates = max_min_rates(&[cap], &flows);
         for &r in &rates {
-            prop_assert!((r - cap / n as f64).abs() < 1e-6 * cap);
+            assert!(
+                (r - cap / n as f64).abs() < 1e-6 * cap,
+                "case {case}: unequal share"
+            );
         }
     }
+}
 
-    #[test]
-    fn adding_a_flow_never_increases_others(
-        cap in 1.0f64..1e6,
-        n in 1usize..5,
-    ) {
+#[test]
+fn adding_a_flow_never_increases_others() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xF7_0000 + case);
+        let cap = rng.gen_range(1.0..1e6);
+        let n = rng.gen_range(1..5usize);
         let mk = |k: usize| -> Vec<f64> {
             let flows: Vec<AllocFlow> = (0..k)
-                .map(|_| AllocFlow { links: vec![0], cap: f64::INFINITY })
+                .map(|_| AllocFlow {
+                    links: vec![0],
+                    cap: f64::INFINITY,
+                })
                 .collect();
             max_min_rates(&[cap], &flows)
         };
         let before = mk(n);
         let after = mk(n + 1);
         for i in 0..n {
-            prop_assert!(after[i] <= before[i] + 1e-9 * cap);
+            assert!(
+                after[i] <= before[i] + 1e-9 * cap,
+                "case {case}: flow {i} sped up"
+            );
         }
     }
 }

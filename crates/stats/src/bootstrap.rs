@@ -76,7 +76,13 @@ pub fn mean_ci95(data: &[f64], seed: u64) -> Interval {
 
 /// 95% bootstrap CI of the median (1000 resamples).
 pub fn median_ci95(data: &[f64], seed: u64) -> Interval {
-    bootstrap_ci(data, |s| crate::summary::percentile(s, 50.0), 1000, 0.05, seed)
+    bootstrap_ci(
+        data,
+        |s| crate::summary::percentile(s, 50.0),
+        1000,
+        0.05,
+        seed,
+    )
 }
 
 #[cfg(test)]

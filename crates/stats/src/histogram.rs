@@ -98,10 +98,7 @@ impl Histogram {
     /// `[lo, hi)` edges of in-range bin `i`.
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
-        (
-            self.lo + width * i as f64,
-            self.lo + width * (i + 1) as f64,
-        )
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
     }
 
     /// Midpoint of in-range bin `i`.
@@ -137,11 +134,7 @@ impl Histogram {
 
     /// Index of the fullest in-range bin, or `None` if all are empty.
     pub fn mode_bin(&self) -> Option<usize> {
-        let (idx, &max) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)?;
+        let (idx, &max) = self.counts.iter().enumerate().max_by_key(|(_, &c)| c)?;
         if max == 0 {
             None
         } else {
@@ -161,7 +154,12 @@ impl Histogram {
         let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         if self.underflow > 0 {
-            let _ = writeln!(out, "{:>18} | {}", format!("< {:.0}", self.lo), self.underflow);
+            let _ = writeln!(
+                out,
+                "{:>18} | {}",
+                format!("< {:.0}", self.lo),
+                self.underflow
+            );
         }
         for i in 0..self.counts.len() {
             let (a, b) = self.bin_edges(i);
@@ -175,7 +173,12 @@ impl Histogram {
             );
         }
         if self.overflow > 0 {
-            let _ = writeln!(out, "{:>18} | {}", format!(">= {:.0}", self.hi), self.overflow);
+            let _ = writeln!(
+                out,
+                "{:>18} | {}",
+                format!(">= {:.0}", self.hi),
+                self.overflow
+            );
         }
         out
     }

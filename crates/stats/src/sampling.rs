@@ -30,7 +30,10 @@ impl Normal {
     ///
     /// Panics if `stdev` is negative or either parameter is non-finite.
     pub fn new(mean: f64, stdev: f64) -> Self {
-        assert!(mean.is_finite() && stdev.is_finite(), "non-finite parameter");
+        assert!(
+            mean.is_finite() && stdev.is_finite(),
+            "non-finite parameter"
+        );
         assert!(stdev >= 0.0, "negative stdev");
         Normal { mean, stdev }
     }

@@ -267,7 +267,9 @@ mod tests {
 
     #[test]
     fn known_values() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_close(s.mean(), 5.0, 1e-12);
         assert_close(s.variance(), 4.0, 1e-12);
         assert_close(s.stdev(), 2.0, 1e-12);

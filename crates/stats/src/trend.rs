@@ -185,9 +185,7 @@ mod tests {
         // not reject, long series should.
         let noisy = |n: usize, slope: f64| -> Vec<f64> {
             (0..n)
-                .map(|i| {
-                    slope * i as f64 + ((i as f64 * 7.77).sin() * 1000.0).fract() * 5.0
-                })
+                .map(|i| slope * i as f64 + ((i as f64 * 7.77).sin() * 1000.0).fract() * 5.0)
                 .collect()
         };
         let short = mann_kendall(&noisy(20, 0.05));

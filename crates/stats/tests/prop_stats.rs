@@ -1,118 +1,183 @@
-//! Property tests for the statistics substrate.
+//! Randomized tests for the statistics substrate.
+//!
+//! These were proptest-based; the offline build has no proptest, so the
+//! same invariants are checked over seeded random case sweeps (every
+//! failure reproduces from the printed case number).
 
 use ir_stats::{mann_kendall, pearson, spearman, Ecdf, Histogram, OnlineStats, Summary, Trend};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6, 1..200)
+fn gen_sample(rng: &mut StdRng) -> Vec<f64> {
+    (0..rng.gen_range(1..200usize))
+        .map(|_| rng.gen_range(-1e6f64..1e6))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn online_merge_equals_sequential(data in arb_sample(), split_frac in 0.0f64..1.0) {
+#[test]
+fn online_merge_equals_sequential() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_0000 + case);
+        let data = gen_sample(&mut rng);
+        let split_frac: f64 = rng.gen_range(0.0..1.0);
         let split = ((data.len() - 1) as f64 * split_frac) as usize;
         let seq: OnlineStats = data.iter().copied().collect();
         let a: OnlineStats = data[..split].iter().copied().collect();
         let b: OnlineStats = data[split..].iter().copied().collect();
         let mut merged = a;
         merged.merge(&b);
-        prop_assert_eq!(merged.count(), seq.count());
-        prop_assert!((merged.mean() - seq.mean()).abs() <= 1e-6 * seq.mean().abs().max(1.0));
-        prop_assert!((merged.variance() - seq.variance()).abs() <= 1e-4 * seq.variance().abs().max(1.0));
+        assert_eq!(merged.count(), seq.count(), "case {case}");
+        assert!(
+            (merged.mean() - seq.mean()).abs() <= 1e-6 * seq.mean().abs().max(1.0),
+            "case {case}"
+        );
+        assert!(
+            (merged.variance() - seq.variance()).abs() <= 1e-4 * seq.variance().abs().max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn summary_bounds(data in arb_sample()) {
+#[test]
+fn summary_bounds() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_1000 + case);
+        let data = gen_sample(&mut rng);
         let s = Summary::of(&data).unwrap();
-        prop_assert!(s.min <= s.median && s.median <= s.max);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-        prop_assert!(s.stdev >= 0.0);
-        prop_assert!(s.rms + 1e-9 >= s.mean.abs() * 0.999999);
-        prop_assert_eq!(s.count, data.len());
+        assert!(s.min <= s.median && s.median <= s.max, "case {case}");
+        assert!(s.min <= s.mean && s.mean <= s.max, "case {case}");
+        assert!(s.stdev >= 0.0, "case {case}");
+        assert!(s.rms + 1e-9 >= s.mean.abs() * 0.999999, "case {case}");
+        assert_eq!(s.count, data.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn histogram_conserves_mass(data in arb_sample(), bins in 1usize..50) {
+#[test]
+fn histogram_conserves_mass() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_2000 + case);
+        let data = gen_sample(&mut rng);
+        let bins = rng.gen_range(1..50usize);
         let h = Histogram::of(-1e5, 1e5, bins, &data);
         let in_range: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
-        prop_assert_eq!(in_range + h.underflow() + h.overflow(), data.len() as u64);
+        assert_eq!(
+            in_range + h.underflow() + h.overflow(),
+            data.len() as u64,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn histogram_bins_partition(data in arb_sample(), bins in 1usize..30) {
+#[test]
+fn histogram_bins_partition() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_3000 + case);
+        let data = gen_sample(&mut rng);
+        let bins = rng.gen_range(1..30usize);
         let h = Histogram::of(-1e6, 1e6, bins, &data);
         // Every in-range point is counted exactly once: since bounds
         // cover the sample space, no under/overflow.
-        prop_assert_eq!(h.underflow() + h.overflow(), 0);
+        assert_eq!(h.underflow() + h.overflow(), 0, "case {case}");
         let total: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
-        prop_assert_eq!(total, data.len() as u64);
+        assert_eq!(total, data.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn ecdf_is_monotone(data in arb_sample(), probes in prop::collection::vec(-2e6f64..2e6, 2..20)) {
+#[test]
+fn ecdf_is_monotone() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_4000 + case);
+        let data = gen_sample(&mut rng);
+        let mut probes: Vec<f64> = (0..rng.gen_range(2..20usize))
+            .map(|_| rng.gen_range(-2e6f64..2e6))
+            .collect();
         let e = Ecdf::new(&data);
-        let mut sorted = probes.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut prev = 0.0;
-        for &x in &sorted {
+        for &x in &probes {
             let c = e.cdf(x);
-            prop_assert!((0.0..=1.0).contains(&c));
-            prop_assert!(c + 1e-12 >= prev);
+            assert!((0.0..=1.0).contains(&c), "case {case}");
+            assert!(c + 1e-12 >= prev, "case {case}");
             prev = c;
         }
     }
+}
 
-    #[test]
-    fn correlation_in_unit_interval(data in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 3..100)) {
-        let xs: Vec<f64> = data.iter().map(|p| p.0).collect();
-        let ys: Vec<f64> = data.iter().map(|p| p.1).collect();
+#[test]
+fn correlation_in_unit_interval() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_5000 + case);
+        let n = rng.gen_range(3..100usize);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e4f64..1e4)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e4f64..1e4)).collect();
         let r = pearson(&xs, &ys);
         if r.is_finite() {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+            assert!(
+                (-1.0 - 1e-9..=1.0 + 1e-9).contains(&r),
+                "case {case}: r = {r}"
+            );
         }
         let rho = spearman(&xs, &ys);
         if rho.is_finite() {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn correlation_is_scale_invariant(
-        data in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50),
-        scale in 0.001f64..1000.0,
-        shift in -1e3f64..1e3,
-    ) {
-        let xs: Vec<f64> = data.iter().map(|p| p.0).collect();
-        let ys: Vec<f64> = data.iter().map(|p| p.1).collect();
+#[test]
+fn correlation_is_scale_invariant() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_6000 + case);
+        let n = rng.gen_range(3..50usize);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3f64..1e3)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3f64..1e3)).collect();
+        let scale = rng.gen_range(0.001f64..1000.0);
+        let shift = rng.gen_range(-1e3f64..1e3);
         let xs2: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
         let a = pearson(&xs, &ys);
         let b = pearson(&xs2, &ys);
         if a.is_finite() && b.is_finite() {
-            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-6, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn mann_kendall_detects_planted_monotone(data in prop::collection::vec(0.0f64..1.0, 30..100)) {
+#[test]
+fn mann_kendall_detects_planted_monotone() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_7000 + case);
         // Turn arbitrary noise into a strictly increasing series; the
         // test must call it Increasing.
         let mut acc = 0.0;
-        let series: Vec<f64> = data.iter().map(|&d| { acc += d + 0.001; acc }).collect();
+        let series: Vec<f64> = (0..rng.gen_range(30..100usize))
+            .map(|_| {
+                acc += rng.gen_range(0.0f64..1.0) + 0.001;
+                acc
+            })
+            .collect();
         let mk = mann_kendall(&series);
-        prop_assert_eq!(mk.trend(0.01), Trend::Increasing);
+        assert_eq!(mk.trend(0.01), Trend::Increasing, "case {case}");
         // And its mirror must be Decreasing.
         let mirrored: Vec<f64> = series.iter().map(|v| -v).collect();
-        prop_assert_eq!(mann_kendall(&mirrored).trend(0.01), Trend::Decreasing);
+        assert_eq!(
+            mann_kendall(&mirrored).trend(0.01),
+            Trend::Decreasing,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn mann_kendall_symmetric(data in prop::collection::vec(-1e3f64..1e3, 3..60)) {
+#[test]
+fn mann_kendall_symmetric() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_8000 + case);
+        let data: Vec<f64> = (0..rng.gen_range(3..60usize))
+            .map(|_| rng.gen_range(-1e3f64..1e3))
+            .collect();
         let mk = mann_kendall(&data);
         let mirrored: Vec<f64> = data.iter().map(|v| -v).collect();
         let mk2 = mann_kendall(&mirrored);
-        prop_assert_eq!(mk.s, -mk2.s);
-        prop_assert!((mk.p_value - mk2.p_value).abs() < 1e-9);
+        assert_eq!(mk.s, -mk2.s, "case {case}");
+        assert!((mk.p_value - mk2.p_value).abs() < 1e-9, "case {case}");
     }
 }

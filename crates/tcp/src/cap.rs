@@ -134,7 +134,10 @@ mod tests {
         // Sub-RTT granularity: a quarter-RTT later the cap has already
         // moved by 2^(1/4).
         let mid = c.cap(SimDuration::from_millis(175), 0);
-        assert!((mid - 43_800.0 * 2f64.powf(0.25)).abs() < 1.0, "mid = {mid}");
+        assert!(
+            (mid - 43_800.0 * 2f64.powf(0.25)).abs() < 1.0,
+            "mid = {mid}"
+        );
     }
 
     #[test]
@@ -237,7 +240,9 @@ mod tests {
         let run = |bytes: u64| {
             let (mut net, route) = mk_net();
             let id = net.start_flow(route, bytes, Box::new(TcpRateCap::new(cfg)));
-            net.run_flow(id, SimTime::from_secs(600)).unwrap().throughput()
+            net.run_flow(id, SimTime::from_secs(600))
+                .unwrap()
+                .throughput()
         };
         let short = run(20_000);
         let long = run(2_000_000);

@@ -206,12 +206,7 @@ mod tests {
     #[test]
     fn respects_availability_drop() {
         // 1 MB/s for 5 s then 10 KB/s: a 10 MB transfer must slow down.
-        let mk = || {
-            PiecewiseProcess::new(vec![
-                (SimTime::ZERO, 1e6),
-                (SimTime::from_secs(5), 1e4),
-            ])
-        };
+        let mk = || PiecewiseProcess::new(vec![(SimTime::ZERO, 1e6), (SimTime::from_secs(5), 1e4)]);
         let big_window = cfg(10).with_recv_window(16 * 1024 * 1024);
         let mut p = mk();
         let r = transfer_time(
@@ -230,12 +225,8 @@ mod tests {
     fn start_time_offsets_into_process_timeline() {
         // Process is slow before t=100 s and fast after; starting late
         // must be faster.
-        let mk = || {
-            PiecewiseProcess::new(vec![
-                (SimTime::ZERO, 1e4),
-                (SimTime::from_secs(100), 1e6),
-            ])
-        };
+        let mk =
+            || PiecewiseProcess::new(vec![(SimTime::ZERO, 1e4), (SimTime::from_secs(100), 1e6)]);
         let c = cfg(50);
         let mut p1 = mk();
         let early = transfer_time(
@@ -298,9 +289,6 @@ mod tests {
         .unwrap();
         let mut p2 = ConstantProcess::new(2e5);
         let b = bytes_by(r.duration, SimTime::ZERO, c, &mut p2);
-        assert!(
-            (b as i64 - 500_000i64).unsigned_abs() < 2_000,
-            "b = {b}"
-        );
+        assert!((b as i64 - 500_000i64).unsigned_abs() < 2_000, "b = {b}");
     }
 }

@@ -66,10 +66,16 @@ fn steady_phase_is_window_rate_exactly() {
     let w = cfg.window_rate();
     let run = |bytes: u64| {
         let mut link = ConstantProcess::new(1e9);
-        transfer_time(bytes, SimTime::ZERO, cfg, &mut link, SimDuration::from_secs(3600))
-            .unwrap()
-            .duration
-            .as_secs_f64()
+        transfer_time(
+            bytes,
+            SimTime::ZERO,
+            cfg,
+            &mut link,
+            SimDuration::from_secs(3600),
+        )
+        .unwrap()
+        .duration
+        .as_secs_f64()
     };
     let t1 = run(5_000_000);
     let t2 = run(10_000_000);
@@ -89,10 +95,16 @@ fn slow_link_time_is_bytes_over_rate_plus_overheads() {
     let rate = 50_000.0;
     let bytes = 2_000_000u64;
     let mut link = ConstantProcess::new(rate);
-    let t = transfer_time(bytes, SimTime::ZERO, cfg, &mut link, SimDuration::from_secs(3600))
-        .unwrap()
-        .duration
-        .as_secs_f64();
+    let t = transfer_time(
+        bytes,
+        SimTime::ZERO,
+        cfg,
+        &mut link,
+        SimDuration::from_secs(3600),
+    )
+    .unwrap()
+    .duration
+    .as_secs_f64();
     let floor = bytes as f64 / rate;
     assert!(t >= floor, "cannot beat the link");
     // Startup 0.12 s + ramp-to-50KBps (~couple RTTs of deficit).

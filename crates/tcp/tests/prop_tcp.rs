@@ -1,110 +1,144 @@
-//! Property tests for the TCP model: monotonicity and consistency of
+//! Randomized tests for the TCP model: monotonicity and consistency of
 //! the transfer-time integration, PFTK bounds, ramp sanity.
+//!
+//! These were proptest-based; the offline build has no proptest, so the
+//! same invariants are checked over seeded random case sweeps (every
+//! failure reproduces from the printed case number).
 
 use ir_simnet::bandwidth::ConstantProcess;
 use ir_simnet::sim::RateCap;
 use ir_simnet::time::{SimDuration, SimTime};
 use ir_tcp::{bytes_by, pftk_rate, transfer_time, TcpConfig, TcpRateCap};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_cfg() -> impl Strategy<Value = TcpConfig> {
-    (5u64..400, 0.0f64..0.2, 16u32..512).prop_map(|(rtt_ms, loss, win_kb)| {
-        TcpConfig::for_rtt(SimDuration::from_millis(rtt_ms))
-            .with_loss(loss)
-            .with_recv_window(win_kb * 1024)
-    })
+fn gen_cfg(rng: &mut StdRng) -> TcpConfig {
+    let rtt_ms = rng.gen_range(5u64..400);
+    let loss = rng.gen_range(0.0f64..0.2);
+    let win_kb = rng.gen_range(16u32..512);
+    TcpConfig::for_rtt(SimDuration::from_millis(rtt_ms))
+        .with_loss(loss)
+        .with_recv_window(win_kb * 1024)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pftk_bounded_by_window_rate(cfg in arb_cfg()) {
+#[test]
+fn pftk_bounded_by_window_rate() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x7C_0000 + case);
+        let cfg = gen_cfg(&mut rng);
         let r = pftk_rate(&cfg);
-        prop_assert!(r > 0.0);
-        prop_assert!(r <= cfg.window_rate() + 1e-9);
+        assert!(r > 0.0, "case {case}");
+        assert!(r <= cfg.window_rate() + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn cap_never_exceeds_steady(cfg in arb_cfg(), ages in prop::collection::vec(0u64..120_000, 1..20)) {
+#[test]
+fn cap_never_exceeds_steady() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x7C_1000 + case);
+        let cfg = gen_cfg(&mut rng);
         let mut cap = TcpRateCap::new(cfg);
         let steady = cap.steady_rate();
-        for &ms in &ages {
+        for _ in 0..rng.gen_range(1..20usize) {
+            let ms = rng.gen_range(0u64..120_000);
             let c = cap.cap(SimDuration::from_millis(ms), 0);
-            prop_assert!(c <= steady + 1e-9);
-            prop_assert!(c >= 0.0);
+            assert!(c <= steady + 1e-9, "case {case}");
+            assert!(c >= 0.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn cap_is_monotone_in_age(cfg in arb_cfg()) {
+#[test]
+fn cap_is_monotone_in_age() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x7C_2000 + case);
+        let cfg = gen_cfg(&mut rng);
         let mut cap = TcpRateCap::new(cfg);
         let mut prev = -1.0;
         for ms in (0..30_000).step_by(97) {
             let c = cap.cap(SimDuration::from_millis(ms), 0);
-            prop_assert!(c + 1e-9 >= prev, "cap decreased at {ms} ms");
+            assert!(c + 1e-9 >= prev, "case {case}: cap decreased at {ms} ms");
             prev = c;
         }
     }
+}
 
-    #[test]
-    fn transfer_time_monotone_in_bytes(
-        cfg in arb_cfg(),
-        rate in 1e4f64..1e7,
-        b1 in 1u64..5_000_000,
-        extra in 1u64..5_000_000,
-    ) {
+#[test]
+fn transfer_time_monotone_in_bytes() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x7C_3000 + case);
+        let cfg = gen_cfg(&mut rng);
+        let rate = rng.gen_range(1e4f64..1e7);
+        let b1 = rng.gen_range(1u64..5_000_000);
+        let extra = rng.gen_range(1u64..5_000_000);
         let horizon = SimDuration::from_secs(100_000);
         let mut p1 = ConstantProcess::new(rate);
         let t1 = transfer_time(b1, SimTime::ZERO, cfg, &mut p1, horizon).unwrap();
         let mut p2 = ConstantProcess::new(rate);
         let t2 = transfer_time(b1 + extra, SimTime::ZERO, cfg, &mut p2, horizon).unwrap();
-        prop_assert!(t2.duration >= t1.duration);
+        assert!(t2.duration >= t1.duration, "case {case}");
     }
+}
 
-    #[test]
-    fn throughput_below_both_bounds(
-        cfg in arb_cfg(),
-        rate in 1e4f64..1e7,
-        bytes in 100_000u64..5_000_000,
-    ) {
+#[test]
+fn throughput_below_both_bounds() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x7C_4000 + case);
+        let cfg = gen_cfg(&mut rng);
+        let rate = rng.gen_range(1e4f64..1e7);
+        let bytes = rng.gen_range(100_000u64..5_000_000);
         let mut p = ConstantProcess::new(rate);
-        let r = transfer_time(bytes, SimTime::ZERO, cfg, &mut p, SimDuration::from_secs(100_000)).unwrap();
+        let r = transfer_time(
+            bytes,
+            SimTime::ZERO,
+            cfg,
+            &mut p,
+            SimDuration::from_secs(100_000),
+        )
+        .unwrap();
         let steady = TcpRateCap::new(cfg).steady_rate();
-        prop_assert!(r.throughput <= rate + 1.0, "above link rate");
-        prop_assert!(r.throughput <= steady + 1.0, "above TCP ceiling");
+        assert!(r.throughput <= rate + 1.0, "case {case}: above link rate");
+        assert!(
+            r.throughput <= steady + 1.0,
+            "case {case}: above TCP ceiling"
+        );
     }
+}
 
-    #[test]
-    fn faster_links_never_slower(
-        cfg in arb_cfg(),
-        rate in 1e4f64..1e6,
-        factor in 1.0f64..50.0,
-        bytes in 50_000u64..2_000_000,
-    ) {
+#[test]
+fn faster_links_never_slower() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x7C_5000 + case);
+        let cfg = gen_cfg(&mut rng);
+        let rate = rng.gen_range(1e4f64..1e6);
+        let factor = rng.gen_range(1.0f64..50.0);
+        let bytes = rng.gen_range(50_000u64..2_000_000);
         let horizon = SimDuration::from_secs(100_000);
         let mut slow = ConstantProcess::new(rate);
         let mut fast = ConstantProcess::new(rate * factor);
         let ts = transfer_time(bytes, SimTime::ZERO, cfg, &mut slow, horizon).unwrap();
         let tf = transfer_time(bytes, SimTime::ZERO, cfg, &mut fast, horizon).unwrap();
-        prop_assert!(tf.duration <= ts.duration);
+        assert!(tf.duration <= ts.duration, "case {case}");
     }
+}
 
-    #[test]
-    fn bytes_by_monotone_and_consistent(
-        cfg in arb_cfg(),
-        rate in 1e4f64..1e6,
-        secs in prop::collection::vec(0u64..600, 2..8),
-    ) {
-        let mut sorted = secs.clone();
+#[test]
+fn bytes_by_monotone_and_consistent() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x7C_6000 + case);
+        let cfg = gen_cfg(&mut rng);
+        let rate = rng.gen_range(1e4f64..1e6);
+        let mut sorted: Vec<u64> = (0..rng.gen_range(2..8usize))
+            .map(|_| rng.gen_range(0u64..600))
+            .collect();
         sorted.sort_unstable();
         let mut prev = 0;
         for &s in &sorted {
             let mut p = ConstantProcess::new(rate);
             let b = bytes_by(SimDuration::from_secs(s), SimTime::ZERO, cfg, &mut p);
-            prop_assert!(b >= prev);
+            assert!(b >= prev, "case {case}");
             // Never more than the raw link could carry.
-            prop_assert!(b as f64 <= rate * s as f64 + 1.0);
+            assert!(b as f64 <= rate * s as f64 + 1.0, "case {case}");
             prev = b;
         }
     }

@@ -1,0 +1,396 @@
+//! Exporters: Chrome `trace_event` JSON (loadable in `chrome://tracing`
+//! or [Perfetto](https://ui.perfetto.dev)), a flat JSON event dump, and
+//! a flat CSV event dump.
+//!
+//! JSON is emitted by hand — the tree has no serde runtime — so every
+//! string goes through [`json_string`] and every float through
+//! [`json_f64`] (non-finite values become `null`, which strict parsers
+//! require).
+
+use crate::trace::{Attr, Event};
+
+/// Escapes and quotes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON value (`null` for NaN/infinity).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{v}` prints integers without a dot, which is still valid
+        // JSON (a number), so no special casing needed.
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_attr(a: &Attr) -> String {
+    match a {
+        Attr::U64(v) => format!("{v}"),
+        Attr::F64(v) => json_f64(*v),
+        Attr::Str(v) => json_string(v),
+    }
+}
+
+fn json_args(event: &Event) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in event.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(k));
+        out.push(':');
+        out.push_str(&json_attr(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders events as a Chrome `trace_event` JSON document (the
+/// "JSON Array Format"). Events are sorted by timestamp so `ts` is
+/// monotonically non-decreasing, which keeps strict viewers happy.
+/// Span events become `"ph":"X"` (complete) entries; instant events
+/// become `"ph":"i"` with global scope. The category distinguishes the
+/// emitting layer; the correlation id is exposed as the `tid` so
+/// related events share a track.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by_key(|e| e.ts_us);
+    let mut out = String::from("[");
+    for (i, e) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        out.push_str(&json_string(e.kind.name()));
+        out.push_str(",\"cat\":");
+        out.push_str(&json_string(e.kind.category()));
+        match e.dur_us {
+            Some(dur) => {
+                out.push_str(&format!(",\"ph\":\"X\",\"ts\":{},\"dur\":{}", e.ts_us, dur));
+            }
+            None => {
+                out.push_str(&format!(",\"ph\":\"i\",\"s\":\"g\",\"ts\":{}", e.ts_us));
+            }
+        }
+        out.push_str(&format!(",\"pid\":1,\"tid\":{},\"args\":", e.id));
+        out.push_str(&json_args(e));
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// Renders events as a flat JSON array (one object per event, in the
+/// given order).
+pub fn events_json(events: &[Event]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ts_us\":{},\"kind\":{},\"cat\":{},\"id\":{}",
+            e.ts_us,
+            json_string(e.kind.name()),
+            json_string(e.kind.category()),
+            e.id
+        ));
+        if let Some(dur) = e.dur_us {
+            out.push_str(&format!(",\"dur_us\":{dur}"));
+        }
+        out.push_str(",\"args\":");
+        out.push_str(&json_args(e));
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// Renders events as CSV: `ts_us,kind,cat,id,dur_us,attrs` where attrs
+/// is a `k=v;k=v` list (values with `,`/`;`/`"` are quote-escaped by
+/// doubling quotes per RFC 4180).
+pub fn events_csv(events: &[Event]) -> String {
+    let mut out = String::from("ts_us,kind,cat,id,dur_us,attrs\n");
+    for e in events {
+        let attrs: Vec<String> = e.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let attrs = attrs.join(";");
+        let attrs = if attrs.contains(',') || attrs.contains('"') || attrs.contains('\n') {
+            format!("\"{}\"", attrs.replace('"', "\"\""))
+        } else {
+            attrs
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            e.ts_us,
+            e.kind.name(),
+            e.kind.category(),
+            e.id,
+            e.dur_us.map(|d| d.to_string()).unwrap_or_default(),
+            attrs
+        ));
+    }
+    out
+}
+
+/// A minimal JSON syntax checker used by tests (the tree has no JSON
+/// parser dependency). Validates structure, not semantics.
+#[doc(hidden)]
+pub mod tests_support {
+    /// Panics unless `s` is a syntactically valid JSON document.
+    pub fn assert_valid_json(s: &str) {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.value();
+        p.skip_ws();
+        assert_eq!(p.pos, p.bytes.len(), "trailing garbage at {}", p.pos);
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> u8 {
+            *self
+                .bytes
+                .get(self.pos)
+                .unwrap_or_else(|| panic!("unexpected end of JSON at {}", self.pos))
+        }
+
+        fn bump(&mut self) -> u8 {
+            let b = self.peek();
+            self.pos += 1;
+            b
+        }
+
+        fn skip_ws(&mut self) {
+            while self.pos < self.bytes.len()
+                && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) {
+            let got = self.bump();
+            assert_eq!(
+                got as char,
+                b as char,
+                "expected {:?} at {}",
+                b as char,
+                self.pos - 1
+            );
+        }
+
+        fn literal(&mut self, lit: &str) {
+            for b in lit.bytes() {
+                self.expect(b);
+            }
+        }
+
+        fn value(&mut self) {
+            match self.peek() {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => self.string(),
+                b't' => self.literal("true"),
+                b'f' => self.literal("false"),
+                b'n' => self.literal("null"),
+                b'-' | b'0'..=b'9' => self.number(),
+                c => panic!("unexpected {:?} at {}", c as char, self.pos),
+            }
+        }
+
+        fn object(&mut self) {
+            self.expect(b'{');
+            self.skip_ws();
+            if self.peek() == b'}' {
+                self.bump();
+                return;
+            }
+            loop {
+                self.skip_ws();
+                self.string();
+                self.skip_ws();
+                self.expect(b':');
+                self.skip_ws();
+                self.value();
+                self.skip_ws();
+                match self.bump() {
+                    b',' => continue,
+                    b'}' => return,
+                    c => panic!("expected , or }} got {:?}", c as char),
+                }
+            }
+        }
+
+        fn array(&mut self) {
+            self.expect(b'[');
+            self.skip_ws();
+            if self.peek() == b']' {
+                self.bump();
+                return;
+            }
+            loop {
+                self.skip_ws();
+                self.value();
+                self.skip_ws();
+                match self.bump() {
+                    b',' => continue,
+                    b']' => return,
+                    c => panic!("expected , or ] got {:?}", c as char),
+                }
+            }
+        }
+
+        fn string(&mut self) {
+            self.expect(b'"');
+            loop {
+                match self.bump() {
+                    b'"' => return,
+                    b'\\' => {
+                        let e = self.bump();
+                        assert!(
+                            matches!(
+                                e,
+                                b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' | b'u'
+                            ),
+                            "bad escape {:?}",
+                            e as char
+                        );
+                        if e == b'u' {
+                            for _ in 0..4 {
+                                let h = self.bump();
+                                assert!(h.is_ascii_hexdigit(), "bad \\u escape");
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        fn number(&mut self) {
+            if self.peek() == b'-' {
+                self.bump();
+            }
+            assert!(self.peek().is_ascii_digit(), "bad number");
+            while self.pos < self.bytes.len()
+                && matches!(
+                    self.bytes[self.pos],
+                    b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
+                )
+            {
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::assert_valid_json;
+    use super::*;
+    use crate::trace::EventKind;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::new(EventKind::FlowStart, 300, 1).with_u64("bytes", 2_097_152),
+            Event::new(EventKind::ProbeWon, 100, 7)
+                .with_str("path", "indirect via relay-3")
+                .with_f64("rate", 1234.5),
+            Event::span(EventKind::RunnerTask, 200, 900, 2).with_str("task", "c0×v1"),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_ts_sorted() {
+        let json = chrome_trace(&sample_events());
+        assert_valid_json(&json);
+        // Events were given out of order (300, 100, 200); export sorts.
+        let i100 = json.find("\"ts\":100").expect("ts 100");
+        let i200 = json.find("\"ts\":200").expect("ts 200");
+        let i300 = json.find("\"ts\":300").expect("ts 300");
+        assert!(i100 < i200 && i200 < i300, "ts must be non-decreasing");
+        assert!(json.contains("\"ph\":\"X\""), "span becomes complete event");
+        assert!(json.contains("\"dur\":900"));
+        assert!(json.contains("\"ph\":\"i\""), "instants present");
+    }
+
+    #[test]
+    fn chrome_trace_escapes_strings() {
+        let evs = vec![Event::new(EventKind::Custom("weird\"name"), 1, 0)
+            .with_str("note", "line\nbreak and \"quotes\"")];
+        let json = chrome_trace(&evs);
+        assert_valid_json(&json);
+        assert!(json.contains("weird\\\"name"));
+    }
+
+    #[test]
+    fn events_json_round_trips_fields() {
+        let json = events_json(&sample_events());
+        assert_valid_json(&json);
+        assert!(json.contains("\"kind\":\"flow_start\""));
+        assert!(json.contains("\"dur_us\":900"));
+        assert!(json.contains("\"rate\":1234.5"));
+    }
+
+    #[test]
+    fn events_csv_has_header_and_rows() {
+        let csv = events_csv(&sample_events());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "ts_us,kind,cat,id,dur_us,attrs");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("300,flow_start,simnet,1,,"));
+        assert!(
+            lines[2].ends_with("path=indirect via relay-3;rate=1234.5"),
+            "attrs flattened: {}",
+            lines[2]
+        );
+    }
+
+    #[test]
+    fn events_csv_quotes_embedded_commas() {
+        let evs = vec![Event::new(EventKind::Custom("x"), 5, 0).with_str("note", "a,b")];
+        let csv = events_csv(&evs);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.ends_with("\"note=a,b\""), "quoted: {row}");
+    }
+
+    #[test]
+    fn empty_exports_are_valid() {
+        assert_eq!(chrome_trace(&[]), "[]");
+        assert_eq!(events_json(&[]), "[]");
+        assert_valid_json(&chrome_trace(&[]));
+        assert_eq!(events_csv(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let evs =
+            vec![Event::new(EventKind::SessionComplete, 1, 0).with_f64("improvement", f64::NAN)];
+        let json = chrome_trace(&evs);
+        assert_valid_json(&json);
+        assert!(json.contains("\"improvement\":null"));
+    }
+}

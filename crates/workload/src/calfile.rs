@@ -32,8 +32,14 @@ pub fn to_kv(cal: &Calibration) -> String {
     kv("stable_noise", cal.stable_noise.to_string());
     kv("variable_noise", cal.variable_noise.to_string());
     kv("overlay_median_mbps", cal.overlay_median_mbps.to_string());
-    kv("access_headroom_median", cal.access_headroom_median.to_string());
-    kv("access_headroom_sigma", cal.access_headroom_sigma.to_string());
+    kv(
+        "access_headroom_median",
+        cal.access_headroom_median.to_string(),
+    );
+    kv(
+        "access_headroom_sigma",
+        cal.access_headroom_sigma.to_string(),
+    );
     kv("relay_quality_sigma", cal.relay_quality_sigma.to_string());
     kv("pair_sigma", cal.pair_sigma.to_string());
     kv("overlay_phi", cal.overlay_phi.to_string());

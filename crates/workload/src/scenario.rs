@@ -22,7 +22,9 @@
 
 use crate::category::{Category, Variability, MBPS};
 use crate::roster::{ClientSite, RelaySite, ServerSite, CLIENTS, INTERMEDIATES, SERVERS};
-use ir_simnet::bandwidth::{Ar1LogProcess, BandwidthProcess, ConstantProcess, JumpMixProcess, RegimeSwitchingProcess};
+use ir_simnet::bandwidth::{
+    Ar1LogProcess, BandwidthProcess, ConstantProcess, JumpMixProcess, RegimeSwitchingProcess,
+};
 use ir_simnet::sim::Network;
 use ir_simnet::time::SimDuration;
 use ir_simnet::topology::{NodeId, NodeKind, Sharing, Topology};
@@ -296,11 +298,9 @@ pub fn build(
             let pair_jitter = LogNormal::new(0.0, 0.10).sample(&mut rng);
             let median = prof.base_rate * ssite.rate_factor * pair_jitter;
             let (mults, holds, noise) = match (prof.variability, prof.category) {
-                (Variability::Stable, _) => (
-                    cal.stable_levels,
-                    cal.stable_hold_secs,
-                    cal.stable_noise,
-                ),
+                (Variability::Stable, _) => {
+                    (cal.stable_levels, cal.stable_hold_secs, cal.stable_noise)
+                }
                 (Variability::Variable, Category::High) => (
                     cal.high_variable_levels,
                     cal.variable_hold_secs,
@@ -367,8 +367,7 @@ pub fn build(
             // them is no slower than the commodity path to a commercial
             // site (often slightly faster), so the indirect hop does not
             // pay a structural RTT penalty.
-            let overlay_latency =
-                (csite.us_latency_ms as f64 * rng.gen_range(0.92..1.08)) as u64;
+            let overlay_latency = (csite.us_latency_ms as f64 * rng.gen_range(0.92..1.08)) as u64;
             pending.push(PendingLink {
                 from: client_ids[ci],
                 to: relay_ids[ri],
@@ -458,10 +457,7 @@ mod tests {
         assert_eq!(s.relays.len(), 21);
         assert_eq!(s.servers.len(), 4);
         // 22*4 direct + 22*21 overlay + 21*4 relay-server links.
-        assert_eq!(
-            s.network.topology().link_count(),
-            22 * 4 + 22 * 21 + 21 * 4
-        );
+        assert_eq!(s.network.topology().link_count(), 22 * 4 + 22 * 21 + 21 * 4);
         assert_eq!(s.name(s.client("Berlin")), "Berlin");
     }
 

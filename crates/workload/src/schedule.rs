@@ -50,9 +50,7 @@ impl Schedule {
     pub fn spread(self, count: u64) -> Schedule {
         let count = count.min(self.count).max(1);
         Schedule {
-            period: ir_simnet::time::SimDuration::from_micros(
-                self.span().as_micros() / count,
-            ),
+            period: ir_simnet::time::SimDuration::from_micros(self.span().as_micros() / count),
             count,
         }
     }
@@ -60,9 +58,7 @@ impl Schedule {
     /// Start instants, offset from `start`.
     pub fn instants(&self, start: SimTime) -> impl Iterator<Item = SimTime> + '_ {
         let period = self.period;
-        (0..self.count).map(move |i| {
-            start + SimDuration::from_micros(period.as_micros() * i)
-        })
+        (0..self.count).map(move |i| start + SimDuration::from_micros(period.as_micros() * i))
     }
 
     /// Total span from the first start to one period past the last.

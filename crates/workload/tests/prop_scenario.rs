@@ -1,19 +1,22 @@
-//! Property tests for scenario construction: invariants must hold for
-//! any seed and any roster subset.
+//! Randomized tests for scenario construction: invariants must hold
+//! for any seed and any roster subset.
+//!
+//! These were proptest-based; the offline build has no proptest, so the
+//! same invariants are checked over seeded random case sweeps (every
+//! failure reproduces from the printed case number).
 
 use ir_workload::{build, roster, Calibration, Category, MBPS};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn scenario_invariants_hold_for_any_seed(
-        seed in any::<u64>(),
-        n_clients in 1usize..6,
-        n_relays in 1usize..6,
-        n_servers in 1usize..4,
-    ) {
+#[test]
+fn scenario_invariants_hold_for_any_seed() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x5C_0000 + case);
+        let seed: u64 = rng.gen();
+        let n_clients = rng.gen_range(1..6usize);
+        let n_relays = rng.gen_range(1..6usize);
+        let n_servers = rng.gen_range(1..4usize);
         let sc = build(
             seed,
             &roster::CLIENTS[..n_clients],
@@ -23,42 +26,55 @@ proptest! {
             false,
         );
         // Exact link inventory.
-        prop_assert_eq!(
+        assert_eq!(
             sc.network.topology().link_count(),
-            n_clients * n_servers + n_clients * n_relays + n_relays * n_servers
+            n_clients * n_servers + n_clients * n_relays + n_relays * n_servers,
+            "case {case}"
         );
         // Every client profiled, in its band, with a positive rate.
         for &c in &sc.clients {
             let p = sc.profile(c);
-            prop_assert!(p.base_rate > 0.0);
+            assert!(p.base_rate > 0.0, "case {case}");
             let mbps = p.base_rate / MBPS;
             match p.category {
-                Category::Low => prop_assert!(mbps <= 1.5),
-                Category::Medium => prop_assert!(mbps > 1.5 && mbps <= 3.0),
-                Category::High => prop_assert!(mbps > 3.0),
+                Category::Low => assert!(mbps <= 1.5, "case {case}: {mbps}"),
+                Category::Medium => {
+                    assert!(mbps > 1.5 && mbps <= 3.0, "case {case}: {mbps}")
+                }
+                Category::High => assert!(mbps > 3.0, "case {case}: {mbps}"),
             }
         }
         // Relay qualities positive and finite.
         for q in sc.relay_quality.values() {
-            prop_assert!(*q > 0.0 && q.is_finite());
+            assert!(*q > 0.0 && q.is_finite(), "case {case}");
         }
         // Every path the experiments need resolves.
         for &c in &sc.clients {
             for &s in &sc.servers {
-                prop_assert!(ir_core::PathSpec::direct(c, s)
-                    .resolve(sc.network.topology())
-                    .is_some());
-                for &v in &sc.relays {
-                    prop_assert!(ir_core::PathSpec::indirect(c, s, v)
+                assert!(
+                    ir_core::PathSpec::direct(c, s)
                         .resolve(sc.network.topology())
-                        .is_some());
+                        .is_some(),
+                    "case {case}"
+                );
+                for &v in &sc.relays {
+                    assert!(
+                        ir_core::PathSpec::indirect(c, s, v)
+                            .resolve(sc.network.topology())
+                            .is_some(),
+                        "case {case}"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn force_low_med_never_yields_high(seed in any::<u64>()) {
+#[test]
+fn force_low_med_never_yields_high() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x5C_1000 + case);
+        let seed: u64 = rng.gen();
         let sc = build(
             seed,
             &roster::SELECTION_CLIENTS[..2],
@@ -68,14 +84,18 @@ proptest! {
             true,
         );
         for &c in &sc.clients {
-            prop_assert_ne!(sc.profile(c).category, Category::High);
+            assert_ne!(sc.profile(c).category, Category::High, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn link_rates_stay_positive_over_study_window(seed in any::<u64>()) {
-        use ir_simnet::time::{SimDuration, SimTime};
-        use ir_simnet::tracer::trace_link;
+#[test]
+fn link_rates_stay_positive_over_study_window() {
+    use ir_simnet::time::{SimDuration, SimTime};
+    use ir_simnet::tracer::trace_link;
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x5C_2000 + case);
+        let seed: u64 = rng.gen();
         let sc = build(
             seed,
             &roster::CLIENTS[..2],
@@ -92,7 +112,12 @@ proptest! {
                 SimTime::from_secs(36_000),
                 SimDuration::from_secs(1800),
             );
-            prop_assert!(tr.rates.iter().all(|&r| r >= ir_simnet::bandwidth::MIN_RATE));
+            assert!(
+                tr.rates
+                    .iter()
+                    .all(|&r| r >= ir_simnet::bandwidth::MIN_RATE),
+                "case {case}, link {l}"
+            );
         }
     }
 }

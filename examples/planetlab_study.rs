@@ -9,9 +9,7 @@
 //! cargo run --release --example planetlab_study [seed]
 //! ```
 
-use indirect_routing::experiments::{
-    fig1, fig5, measurement_study_default, table1, Scale,
-};
+use indirect_routing::experiments::{fig1, fig5, measurement_study_default, table1, Scale};
 
 fn main() {
     let seed = std::env::args()
@@ -27,7 +25,11 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    for report in [fig1::report(&data), table1::report(&data), fig5::report(&data)] {
+    for report in [
+        fig1::report(&data),
+        table1::report(&data),
+        fig5::report(&data),
+    ] {
         println!("{}\n", report.render());
     }
 }

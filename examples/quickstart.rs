@@ -21,9 +21,24 @@ fn main() {
     let client = topo.add_node("client", NodeKind::Client);
     let relay = topo.add_node("relay", NodeKind::Intermediate);
     let server = topo.add_node("server", NodeKind::Server);
-    let l_direct = topo.add_link_shared(client, server, SimDuration::from_millis(90), Sharing::PerFlow);
-    let l_up = topo.add_link_shared(client, relay, SimDuration::from_millis(80), Sharing::PerFlow);
-    let l_down = topo.add_link_shared(relay, server, SimDuration::from_millis(10), Sharing::PerFlow);
+    let l_direct = topo.add_link_shared(
+        client,
+        server,
+        SimDuration::from_millis(90),
+        Sharing::PerFlow,
+    );
+    let l_up = topo.add_link_shared(
+        client,
+        relay,
+        SimDuration::from_millis(80),
+        Sharing::PerFlow,
+    );
+    let l_down = topo.add_link_shared(
+        relay,
+        server,
+        SimDuration::from_millis(10),
+        Sharing::PerFlow,
+    );
 
     // --- Path conditions: a 0.8 Mbps direct path with regime swings; a
     //     steadier 2 Mbps overlay link; a fast relay-server leg.
@@ -47,7 +62,10 @@ fn main() {
     let cfg = SessionConfig::paper_defaults();
 
     println!("direct path:   {}", PathSpec::direct(client, server));
-    println!("indirect path: {}\n", PathSpec::indirect(client, server, relay));
+    println!(
+        "indirect path: {}\n",
+        PathSpec::indirect(client, server, relay)
+    );
 
     for i in 0..5 {
         let rec = run_session(
@@ -63,7 +81,11 @@ fn main() {
         println!(
             "transfer {}: chose {}  direct {}  selected {}  improvement {:+.1}%",
             i,
-            if rec.chose_indirect() { "INDIRECT" } else { "direct  " },
+            if rec.chose_indirect() {
+                "INDIRECT"
+            } else {
+                "direct  "
+            },
             fmt_rate(rec.direct_throughput * 8.0),
             fmt_rate(rec.selected_throughput * 8.0),
             rec.improvement_pct()

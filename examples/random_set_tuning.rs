@@ -14,8 +14,8 @@ use indirect_routing::core::{
     EpsilonGreedy, RandomSet, SelectionPolicy, SessionConfig, Ucb1, UtilizationWeighted,
 };
 use indirect_routing::experiments::runner::{run_selection_study, run_task_with};
-use indirect_routing::workload::{selection_study, Schedule};
 use indirect_routing::stats::Summary;
+use indirect_routing::workload::{selection_study, Schedule};
 
 fn main() {
     let seed = std::env::args()
@@ -47,20 +47,37 @@ fn main() {
     }
 
     // --- Part 2: policy shoot-out at k = 5 for the first client.
-    println!("\npart 2: policy comparison (client {}, 120 transfers)\n", scenario.name(scenario.clients[0]));
+    println!(
+        "\npart 2: policy comparison (client {}, 120 transfers)\n",
+        scenario.name(scenario.clients[0])
+    );
     let client = scenario.clients[0];
     let server = scenario.servers[0];
     let policies: Vec<(&str, Box<dyn SelectionPolicy>)> = vec![
-        ("uniform random set (k=5)", Box::new(RandomSet::new(5, seed))),
+        (
+            "uniform random set (k=5)",
+            Box::new(RandomSet::new(5, seed)),
+        ),
         (
             "utilization-weighted (k=5)",
             Box::new(UtilizationWeighted::new(5, seed)),
         ),
-        ("epsilon-greedy (0.1)", Box::new(EpsilonGreedy::new(0.1, seed))),
+        (
+            "epsilon-greedy (0.1)",
+            Box::new(EpsilonGreedy::new(0.1, seed)),
+        ),
         ("ucb1", Box::new(Ucb1::new())),
     ];
     for (name, policy) in policies {
-        let records = run_task_with(&scenario, client, server, &scenario.relays, policy, schedule, &session);
+        let records = run_task_with(
+            &scenario,
+            client,
+            server,
+            &scenario.relays,
+            policy,
+            schedule,
+            &session,
+        );
         let imps: Vec<f64> = records
             .iter()
             .map(|r| r.improvement_pct())

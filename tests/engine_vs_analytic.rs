@@ -16,7 +16,11 @@ fn world_with(process: Box<dyn BandwidthProcess>) -> (Network, Route) {
     (net, route)
 }
 
-fn check_agreement(process_a: Box<dyn BandwidthProcess>, mut process_b: Box<dyn BandwidthProcess>, bytes: u64) {
+fn check_agreement(
+    process_a: Box<dyn BandwidthProcess>,
+    mut process_b: Box<dyn BandwidthProcess>,
+    bytes: u64,
+) {
     let cfg = TcpConfig::for_rtt(SimDuration::from_millis(100)).with_loss(0.0);
     let (mut net, route) = world_with(process_a);
     let id = net.start_flow(route, bytes, Box::new(TcpRateCap::new(cfg)));

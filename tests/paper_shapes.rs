@@ -6,8 +6,7 @@
 //! numbers (see EXPERIMENTS.md).
 
 use indirect_routing::experiments::{
-    fig1, fig3, fig4, fig5, measurement_reports, runner, selection_reports, table1, table3,
-    Scale,
+    fig1, fig3, fig4, fig5, measurement_reports, runner, selection_reports, table1, table3, Scale,
 };
 use indirect_routing::workload;
 
@@ -45,14 +44,22 @@ fn small_selection() -> runner::SelectionData {
 fn fig1_improvement_distribution_shape() {
     let data = small_measurement();
     let imps = data.indirect_improvements_pct();
-    assert!(imps.len() > 100, "too few indirect transfers: {}", imps.len());
+    assert!(
+        imps.len() > 100,
+        "too few indirect transfers: {}",
+        imps.len()
+    );
     let s = indirect_routing::stats::Summary::of(&imps).unwrap();
     // Paper: mean 49%, median 37%. Loose bands — shape, not numbers.
     assert!(s.mean > 10.0 && s.mean < 110.0, "mean {}", s.mean);
     assert!(s.median > 5.0 && s.median < 90.0, "median {}", s.median);
     let e = indirect_routing::stats::Ecdf::new(&imps);
     // Paper: 84% in [0,100], 12% penalties.
-    assert!(e.mass_in(0.0, 100.0) > 0.55, "band mass {}", e.mass_in(0.0, 100.0));
+    assert!(
+        e.mass_in(0.0, 100.0) > 0.55,
+        "band mass {}",
+        e.mass_in(0.0, 100.0)
+    );
     assert!(e.below(0.0) < 0.30, "penalties {}", e.below(0.0));
 }
 
@@ -85,7 +92,10 @@ fn table1_filters_cut_penalties_monotonically() {
         classes.category.get(&c) != Some(&workload::Category::High)
             && classes.variability.get(&c) != Some(&workload::Variability::Variable)
     });
-    assert!(filtered.population < all.population, "filter removed nothing");
+    assert!(
+        filtered.population < all.population,
+        "filter removed nothing"
+    );
     // Both the frequency and the magnitude of penalties shrink (or at
     // worst stay put) once High/variable clients are excluded.
     assert!(
@@ -116,7 +126,11 @@ fn fig6_curve_rises_then_plateaus() {
         let lo = data.mean_improvement_pct(client, 1).unwrap();
         let knee = data.mean_improvement_pct(client, 10).unwrap();
         let hi = data.mean_improvement_pct(client, 35).unwrap();
-        assert!(knee > lo, "{}: k=10 ({knee}) !> k=1 ({lo})", data.name(client));
+        assert!(
+            knee > lo,
+            "{}: k=10 ({knee}) !> k=1 ({lo})",
+            data.name(client)
+        );
         // Plateau: k=10 already captures most of the full-set value.
         assert!(
             knee > 0.6 * hi,
@@ -132,10 +146,7 @@ fn table3_utilization_correlates_with_improvement() {
     let rows = table3::rows_for(&data, data.clients[0]);
     assert!(rows.len() >= 5, "only {} relays ever chosen", rows.len());
     let xs: Vec<f64> = rows.iter().map(|r| r.utilization_pct).collect();
-    let ys: Vec<f64> = rows
-        .iter()
-        .map(|r| r.improvement_pct)
-        .collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.improvement_pct).collect();
     let rho = indirect_routing::stats::spearman(&xs, &ys);
     assert!(rho > 0.0, "no positive correlation: {rho}");
 }
@@ -158,6 +169,8 @@ fn full_quick_suite_all_checks_pass() {
 fn fig1_report_summarises_expected_population() {
     let data = small_measurement();
     let report = fig1::report(&data);
-    assert!(report.render().contains("transfers where the indirect path was chosen"));
+    assert!(report
+        .render()
+        .contains("transfers where the indirect path was chosen"));
     assert_eq!(report.id, "fig1");
 }

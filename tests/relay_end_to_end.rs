@@ -50,14 +50,18 @@ fn misprediction_penalty_reproduced_with_real_bytes() {
     let lab = MiniPlanetLab::start(HarnessSpec {
         content_len: 500_000,
         direct: RateSchedule::piecewise(vec![
-            (Duration::ZERO, 60.0 * KB),            // dip during the probe
+            (Duration::ZERO, 60.0 * KB),              // dip during the probe
             (Duration::from_millis(900), 900.0 * KB), // recovery
         ]),
         relays: vec![RateSchedule::constant(180.0 * KB)],
     })
     .unwrap();
     let out = lab.run_download(50_000).unwrap();
-    assert_eq!(out.choice, ChosenPath::Relay(0), "probe should catch the dip");
+    assert_eq!(
+        out.choice,
+        ChosenPath::Relay(0),
+        "probe should catch the dip"
+    );
     assert!(out.body_ok);
     // The relay path delivers ~180 KB/s; the recovered direct path
     // would have been ~5x that. The selection is a penalty.
@@ -74,10 +78,9 @@ fn remainder_rides_warm_connection() {
     // requests (probe + remainder) sufficed — implied by body_ok plus
     // the known request pattern of `download`.
     let origin_fast = OriginServer::start(OriginConfig::new(150_000)).unwrap();
-    let origin_direct = OriginServer::start(
-        OriginConfig::new(150_000).shaped(RateSchedule::constant(40.0 * KB)),
-    )
-    .unwrap();
+    let origin_direct =
+        OriginServer::start(OriginConfig::new(150_000).shaped(RateSchedule::constant(40.0 * KB)))
+            .unwrap();
     let relay = Relay::start(RelayConfig::shaped(RateSchedule::constant(400.0 * KB))).unwrap();
     let cfg = ClientConfig {
         path: "/f".into(),
@@ -114,12 +117,8 @@ fn content_pattern_spans_probe_boundary() {
         total_bytes: 40_000,
         timeout: Duration::from_secs(20),
     };
-    let out = indirect_routing::relay::download(
-        lab.direct_addr(),
-        lab.origin_for_relays(),
-        &[],
-        &cfg,
-    )
-    .unwrap();
+    let out =
+        indirect_routing::relay::download(lab.direct_addr(), lab.origin_for_relays(), &[], &cfg)
+            .unwrap();
     assert!(out.body_ok, "seam corruption");
 }

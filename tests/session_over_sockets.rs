@@ -84,8 +84,16 @@ fn sim_and_real_agree_when_relay_wins() {
     assert!(sim.chose_indirect(), "sim: {sim:?}");
     assert!(real.chose_indirect(), "real: {real:?}");
     // Improvements agree in regime: both solidly positive.
-    assert!(sim.improvement() > 0.5, "sim {:+.1}%", sim.improvement_pct());
-    assert!(real.improvement() > 0.5, "real {:+.1}%", real.improvement_pct());
+    assert!(
+        sim.improvement() > 0.5,
+        "sim {:+.1}%",
+        sim.improvement_pct()
+    );
+    assert!(
+        real.improvement() > 0.5,
+        "real {:+.1}%",
+        real.improvement_pct()
+    );
 }
 
 #[test]

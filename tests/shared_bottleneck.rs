@@ -17,7 +17,11 @@ use indirect_routing::simnet::prelude::*;
 /// client --access--> gateway; gateway -> server (direct tail) and
 /// gateway -> relay -> server (indirect tail). `access_cap` is a hard
 /// capacity shared by every flow the client runs.
-fn world(access_cap: f64, direct_tail: f64, overlay_tail: f64) -> (Network, NodeId, NodeId, NodeId) {
+fn world(
+    access_cap: f64,
+    direct_tail: f64,
+    overlay_tail: f64,
+) -> (Network, NodeId, NodeId, NodeId) {
     let mut t = Topology::new();
     let c = t.add_node("client", NodeKind::Client);
     let g = t.add_node("gateway", NodeKind::Intermediate);

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `bytes` crate (API subset).
+//!
+//! Only [`BytesMut`] is provided, with the handful of methods the HTTP
+//! codec and relay use: construction, `extend_from_slice`, `split_to`,
+//! `to_vec`, and slice access through `Deref`. Backed by a plain `Vec`
+//! — `split_to` is O(n) in the retained suffix, which is fine at the
+//! message sizes involved (heads of a few hundred bytes).
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer with cheap front-splitting semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Appends `src` to the end of the buffer.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Removes and returns the first `at` bytes; the buffer keeps the
+    /// rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.inner.len(), "split_to out of bounds");
+        let rest = self.inner.split_off(at);
+        let head = std::mem::replace(&mut self.inner, rest);
+        BytesMut { inner: head }
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Drops all bytes.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            inner: src.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BytesMut;
+
+    #[test]
+    fn split_to_takes_prefix() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        let head = b.split_to(6);
+        assert_eq!(&head[..], b"hello ");
+        assert_eq!(&b[..], b"world");
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn split_to_zero_and_all() {
+        let mut b = BytesMut::from(&b"abc"[..]);
+        let none = b.split_to(0);
+        assert!(none.is_empty());
+        let all = b.split_to(3);
+        assert_eq!(&all[..], b"abc");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn split_past_end_panics() {
+        let mut b = BytesMut::new();
+        b.split_to(1);
+    }
+
+    #[test]
+    fn to_vec_round_trips() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stub of `serde` (the build environment has no crates.io).
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — no
+//! code path serializes anything (there is no `serde_json` or similar
+//! in the tree). This stub keeps the derive attributes compiling: the
+//! traits are empty markers and the derive macros (from the sibling
+//! `serde_derive` stub) expand to nothing.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
