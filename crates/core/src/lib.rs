@@ -42,6 +42,8 @@ pub use policy::{
 };
 pub use predictor::{EwmaBlend, FirstPortion, Predictor};
 pub use record::{improvement, TransferRecord, UtilizationTracker};
-pub use session::{run_session, run_session_traced, ControlMode, ProbeMode, SessionConfig};
+pub use session::{
+    run_session, run_session_traced, ControlMode, FailoverConfig, ProbeMode, SessionConfig,
+};
 pub use sim_transport::{SimTransport, TcpDerivation};
 pub use transport::{Handle, RaceWin, Timing, Transport};

@@ -346,6 +346,9 @@ mod tests {
             probe_throughput: sel,
             selected_path_rate: sel,
             probe_timeout: false,
+            failovers: 0,
+            stall_ms: 0,
+            abandoned: false,
         }
     }
 

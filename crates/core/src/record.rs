@@ -58,6 +58,15 @@ pub struct TransferRecord {
     /// True if the probe race failed to finish before its horizon and
     /// the session fell back to the direct path.
     pub probe_timeout: bool,
+    /// Mid-transfer path switches forced by a dead or stalled selected
+    /// path (0 when failover is disabled or never needed).
+    pub failovers: u32,
+    /// Total milliseconds the selecting process spent making no
+    /// progress: zero-byte attempt windows plus backoff waits.
+    pub stall_ms: u64,
+    /// True if the transfer was abandoned — every retry and surviving
+    /// candidate was exhausted before the file completed.
+    pub abandoned: bool,
 }
 
 impl TransferRecord {
@@ -206,6 +215,9 @@ mod tests {
             probe_throughput: sel,
             selected_path_rate: sel,
             probe_timeout: false,
+            failovers: 0,
+            stall_ms: 0,
+            abandoned: false,
         }
     }
 

@@ -47,6 +47,45 @@ pub enum ControlMode {
     Forked,
 }
 
+/// Mid-transfer failover parameters for the remainder phase.
+///
+/// The paper's protocol has no failure handling — a dead selected path
+/// simply times out the whole session. With failover enabled, the
+/// remainder phase watches for stalls: a window with zero delivered
+/// bytes triggers retries on the same path (exponential backoff), and
+/// exhausted retries trigger a switch to the best surviving candidate
+/// (decided by a fresh probe race). Everything is recorded in the
+/// [`TransferRecord`] (`failovers`, `stall_ms`, `abandoned`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// A remainder attempt that delivers zero bytes for this long is
+    /// declared stalled.
+    pub stall_timeout: SimDuration,
+    /// Stalled-path retries (fresh connection, same path) before
+    /// failing over to another candidate.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub initial_backoff: SimDuration,
+}
+
+impl FailoverConfig {
+    /// Defaults used by the fault-plane experiments: 30 s stall window,
+    /// 2 retries, 1 s initial backoff.
+    pub fn paper_defaults() -> Self {
+        FailoverConfig {
+            stall_timeout: SimDuration::from_secs(30),
+            max_retries: 2,
+            initial_backoff: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) {
+        assert!(!self.stall_timeout.is_zero(), "zero stall timeout");
+        assert!(!self.initial_backoff.is_zero(), "zero backoff");
+    }
+}
+
 /// Session parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SessionConfig {
@@ -60,11 +99,15 @@ pub struct SessionConfig {
     pub control: ControlMode,
     /// Per-phase timeout.
     pub horizon: SimDuration,
+    /// Mid-transfer failover for the remainder phase. `None` (the
+    /// paper's protocol) keeps the original single-attempt behavior
+    /// bit-for-bit.
+    pub failover: Option<FailoverConfig>,
 }
 
 impl SessionConfig {
     /// The paper's defaults: x = 100 KB, n = 2 MB, first-to-finish,
-    /// concurrent control, 10-minute horizon.
+    /// concurrent control, 10-minute horizon, no failover.
     pub fn paper_defaults() -> Self {
         SessionConfig {
             probe_bytes: 100 * 1024,
@@ -72,6 +115,7 @@ impl SessionConfig {
             probe_mode: ProbeMode::FirstToFinish,
             control: ControlMode::Concurrent,
             horizon: SimDuration::from_secs(600),
+            failover: None,
         }
     }
 
@@ -85,6 +129,9 @@ impl SessionConfig {
             self.probe_bytes
         );
         assert!(!self.horizon.is_zero(), "zero horizon");
+        if let Some(fo) = &self.failover {
+            fo.validate();
+        }
     }
 }
 
@@ -169,14 +216,21 @@ pub fn run_session_traced(
     };
 
     // Selecting process.
-    let (selected, probe_throughput, path_rate, probe_timeout, finished_ok) = if candidates
-        .is_empty()
-    {
+    let (
+        selected,
+        probe_throughput,
+        path_rate,
+        probe_timeout,
+        finished_ok,
+        failovers,
+        stall_ms,
+        abandoned,
+    ) = if candidates.is_empty() {
         // Direct-only: no probe phase; the whole file goes direct.
         let h = transport.begin(&direct, cfg.file_bytes);
         let t = transport.finish(h, cfg.horizon);
         let rate = t.map(|t| t.throughput()).unwrap_or(f64::NAN);
-        (direct, f64::NAN, rate, false, t.is_some())
+        (direct, f64::NAN, rate, false, t.is_some(), 0, 0, false)
     } else {
         let paths: Vec<PathSpec> = std::iter::once(direct)
             .chain(
@@ -259,18 +313,44 @@ pub fn run_session_traced(
                         );
                     }
                 }
-                // The remainder rides the winning probe's warm
-                // connection (another Range request, §2.1).
-                let rem = transport.begin_warm(&path, cfg.file_bytes - cfg.probe_bytes);
-                let (ok, rate) = match transport.finish(rem, cfg.horizon) {
-                    Some(t) => {
-                        // Feed the realized remainder rate back.
-                        predictor.observe(&path, t.throughput());
-                        (true, t.throughput())
+                match cfg.failover {
+                    None => {
+                        // The remainder rides the winning probe's warm
+                        // connection (another Range request, §2.1).
+                        let rem = transport.begin_warm(&path, cfg.file_bytes - cfg.probe_bytes);
+                        let (ok, rate) = match transport.finish(rem, cfg.horizon) {
+                            Some(t) => {
+                                // Feed the realized remainder rate back.
+                                predictor.observe(&path, t.throughput());
+                                (true, t.throughput())
+                            }
+                            None => (false, f64::NAN),
+                        };
+                        (path, probe_rate, rate, false, ok, 0, 0, false)
                     }
-                    None => (false, f64::NAN),
-                };
-                (path, probe_rate, rate, false, ok)
+                    Some(fo) => {
+                        let out = run_remainder_failover(
+                            transport,
+                            predictor,
+                            path,
+                            &paths,
+                            cfg,
+                            &fo,
+                            transfer_index,
+                            tel,
+                        );
+                        (
+                            out.path,
+                            probe_rate,
+                            out.rate,
+                            false,
+                            out.finished,
+                            out.failovers,
+                            out.stall_ms,
+                            out.abandoned,
+                        )
+                    }
+                }
             }
             None => {
                 // Probe race timed out entirely; cancel everything and
@@ -290,7 +370,7 @@ pub fn run_session_traced(
                 }
                 let h = transport.begin(&direct, cfg.file_bytes);
                 let ok = transport.finish(h, cfg.horizon).is_some();
-                (direct, f64::NAN, f64::NAN, true, ok)
+                (direct, f64::NAN, f64::NAN, true, ok, 0, 0, false)
             }
         }
     };
@@ -333,6 +413,9 @@ pub fn run_session_traced(
         probe_throughput,
         selected_path_rate: path_rate,
         probe_timeout,
+        failovers,
+        stall_ms,
+        abandoned,
     };
     if let Some(tel) = tel {
         let wall_us = (t_end - t0).as_micros();
@@ -354,6 +437,214 @@ pub fn run_session_traced(
     }
     policy.observe(&record);
     record
+}
+
+/// Outcome of the failover-enabled remainder phase.
+struct RemainderOutcome {
+    /// The path that ultimately carried (or failed to carry) the file.
+    path: PathSpec,
+    /// True if the full remainder was delivered before the horizon.
+    finished: bool,
+    /// Realized remainder rate: remainder bytes over remainder wall
+    /// time (NaN when abandoned).
+    rate: f64,
+    /// Mid-transfer path switches performed.
+    failovers: u32,
+    /// Milliseconds spent stalled (zero-progress windows + backoffs).
+    stall_ms: u64,
+    /// True if every retry and surviving candidate was exhausted.
+    abandoned: bool,
+}
+
+/// The remainder phase with stall detection, retry/backoff, and
+/// mid-transfer failover.
+///
+/// The transfer is watched in windows of `fo.stall_timeout`. A window
+/// that delivers bytes just keeps waiting on the same flow; a window
+/// with **zero** progress declares the path stalled. Stalls trigger up
+/// to `fo.max_retries` fresh connections on the same path (exponential
+/// backoff between them), after which the path is abandoned for good
+/// and the best *surviving* candidate — decided by a fresh probe race
+/// over every path not yet declared dead — takes over the rest of the
+/// file. The overall deadline is still `cfg.horizon` from the start of
+/// the remainder; when it expires (or no candidate survives) the
+/// transfer is abandoned.
+#[allow(clippy::too_many_arguments)]
+fn run_remainder_failover(
+    transport: &mut dyn Transport,
+    predictor: &mut dyn Predictor,
+    start_path: PathSpec,
+    all_paths: &[PathSpec],
+    cfg: &SessionConfig,
+    fo: &FailoverConfig,
+    transfer_index: u64,
+    tel: Option<&Telemetry>,
+) -> RemainderOutcome {
+    let total = cfg.file_bytes - cfg.probe_bytes;
+    let started = transport.now();
+    let deadline = started + cfg.horizon;
+    let mut path = start_path;
+    // Candidates not yet declared dead (current path excluded).
+    let mut survivors: Vec<PathSpec> = all_paths.iter().filter(|&&p| p != path).copied().collect();
+    let mut remaining = total;
+    let mut failovers = 0u32;
+    let mut stall_ms = 0u64;
+    let mut attempt = 0u32;
+    let mut backoff = fo.initial_backoff;
+
+    let abandon = |path: PathSpec, failovers: u32, stall_ms: u64, tel: Option<&Telemetry>| {
+        if let Some(tel) = tel {
+            tel.metrics.counter("session_abandoned", vec![]).inc();
+        }
+        RemainderOutcome {
+            path,
+            finished: false,
+            rate: f64::NAN,
+            failovers,
+            stall_ms,
+            abandoned: true,
+        }
+    };
+    let done = |path: PathSpec,
+                end: ir_simnet::time::SimTime,
+                failovers: u32,
+                stall_ms: u64,
+                predictor: &mut dyn Predictor| {
+        let wall = (end - started).as_secs_f64();
+        let rate = if wall > 0.0 {
+            total as f64 / wall
+        } else {
+            f64::INFINITY
+        };
+        // Feed the realized remainder rate back.
+        predictor.observe(&path, rate);
+        RemainderOutcome {
+            path,
+            finished: true,
+            rate,
+            failovers,
+            stall_ms,
+            abandoned: false,
+        }
+    };
+
+    // First attempt rides the winning probe's warm connection (another
+    // Range request, §2.1).
+    let mut handle = transport.begin_warm(&path, remaining);
+    let mut seen = 0u64; // bytes observed on the current handle
+    loop {
+        let now = transport.now();
+        if now >= deadline {
+            transport.cancel(handle);
+            return abandon(path, failovers, stall_ms, tel);
+        }
+        let window = fo.stall_timeout.min(deadline - now);
+        if let Some(t) = transport.finish(handle, window) {
+            return done(path, t.finished, failovers, stall_ms, predictor);
+        }
+        let delivered = transport.progress(handle);
+        if delivered > seen {
+            // Progressing, merely slower than the window: keep waiting.
+            seen = delivered;
+            continue;
+        }
+
+        // A full window with zero progress: the path is stalled.
+        stall_ms += window.as_micros() / 1000;
+        transport.cancel(handle);
+        remaining = remaining.saturating_sub(delivered);
+        attempt += 1;
+        if attempt <= fo.max_retries {
+            // Retry the same path on a fresh connection after backoff.
+            if let Some(tel) = tel {
+                tel.metrics.counter("session_stall_retries", vec![]).inc();
+                tel.tracer.record(
+                    Event::new(
+                        EventKind::Retry,
+                        transport.now().as_micros(),
+                        transfer_index,
+                    )
+                    .with_str("fallback", "same_path")
+                    .with_u64("attempt", attempt as u64)
+                    .with_u64("backoff_us", backoff.as_micros()),
+                );
+            }
+            transport.sleep(backoff);
+            stall_ms += backoff.as_micros() / 1000;
+            backoff = SimDuration::from_micros(backoff.as_micros().saturating_mul(2));
+            if transport.now() >= deadline {
+                return abandon(path, failovers, stall_ms, tel);
+            }
+            handle = transport.begin(&path, remaining);
+            seen = 0;
+            continue;
+        }
+
+        // Retries exhausted: the path is dead to this session. Fail
+        // over to the best surviving candidate via a fresh probe race.
+        failovers += 1;
+        if let Some(tel) = tel {
+            tel.metrics.counter("session_failovers", vec![]).inc();
+            tel.tracer.record(
+                Event::new(
+                    EventKind::PathFailover,
+                    transport.now().as_micros(),
+                    transfer_index,
+                )
+                .with_str(
+                    "from",
+                    if path.is_indirect() {
+                        "indirect"
+                    } else {
+                        "direct"
+                    },
+                )
+                .with_u64("survivors", survivors.len() as u64)
+                .with_u64("remaining_bytes", remaining),
+            );
+        }
+        if survivors.is_empty() {
+            return abandon(path, failovers, stall_ms, tel);
+        }
+        let now = transport.now();
+        if now >= deadline {
+            return abandon(path, failovers, stall_ms, tel);
+        }
+        let window = fo.stall_timeout.min(deadline - now);
+        let chunk = remaining.min(cfg.probe_bytes);
+        let handles: Vec<Handle> = survivors
+            .iter()
+            .map(|p| transport.begin(p, chunk))
+            .collect();
+        match transport.race(&handles, window) {
+            Some(win) => {
+                for (i, &h) in handles.iter().enumerate() {
+                    if i != win.index {
+                        transport.cancel(h);
+                    }
+                }
+                path = survivors.remove(win.index);
+                remaining -= chunk;
+                if remaining == 0 {
+                    return done(path, win.timing.finished, failovers, stall_ms, predictor);
+                }
+                attempt = 0;
+                backoff = fo.initial_backoff;
+                // The rest rides the race winner's warm connection.
+                handle = transport.begin_warm(&path, remaining);
+                seen = 0;
+            }
+            None => {
+                // No survivor moved the chunk inside the window: the
+                // network is gone as far as this session can tell.
+                for &h in &handles {
+                    transport.cancel(h);
+                }
+                stall_ms += window.as_micros() / 1000;
+                return abandon(path, failovers, stall_ms, tel);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -561,5 +852,141 @@ mod tests {
         let mut cfg = SessionConfig::paper_defaults();
         cfg.file_bytes = cfg.probe_bytes;
         cfg.validate();
+    }
+
+    /// Like [`world`], but with a fault plan installed. The closure
+    /// receives (direct link, client→relay link).
+    fn faulty_world(
+        direct_rate: f64,
+        overlay_rate: f64,
+        plan: impl FnOnce(
+            ir_simnet::topology::LinkId,
+            ir_simnet::topology::LinkId,
+        ) -> ir_simnet::faults::FaultPlan,
+    ) -> (SimTransport, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let c = t.add_node("client", NodeKind::Client);
+        let v = t.add_node("relay", NodeKind::Intermediate);
+        let s = t.add_node("server", NodeKind::Server);
+        let l_cs = t.add_link(c, s, SimDuration::from_millis(80));
+        let l_cv = t.add_link(c, v, SimDuration::from_millis(50));
+        let l_vs = t.add_link(v, s, SimDuration::from_millis(15));
+        let mut net = Network::new(t, 1.0);
+        net.set_link_process(l_cs, Box::new(ConstantProcess::new(direct_rate)));
+        net.set_link_process(l_cv, Box::new(ConstantProcess::new(overlay_rate)));
+        net.set_link_process(l_vs, Box::new(ConstantProcess::new(50e6)));
+        net.set_fault_plan(&plan(l_cs, l_cv));
+        (SimTransport::new(net), c, v, s)
+    }
+
+    fn quick_failover() -> FailoverConfig {
+        FailoverConfig {
+            stall_timeout: SimDuration::from_secs(5),
+            max_retries: 1,
+            initial_backoff: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn failover_recovers_from_mid_transfer_outage() {
+        use ir_simnet::faults::FaultPlan;
+        use ir_simnet::time::SimTime;
+        // Overlay wins the probe (300 KB/s vs 100 KB/s), then its
+        // uplink dies at t = 5 s, mid-remainder, and stays dead.
+        let (mut tp, c, v, s) = faulty_world(100_000.0, 300_000.0, |_cs, cv| {
+            FaultPlan::default().link_outage(cv, SimTime::from_secs(5), SimTime::from_secs(600))
+        });
+        let mut cfg = SessionConfig::paper_defaults();
+        cfg.failover = Some(quick_failover());
+        let rec = run(&mut tp, &mut StaticSingle(v), c, s, &[v], &cfg);
+        assert!(!rec.abandoned, "direct path survived");
+        assert_eq!(rec.failovers, 1, "one switch overlay → direct");
+        assert!(!rec.chose_indirect(), "final path is the direct one");
+        assert!(rec.stall_ms > 0, "stall windows + backoff were paid");
+        assert!(
+            rec.selected_throughput > 0.0,
+            "transfer completed despite the outage"
+        );
+    }
+
+    #[test]
+    fn failover_abandons_when_nothing_survives() {
+        use ir_simnet::faults::FaultPlan;
+        use ir_simnet::time::SimTime;
+        // Both paths die at t = 5 s and never come back.
+        let (mut tp, c, v, s) = faulty_world(100_000.0, 300_000.0, |cs, cv| {
+            FaultPlan::default()
+                .link_outage(cs, SimTime::from_secs(5), SimTime::from_secs(10_000))
+                .link_outage(cv, SimTime::from_secs(5), SimTime::from_secs(10_000))
+        });
+        let mut cfg = SessionConfig::paper_defaults();
+        cfg.horizon = SimDuration::from_secs(60);
+        cfg.failover = Some(quick_failover());
+        let rec = run(&mut tp, &mut StaticSingle(v), c, s, &[v], &cfg);
+        assert!(rec.abandoned);
+        assert!(rec.failovers >= 1);
+        assert_eq!(rec.selected_throughput, 0.0, "no fabricated throughput");
+        assert_eq!(rec.direct_throughput, 0.0, "control died too");
+    }
+
+    #[test]
+    fn benign_failover_config_is_a_noop() {
+        // On a healthy network a failover-enabled session must produce
+        // the identical record: first finish window succeeds, rate math
+        // reduces to the single-attempt formula.
+        let (mut tp1, c1, v1, s1) = world(100_000.0, 800_000.0);
+        let plain = run(
+            &mut tp1,
+            &mut StaticSingle(v1),
+            c1,
+            s1,
+            &[v1],
+            &SessionConfig::paper_defaults(),
+        );
+
+        let (mut tp2, c2, v2, s2) = world(100_000.0, 800_000.0);
+        let mut cfg = SessionConfig::paper_defaults();
+        cfg.failover = Some(FailoverConfig::paper_defaults());
+        let with_failover = run(&mut tp2, &mut StaticSingle(v2), c2, s2, &[v2], &cfg);
+
+        assert_eq!(plain, with_failover, "failover changed a healthy run");
+        assert_eq!(with_failover.failovers, 0);
+        assert_eq!(with_failover.stall_ms, 0);
+        assert!(!with_failover.abandoned);
+    }
+
+    #[test]
+    fn traced_failover_emits_path_failover_event() {
+        use ir_simnet::faults::FaultPlan;
+        use ir_simnet::time::SimTime;
+        let (mut tp, c, v, s) = faulty_world(100_000.0, 300_000.0, |_cs, cv| {
+            FaultPlan::default().link_outage(cv, SimTime::from_secs(5), SimTime::from_secs(600))
+        });
+        let mut cfg = SessionConfig::paper_defaults();
+        cfg.failover = Some(quick_failover());
+        let tel = std::sync::Arc::new(Telemetry::new());
+        tp.network_mut().set_telemetry(Some(tel.clone()));
+        let rec = run_session_traced(
+            &mut tp,
+            &mut StaticSingle(v),
+            &mut FirstPortion,
+            c,
+            s,
+            &[v],
+            7,
+            &cfg,
+            Some(tel.as_ref()),
+        );
+        assert_eq!(rec.failovers, 1);
+        let kinds: Vec<EventKind> = tel.tracer.snapshot().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::PathFailover));
+        assert!(
+            kinds.contains(&EventKind::FaultInjected),
+            "simnet fault events also land in the same trace"
+        );
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("session_failovers", &vec![]), Some(1));
+        assert_eq!(snap.counter("session_stall_retries", &vec![]), Some(1));
+        assert_eq!(snap.counter("session_abandoned", &vec![]), None);
     }
 }

@@ -166,6 +166,15 @@ impl Transport for SimTransport {
         self.net.cancel_flow(id);
     }
 
+    fn progress(&self, handle: Handle) -> u64 {
+        self.net.flow_progress(self.flow(handle))
+    }
+
+    fn sleep(&mut self, d: SimDuration) {
+        let until = self.net.now() + d;
+        self.net.advance_until(until);
+    }
+
     fn fork(&self) -> Option<Box<dyn Transport>> {
         Some(Box::new(SimTransport {
             net: self.net.clone(),

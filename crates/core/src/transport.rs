@@ -79,6 +79,23 @@ pub trait Transport {
     /// Cancels an in-flight transfer (no-op if finished).
     fn cancel(&mut self, handle: Handle);
 
+    /// Bytes delivered so far on an in-flight (or finished) transfer.
+    /// Best effort: transports without byte-level visibility report 0.
+    /// The failover loop uses this to credit partial progress before
+    /// abandoning a stalled path.
+    fn progress(&self, handle: Handle) -> u64 {
+        let _ = handle;
+        0
+    }
+
+    /// Blocks the caller for `d` on this transport's clock — the
+    /// failover loop's backoff waits. Default: no-op, for transports
+    /// whose clock cannot be advanced without traffic (real sockets
+    /// sleep in the OS instead).
+    fn sleep(&mut self, d: SimDuration) {
+        let _ = d;
+    }
+
     /// An isolated replica experiencing identical future network
     /// conditions, when the transport supports it (the simulator does;
     /// real sockets do not). Used for oracle baselines and the §4.2

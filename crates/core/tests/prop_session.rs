@@ -166,6 +166,9 @@ fn utilization_tracker_is_consistent_with_records() {
                 probe_throughput: 1.0,
                 selected_path_rate: 1.0,
                 probe_timeout: false,
+                failovers: 0,
+                stall_ms: 0,
+                abandoned: false,
             });
         }
         let u = tracker.utilization(client, via).unwrap();

@@ -13,15 +13,17 @@
 //! | Fig 6 (improvement vs random-set size) | [`fig6`] | selection (§4) |
 //! | Table III (utilization vs improvement) | [`table3`] | selection |
 //!
-//! Two extension experiments go beyond the paper's artefacts:
-//! [`sites`] (the abstract's per-site 33–49% range) and [`headroom`]
+//! Three extension experiments go beyond the paper's artefacts:
+//! [`sites`] (the abstract's per-site 33–49% range), [`headroom`]
 //! (oracle-attainable vs captured improvement — only a simulator can
-//! measure this).
+//! measure this), and [`faults`] (availability/goodput under overlay
+//! outages and relay churn with session failover enabled).
 //!
 //! [`runner`] drives the two studies; each artefact module turns study
 //! data into a [`report::Report`] with paper-vs-measured checks and CSV
 //! series. The `experiments` binary wraps it all in a CLI.
 
+pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

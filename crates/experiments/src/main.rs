@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <artefact> [--seed N] [--scale quick|paper] [--csv DIR]
 //!             [--cal FILE] [--threads N] [--trace FILE] [--metrics]
+//!             [--faults none|MTBF_SECS]
 //!
 //! artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3
 //!            variability overhead
@@ -11,10 +12,16 @@
 //!            selection   (fig 6 + table 3 on one shared run)
 //!            sites       (per-site 33-49% range, extension)
 //!            headroom    (oracle-attainable vs captured, extension)
+//!            faults      (availability under overlay faults, extension)
 //!            scenario    (workload inspection, no study)
 //!            robustness  (headline numbers across seeds)
 //!            all         (everything)
 //! ```
+//!
+//! `--faults MTBF_SECS` injects a seeded overlay fault plan (link MTBF
+//! in seconds) into the measurement study and enables session failover;
+//! `--faults none` installs the empty plan, which is a provable no-op —
+//! artefacts stay byte-identical to a run without the flag.
 //!
 //! `--trace FILE` writes a Chrome `trace_event` JSON of the study to
 //! FILE (open in `chrome://tracing` or Perfetto); `--metrics` prints a
@@ -40,15 +47,20 @@ struct Args {
     threads: Option<usize>,
     trace_file: Option<PathBuf>,
     metrics: bool,
+    /// `--faults`: `None` = flag absent, `Some(0)` = "none" (empty
+    /// plan), `Some(n)` = overlay faults at link MTBF `n` seconds.
+    faults: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <artefact> [--seed N] [--scale quick|paper] [--csv DIR] [--cal FILE]\n\
          \x20                           [--threads N] [--trace FILE] [--metrics]\n\
+         \x20                           [--faults none|MTBF_SECS]\n\
          artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3\n\
          \x20          variability overhead\n\
-         \x20          measurement selection sites headroom scenario robustness all"
+         \x20          measurement selection sites headroom faults scenario\n\
+         \x20          robustness all"
     );
     std::process::exit(2);
 }
@@ -65,6 +77,7 @@ fn parse_args() -> Args {
         threads: None,
         trace_file: None,
         metrics: false,
+        faults: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -108,6 +121,18 @@ fn parse_args() -> Args {
             }
             "--metrics" => {
                 args.metrics = true;
+            }
+            "--faults" => {
+                args.faults = match argv.next().as_deref() {
+                    Some("none") => Some(0),
+                    Some(v) => Some(
+                        v.parse::<u64>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage()),
+                    ),
+                    None => usage(),
+                };
             }
             _ => usage(),
         }
@@ -172,12 +197,14 @@ fn main() -> ExitCode {
     );
     let needs_sites = matches!(args.artefact.as_str(), "sites" | "all");
     let needs_headroom = matches!(args.artefact.as_str(), "headroom" | "all");
+    let needs_faults = matches!(args.artefact.as_str(), "faults" | "all");
     let needs_scenario = args.artefact == "scenario";
     let needs_robustness = matches!(args.artefact.as_str(), "robustness" | "all");
     if !needs_measurement
         && !needs_selection
         && !needs_sites
         && !needs_headroom
+        && !needs_faults
         && !needs_scenario
         && !needs_robustness
     {
@@ -192,23 +219,40 @@ fn main() -> ExitCode {
             args.seed, args.scale
         );
         let t0 = std::time::Instant::now();
-        let data = match &args.cal {
-            None => measurement_study_default_traced(args.seed, args.scale, tel.clone()),
-            Some(cal) => {
-                let scenario = ir_workload::build(
-                    args.seed,
-                    ir_workload::roster::CLIENTS,
-                    ir_workload::roster::INTERMEDIATES,
-                    ir_workload::roster::SERVERS,
-                    *cal,
-                    false,
-                );
+        let data = match (&args.cal, args.faults) {
+            (None, None) => measurement_study_default_traced(args.seed, args.scale, tel.clone()),
+            (cal, faults) => {
+                // Decomposed default path so that `--faults none` and
+                // a custom calibration share one code path; with the
+                // empty plan it is byte-identical to the branch above.
+                let mut scenario = match cal {
+                    None => ir_workload::planetlab_study(args.seed),
+                    Some(cal) => ir_workload::build(
+                        args.seed,
+                        ir_workload::roster::CLIENTS,
+                        ir_workload::roster::INTERMEDIATES,
+                        ir_workload::roster::SERVERS,
+                        *cal,
+                        false,
+                    ),
+                };
+                let schedule = ir_workload::Schedule::measurement_study()
+                    .spread(args.scale.measurement_transfers());
+                let mut session = ir_core::SessionConfig::paper_defaults();
+                if let Some(mtbf) = faults {
+                    let plan = ir_experiments::faults::cli_fault_plan(
+                        &scenario, mtbf, schedule, args.seed,
+                    );
+                    scenario.network.set_fault_plan(&plan);
+                    if mtbf > 0 {
+                        session.failover = Some(ir_core::FailoverConfig::paper_defaults());
+                    }
+                }
                 ir_experiments::run_measurement_study_traced(
                     &scenario,
                     0,
-                    ir_workload::Schedule::measurement_study()
-                        .spread(args.scale.measurement_transfers()),
-                    ir_core::SessionConfig::paper_defaults(),
+                    schedule,
+                    session,
                     tel.clone(),
                 )
             }
@@ -257,6 +301,15 @@ fn main() -> ExitCode {
             Scale::Paper => 25,
         };
         let r = ir_experiments::sites::report(args.seed, transfers);
+        ok &= emit(&[r], &args.csv_dir);
+    }
+
+    if needs_faults {
+        eprintln!(
+            "running fault-plane study (seed {}, {:?} scale)...",
+            args.seed, args.scale
+        );
+        let r = ir_experiments::faults::report(args.seed, args.scale);
         ok &= emit(&[r], &args.csv_dir);
     }
 

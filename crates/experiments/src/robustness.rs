@@ -12,6 +12,16 @@ use ir_core::SessionConfig;
 use ir_stats::{Ecdf, Summary};
 use ir_workload::{planetlab_study, Schedule};
 
+/// Fig 1 acceptance band for the **mean** improvement (%) over
+/// indirect-chosen transfers (the paper's headline is +49%).
+pub const FIG1_MEAN_PCT: (f64, f64) = (25.0, 85.0);
+/// Fig 1 acceptance band for the **median** improvement (%).
+pub const FIG1_MEDIAN_PCT: (f64, f64) = (15.0, 70.0);
+/// Fig 1 acceptance band for the probability mass in [0, 100] %.
+pub const FIG1_BAND_PCT: (f64, f64) = (65.0, 95.0);
+/// Fig 1 acceptance band for the penalty fraction (%).
+pub const FIG1_PENALTY_PCT: (f64, f64) = (3.0, 25.0);
+
 /// Fig 1 headline statistics for one seed.
 #[derive(Debug, Clone, Copy)]
 pub struct SeedStats {
@@ -28,12 +38,14 @@ pub struct SeedStats {
 }
 
 impl SeedStats {
-    /// Whether this seed passes Fig 1's acceptance bands.
+    /// Whether this seed passes Fig 1's acceptance bands (the shared
+    /// [`FIG1_MEAN_PCT`]…[`FIG1_PENALTY_PCT`] constants, also consulted
+    /// by the faults experiment and integration tests).
     pub fn passes(&self) -> bool {
-        (25.0..=85.0).contains(&self.mean_pct)
-            && (15.0..=70.0).contains(&self.median_pct)
-            && (65.0..=95.0).contains(&self.band_pct)
-            && (3.0..=25.0).contains(&self.penalty_pct)
+        (FIG1_MEAN_PCT.0..=FIG1_MEAN_PCT.1).contains(&self.mean_pct)
+            && (FIG1_MEDIAN_PCT.0..=FIG1_MEDIAN_PCT.1).contains(&self.median_pct)
+            && (FIG1_BAND_PCT.0..=FIG1_BAND_PCT.1).contains(&self.band_pct)
+            && (FIG1_PENALTY_PCT.0..=FIG1_PENALTY_PCT.1).contains(&self.penalty_pct)
     }
 }
 

@@ -85,6 +85,9 @@ pub struct DownloadOutcome {
     pub throughput: f64,
     /// Whether the reassembled body matched the origin's content.
     pub body_ok: bool,
+    /// Paths abandoned mid-transfer (relay died, connection severed);
+    /// always 0 from [`download`], which has no failure handling.
+    pub failovers: u32,
 }
 
 fn probe_request(
@@ -200,6 +203,112 @@ pub fn download(
         elapsed,
         throughput: cfg.total_bytes as f64 / elapsed.as_secs_f64(),
         body_ok,
+        failovers: 0,
+    })
+}
+
+/// Fetches one range over a fresh connection (reconnect path of the
+/// failover download).
+fn fetch_range_fresh(
+    addr: SocketAddr,
+    choice: ChosenPath,
+    origin_for_relays: SocketAddr,
+    path: &str,
+    range: ByteRange,
+    timeout: Duration,
+) -> Result<Vec<u8>, RelayError> {
+    let mut conn = TcpStream::connect_timeout(&addr, timeout)?;
+    conn.set_read_timeout(Some(timeout))?;
+    conn.set_nodelay(true)?;
+    let req = probe_request(choice, origin_for_relays, path, range);
+    let (head, body) = exchange(&mut conn, &req)?;
+    if head.status != StatusCode::PARTIAL_CONTENT {
+        return Err(RelayError::BadStatus(head.status.0));
+    }
+    Ok(body)
+}
+
+/// [`download`] with client-side failover: if the winning connection
+/// dies mid-remainder (the relay crashed, the socket was severed), the
+/// client reconnects and re-requests the remainder from the surviving
+/// paths — the direct path first, then each remaining relay — instead
+/// of surfacing the error. `failovers` in the outcome counts every
+/// abandoned path. Fails with the *last* path's error only when no
+/// path survives.
+pub fn download_failover(
+    direct: SocketAddr,
+    origin_for_relays: SocketAddr,
+    relays: &[SocketAddr],
+    cfg: &ClientConfig,
+) -> Result<DownloadOutcome, RelayError> {
+    let start = Instant::now();
+    let mut win = probe_race(direct, origin_for_relays, relays, cfg)?;
+
+    let rem_range = ByteRange::from_offset(cfg.probe_bytes);
+    let req = probe_request(win.choice, origin_for_relays, &cfg.path, rem_range);
+    let mut failovers = 0u32;
+    let rest = match exchange(&mut win.conn, &req) {
+        Ok((head, rest)) if head.status == StatusCode::PARTIAL_CONTENT => rest,
+        first_failure => {
+            // The winning path died mid-transfer. Reconnect over the
+            // survivors; partial remainder bytes are discarded and the
+            // whole remainder re-requested (ranges make this cheap to
+            // reason about and the origin is stateless).
+            failovers += 1;
+            let mut survivors: Vec<(ChosenPath, SocketAddr)> = vec![(ChosenPath::Direct, direct)];
+            for (i, &r) in relays.iter().enumerate() {
+                survivors.push((ChosenPath::Relay(i), r));
+            }
+            survivors.retain(|&(c, _)| c != win.choice);
+
+            let mut recovered = None;
+            let mut last_err = match first_failure {
+                Ok((head, _)) => RelayError::BadStatus(head.status.0),
+                Err(e) => e,
+            };
+            for (choice, addr) in survivors {
+                match fetch_range_fresh(
+                    addr,
+                    choice,
+                    origin_for_relays,
+                    &cfg.path,
+                    rem_range,
+                    cfg.timeout,
+                ) {
+                    Ok(body) => {
+                        recovered = Some((choice, body));
+                        break;
+                    }
+                    Err(e) => {
+                        failovers += 1;
+                        last_err = e;
+                    }
+                }
+            }
+            let Some((choice, body)) = recovered else {
+                return Err(last_err);
+            };
+            win.choice = choice;
+            body
+        }
+    };
+
+    let elapsed = start.elapsed();
+    let mut body = win.body;
+    body.extend_from_slice(&rest);
+    let body_ok = body.len() as u64 == cfg.total_bytes
+        && body
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == body_byte(i as u64));
+
+    Ok(DownloadOutcome {
+        choice: win.choice,
+        probe_throughput: win.throughput,
+        elapsed,
+        throughput: cfg.total_bytes as f64 / elapsed.as_secs_f64(),
+        body_ok,
+        failovers,
     })
 }
 
@@ -346,6 +455,49 @@ mod tests {
         let (_, subset2) =
             download_with_subset(direct.addr(), fast.addr(), &addrs, 2, 42, &cfg).unwrap();
         assert_eq!(subset, subset2);
+    }
+
+    #[test]
+    fn download_failover_survives_relay_kill_mid_splice() {
+        // The relay wins the probe, then crashes mid-remainder; the
+        // client must recover on the direct path with intact content.
+        let direct = OriginServer::start(
+            OriginConfig::new(300_000).shaped(RateSchedule::constant(100.0 * KB)),
+        )
+        .unwrap();
+        let fast = OriginServer::start(OriginConfig::new(300_000)).unwrap();
+        let mut relay =
+            Relay::start(RelayConfig::shaped(RateSchedule::constant(150.0 * KB))).unwrap();
+        let cfg = ClientConfig {
+            path: "/f".into(),
+            probe_bytes: 50_000,
+            total_bytes: 300_000,
+            timeout: Duration::from_secs(20),
+        };
+        let (d, f, addrs) = (direct.addr(), fast.addr(), vec![relay.addr()]);
+        let t = std::thread::spawn(move || download_failover(d, f, &addrs, &cfg));
+        std::thread::sleep(Duration::from_millis(600));
+        relay.kill();
+        let out = t.join().expect("client must not panic").unwrap();
+        assert!(out.body_ok, "reassembled content must be intact");
+        assert_eq!(out.choice, ChosenPath::Direct, "failed over to direct");
+        assert!(out.failovers >= 1, "the dead relay counts as a failover");
+    }
+
+    #[test]
+    fn download_failover_without_faults_matches_download() {
+        let (direct, fast, relays) = world(200_000, 100.0 * KB, &[600.0 * KB]);
+        let cfg = ClientConfig {
+            path: "/f".into(),
+            probe_bytes: 40_000,
+            total_bytes: 200_000,
+            timeout: Duration::from_secs(20),
+        };
+        let addrs: Vec<_> = relays.iter().map(|r| r.addr()).collect();
+        let out = download_failover(direct.addr(), fast.addr(), &addrs, &cfg).unwrap();
+        assert!(out.body_ok);
+        assert_eq!(out.failovers, 0);
+        assert_eq!(out.choice, ChosenPath::Relay(0));
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{
-    download, download_with_subset, probe_race, ChosenPath, ClientConfig, DownloadOutcome, ProbeWin,
+    download, download_failover, download_with_subset, probe_race, ChosenPath, ClientConfig,
+    DownloadOutcome, ProbeWin,
 };
 pub use error::RelayError;
 pub use harness::{HarnessSpec, MiniPlanetLab, StudyRound};

@@ -15,9 +15,9 @@ use ir_http::{encode_request, encode_response, plan_forward, Parsed, Response, S
 use ir_telemetry::trace::{Event, EventKind};
 use ir_telemetry::Telemetry;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Relay configuration.
@@ -77,6 +77,7 @@ impl Default for RelayConfig {
 pub struct Relay {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -94,11 +95,14 @@ impl Relay {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
         let flag = shutdown.clone();
-        let handle = std::thread::spawn(move || accept_loop(listener, cfg, flag));
+        let registry = conns.clone();
+        let handle = std::thread::spawn(move || accept_loop(listener, cfg, flag, registry));
         Ok(Relay {
             addr,
             shutdown,
+            conns,
             handle: Some(handle),
         })
     }
@@ -106,6 +110,22 @@ impl Relay {
     /// The bound address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Simulates a relay-node crash: stops accepting and severs every
+    /// active connection mid-splice. Serve threads observe their socket
+    /// erroring out and unwind cleanly — the daemon never panics, and
+    /// clients see a connection error rather than a hang. Idempotent;
+    /// the relay cannot be restarted on the same `Relay` value (start a
+    /// new one on the same address to model a restart).
+    pub fn kill(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for c in self.conns.lock().expect("relay registry").drain(..) {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -118,7 +138,12 @@ impl Drop for Relay {
     }
 }
 
-fn accept_loop(listener: TcpListener, cfg: RelayConfig, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    cfg: RelayConfig,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<Mutex<Vec<TcpStream>>>,
+) {
     // One path timeline shared by all connections (see origin).
     let epoch = std::time::Instant::now();
     let mut conns = 0u64;
@@ -134,6 +159,11 @@ fn accept_loop(listener: TcpListener, cfg: RelayConfig, shutdown: Arc<AtomicBool
                         epoch.elapsed().as_micros() as u64,
                         conn_id,
                     ));
+                }
+                // Register a handle so `kill` can sever the connection
+                // even while a serve thread is blocked mid-splice.
+                if let Ok(clone) = stream.try_clone() {
+                    registry.lock().expect("relay registry").push(clone);
                 }
                 let cfg = cfg.clone();
                 std::thread::spawn(move || {
@@ -477,6 +507,41 @@ mod tests {
             .find(|e| e.kind == EventKind::RelaySplice)
             .unwrap();
         assert!(splice.dur_us.is_some());
+    }
+
+    #[test]
+    fn kill_severs_active_connection_and_stops_accepting() {
+        let origin = OriginServer::start(OriginConfig::new(400_000)).unwrap();
+        let mut relay =
+            Relay::start(RelayConfig::shaped(RateSchedule::constant(100_000.0))).unwrap();
+        let addr = relay.addr();
+        let o = origin.addr();
+        // A slow fetch that will still be splicing when the kill lands.
+        let t = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let req = via_proxy(&o.ip().to_string(), o.port(), "/f");
+            let mut buf = BytesMut::new();
+            encode_request(&req, &mut buf);
+            stream.write_all(&buf).unwrap();
+            // Drain until the severed socket reports EOF or an error —
+            // the client must not hang.
+            let mut total = 0usize;
+            let mut chunk = [0u8; 8192];
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => total += n,
+                }
+            }
+            total
+        });
+        std::thread::sleep(Duration::from_millis(400));
+        relay.kill();
+        relay.kill(); // idempotent
+        let got = t.join().expect("client thread must not panic");
+        assert!(got < 400_000, "transfer should be cut short, got {got}");
+        // A crashed relay refuses new connections.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
     }
 
     #[test]

@@ -336,6 +336,7 @@ mod tests {
             probe_mode: ir_core::ProbeMode::FirstToFinish,
             control: ir_core::ControlMode::Concurrent,
             horizon: ir_simnet::time::SimDuration::from_secs(60),
+            failover: None,
         };
         let rec = run_session(
             &mut transport,
@@ -373,6 +374,7 @@ mod tests {
             probe_mode: ir_core::ProbeMode::FirstToFinish,
             control: ir_core::ControlMode::Concurrent,
             horizon: ir_simnet::time::SimDuration::from_secs(60),
+            failover: None,
         };
         let rec = run_session(
             &mut transport,

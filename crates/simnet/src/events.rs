@@ -8,6 +8,7 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+#[derive(Clone)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -36,6 +37,7 @@ impl<E> Ord for Entry<E> {
 }
 
 /// A min-heap of timestamped events with FIFO tie-breaking.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,

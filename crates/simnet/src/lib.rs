@@ -39,6 +39,7 @@
 pub mod bandwidth;
 pub mod events;
 pub mod fairshare;
+pub mod faults;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -52,6 +53,7 @@ pub mod prelude {
     };
     pub use crate::events::EventQueue;
     pub use crate::fairshare::{max_min_rates, AllocFlow};
+    pub use crate::faults::{FaultEvent, FaultPlan, FaultSpec};
     pub use crate::sim::{CompletedFlow, ConstCap, EngineStats, FlowId, Network, NoCap, RateCap};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{LinkId, Node, NodeId, NodeKind, Route, Sharing, Topology};

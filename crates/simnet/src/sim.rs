@@ -16,7 +16,9 @@
 //! genuinely interference-free control configuration when desired.
 
 use crate::bandwidth::BandwidthProcess;
+use crate::events::EventQueue;
 use crate::fairshare::{max_min_rates, AllocFlow};
+use crate::faults::{FaultEvent, FaultPlan};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, Route, Topology};
 use ir_telemetry::trace::{Event, EventKind};
@@ -146,6 +148,16 @@ pub struct EngineStats {
     pub flows_cancelled: u64,
 }
 
+/// Live state of an installed [`FaultPlan`]: the pending schedule plus
+/// the current down/brownout flags it has produced so far.
+#[derive(Clone)]
+struct FaultState {
+    queue: EventQueue<FaultEvent>,
+    link_down: Vec<bool>,
+    node_down: Vec<bool>,
+    brownout: Vec<f64>,
+}
+
 /// The simulated network: topology + per-link bandwidth processes +
 /// active flows + the clock.
 pub struct Network {
@@ -158,6 +170,10 @@ pub struct Network {
     active: std::collections::BTreeSet<usize>,
     now: SimTime,
     stats: EngineStats,
+    /// Fault plane; `None` (the default, and what an empty plan
+    /// installs) keeps every code path byte-identical to a build
+    /// without fault support.
+    faults: Option<FaultState>,
     /// Observability handle; `None` (the default) costs nothing on any
     /// path. Strictly observational: never consumes randomness, never
     /// moves the clock, never changes control flow.
@@ -173,6 +189,7 @@ impl Clone for Network {
             active: self.active.clone(),
             now: self.now,
             stats: self.stats,
+            faults: self.faults.clone(),
             telemetry: self.telemetry.clone(),
         }
     }
@@ -195,6 +212,7 @@ impl Network {
             active: std::collections::BTreeSet::new(),
             now: SimTime::ZERO,
             stats: EngineStats::default(),
+            faults: None,
             telemetry: None,
         }
     }
@@ -243,6 +261,132 @@ impl Network {
     /// side-channel sampling; see [`crate::tracer`]).
     pub fn link_process(&self, link: LinkId) -> &dyn BandwidthProcess {
         self.procs[link.0 as usize].as_ref()
+    }
+
+    /// Installs a fault plan, replacing any previous plan and clearing
+    /// its accumulated state. Events apply lazily as the clock reaches
+    /// them. An **empty** plan removes the fault plane entirely: the
+    /// network is then byte-identical (state and behaviour) to one that
+    /// never had a plan — the no-op guarantee `FaultPlan::none()`
+    /// documents. Clones made after this call inherit the plan, so
+    /// every replica of a scenario network replays the same schedule.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            self.faults = None;
+            return;
+        }
+        let mut queue = EventQueue::new();
+        for &(at, ev) in plan.events() {
+            queue.push(at, ev);
+        }
+        self.faults = Some(FaultState {
+            queue,
+            link_down: vec![false; self.topo.link_count()],
+            node_down: vec![false; self.topo.node_count()],
+            brownout: vec![1.0; self.topo.link_count()],
+        });
+    }
+
+    /// Number of scheduled fault events not yet applied.
+    pub fn fault_events_pending(&self) -> usize {
+        self.faults.as_ref().map_or(0, |fs| fs.queue.len())
+    }
+
+    /// Multiplier the fault plane currently applies to `link`'s rate:
+    /// `0.0` when the link or either endpoint node is down, the
+    /// brownout factor during a brownout, `1.0` otherwise.
+    fn fault_factor(&self, l: usize) -> f64 {
+        match &self.faults {
+            None => 1.0,
+            Some(fs) => {
+                let link = self.topo.link(LinkId(l as u32));
+                if fs.link_down[l]
+                    || fs.node_down[link.from.0 as usize]
+                    || fs.node_down[link.to.0 as usize]
+                {
+                    0.0
+                } else {
+                    fs.brownout[l]
+                }
+            }
+        }
+    }
+
+    /// Time of the next unapplied fault event, if any.
+    fn next_fault_time(&self) -> Option<SimTime> {
+        self.faults.as_ref().and_then(|fs| fs.queue.peek_time())
+    }
+
+    /// Applies every fault event scheduled at or before the current
+    /// time. Telemetry is stamped with each event's *scheduled* time,
+    /// so late application (a boundary landing past the event) keeps
+    /// truthful timestamps.
+    fn apply_due_faults(&mut self) {
+        let now = self.now;
+        let Some(fs) = &mut self.faults else { return };
+        while let Some((at, ev)) = fs.queue.pop_until(now) {
+            let (what, id, factor) = match ev {
+                FaultEvent::LinkDown(l) => {
+                    fs.link_down[l.0 as usize] = true;
+                    ("link_down", l.0 as u64, 0.0)
+                }
+                FaultEvent::LinkUp(l) => {
+                    fs.link_down[l.0 as usize] = false;
+                    ("link_up", l.0 as u64, 1.0)
+                }
+                FaultEvent::BrownoutSet { link, factor } => {
+                    fs.brownout[link.0 as usize] = factor;
+                    ("brownout", link.0 as u64, factor)
+                }
+                FaultEvent::NodeDown(n) => {
+                    fs.node_down[n.0 as usize] = true;
+                    ("node_down", n.0 as u64, 0.0)
+                }
+                FaultEvent::NodeUp(n) => {
+                    fs.node_down[n.0 as usize] = false;
+                    ("node_up", n.0 as u64, 1.0)
+                }
+            };
+            if let Some(tel) = &self.telemetry {
+                tel.metrics.counter("simnet_faults_injected", vec![]).inc();
+                tel.tracer.record(
+                    Event::new(EventKind::FaultInjected, at.as_micros(), id)
+                        .with_str("fault", what)
+                        .with_f64("factor", factor),
+                );
+            }
+        }
+    }
+
+    /// Instantaneous *effective* rate of `link`: the raw process value
+    /// scaled by the fault plane (0 while down).
+    pub fn effective_link_rate_now(&mut self, link: LinkId) -> f64 {
+        self.apply_due_faults();
+        let raw = self.link_rate_now(link);
+        raw * self.fault_factor(link.0 as usize)
+    }
+
+    /// True if the fault plane currently makes `link` unusable (the
+    /// link itself or either endpoint node is down).
+    pub fn link_is_down(&mut self, link: LinkId) -> bool {
+        self.apply_due_faults();
+        self.fault_factor(link.0 as usize) == 0.0
+    }
+
+    /// Current fair-share allocation of every active flow at this
+    /// instant: `(flow, route links, allocated rate)`. Diagnostic /
+    /// test accessor — it recomputes shares without advancing time and
+    /// never changes engine state beyond lazily extending process
+    /// timelines (which is query-stable).
+    pub fn active_flow_allocation(&mut self) -> Vec<(FlowId, Vec<LinkId>, f64)> {
+        self.apply_due_faults();
+        let active = self.active_indices();
+        let rates = self.current_rates(&active);
+        active
+            .iter()
+            .zip(rates)
+            .map(|(&i, r)| (FlowId(i as u64), self.flows[i].route.links.clone(), r))
+            .collect()
     }
 
     /// Starts a flow of `bytes` along `route` at the current time.
@@ -338,7 +482,12 @@ impl Network {
         in_use.dedup();
         // Dense remap: link index -> slot in the fair-share problem.
         let slot_of = |l: usize| in_use.binary_search(&l).expect("in-use link");
-        let rates: Vec<f64> = in_use.iter().map(|&l| self.procs[l].rate_at(t)).collect();
+        let factors: Vec<f64> = in_use.iter().map(|&l| self.fault_factor(l)).collect();
+        let rates: Vec<f64> = in_use
+            .iter()
+            .enumerate()
+            .map(|(k, &l)| self.procs[l].rate_at(t) * factors[k])
+            .collect();
         let caps: Vec<f64> = in_use
             .iter()
             .enumerate()
@@ -379,9 +528,15 @@ impl Network {
     fn advance_one_boundary(&mut self, until: SimTime) -> Vec<CompletedFlow> {
         debug_assert!(until >= self.now);
         self.stats.boundaries += 1;
+        self.apply_due_faults();
         let active = self.active_indices();
         if active.is_empty() {
-            self.now = until;
+            // Stop at the next fault event so its application time (and
+            // telemetry timestamp) stays exact even while idle.
+            self.now = match self.next_fault_time() {
+                Some(t) if t < until => t,
+                _ => until,
+            };
             return Vec::new();
         }
         let rates = self.current_rates(&active);
@@ -423,6 +578,12 @@ impl Network {
                 };
                 boundary = boundary.min(t.saturating_add(dt));
             }
+        }
+        // A scheduled fault is a rate-change boundary like any other
+        // (events at or before `now` were applied above, so any pending
+        // one is strictly in the future).
+        if let Some(fault_at) = self.next_fault_time() {
+            boundary = boundary.min(fault_at);
         }
         // Guarantee progress even if a process reports a change at `now`
         // (should not happen; defensive).
@@ -830,6 +991,144 @@ mod tests {
             Some(1),
             "replica reports into the shared registry"
         );
+    }
+
+    #[test]
+    fn link_outage_stalls_and_recovery_resumes() {
+        let (mut net, direct, _) = diamond([1000.0, 1.0, 1.0]);
+        // Outage of the direct link over [5s, 15s): 10 s of dead air.
+        let plan =
+            FaultPlan::none().link_outage(LinkId(0), SimTime::from_secs(5), SimTime::from_secs(15));
+        net.set_fault_plan(&plan);
+        let id = net.start_flow(direct, 10_000, Box::new(NoCap));
+        // 5 s at 1000 B/s, 10 s stalled, 5 s to finish → t = 20 s.
+        let c = net.run_flow(id, SimTime::from_secs(100)).unwrap();
+        assert!((c.finished.as_secs_f64() - 20.0).abs() < 1e-2, "{c:?}");
+        assert_eq!(net.fault_events_pending(), 0);
+    }
+
+    #[test]
+    fn brownout_scales_rate() {
+        let (mut net, direct, _) = diamond([1000.0, 1.0, 1.0]);
+        // Half rate over [0s, 10s): 5000 bytes done by t=10, rest at
+        // full rate → t = 15 s.
+        let plan = FaultPlan::none().brownout(
+            LinkId(0),
+            SimTime::from_micros(1),
+            SimTime::from_secs(10),
+            0.5,
+        );
+        net.set_fault_plan(&plan);
+        let id = net.start_flow(direct, 10_000, Box::new(NoCap));
+        let c = net.run_flow(id, SimTime::from_secs(100)).unwrap();
+        assert!((c.finished.as_secs_f64() - 15.0).abs() < 1e-2, "{c:?}");
+    }
+
+    #[test]
+    fn node_outage_kills_both_hops() {
+        let (mut net, _, indirect) = diamond([1.0, 1000.0, 2000.0]);
+        let mid = net.topology().node_by_name("m").unwrap();
+        let plan =
+            FaultPlan::none().node_outage(mid, SimTime::from_secs(2), SimTime::from_secs(100));
+        net.set_fault_plan(&plan);
+        let id = net.start_flow(indirect, 1_000_000, Box::new(NoCap));
+        net.advance_until(SimTime::from_secs(50));
+        let p = net.flow_progress(id);
+        assert!(p < 5_000, "crashed relay should stop the flow, got {p}");
+        assert!(net.link_is_down(LinkId(1)));
+        assert!(net.link_is_down(LinkId(2)));
+        assert!(!net.link_is_down(LinkId(0)));
+        assert_eq!(net.effective_link_rate_now(LinkId(1)), 0.0);
+    }
+
+    #[test]
+    fn empty_plan_is_a_true_noop() {
+        let (mut plain, direct_p, _) = diamond([1000.0, 1.0, 1.0]);
+        let (mut nulled, direct_n, _) = diamond([1000.0, 1.0, 1.0]);
+        nulled.set_fault_plan(&FaultPlan::none());
+        let a = plain.start_flow(direct_p, 10_000, Box::new(NoCap));
+        let b = nulled.start_flow(direct_n, 10_000, Box::new(NoCap));
+        let ca = plain.run_flow(a, SimTime::from_secs(100)).unwrap();
+        let cb = nulled.run_flow(b, SimTime::from_secs(100)).unwrap();
+        assert_eq!(ca.finished, cb.finished);
+        assert_eq!(plain.stats(), nulled.stats(), "even boundary counts match");
+    }
+
+    #[test]
+    fn faulted_clone_replays_identically() {
+        let (mut net, direct, _) = diamond([1000.0, 1.0, 1.0]);
+        let plan = FaultPlan::none()
+            .link_outage(LinkId(0), SimTime::from_secs(3), SimTime::from_secs(9))
+            .brownout(
+                LinkId(0),
+                SimTime::from_secs(12),
+                SimTime::from_secs(14),
+                0.25,
+            );
+        net.set_fault_plan(&plan);
+        let mut replica = net.clone();
+        let a = net.start_flow(direct.clone(), 20_000, Box::new(NoCap));
+        let b = replica.start_flow(direct, 20_000, Box::new(NoCap));
+        let ca = net.run_flow(a, SimTime::from_secs(1000)).unwrap();
+        let cb = replica.run_flow(b, SimTime::from_secs(1000)).unwrap();
+        assert_eq!(ca.finished, cb.finished);
+    }
+
+    #[test]
+    fn fault_telemetry_reports_scheduled_times() {
+        let (mut net, direct, _) = diamond([1000.0, 1.0, 1.0]);
+        let tel = Arc::new(Telemetry::new());
+        net.set_telemetry(Some(tel.clone()));
+        let plan =
+            FaultPlan::none().link_outage(LinkId(0), SimTime::from_secs(2), SimTime::from_secs(4));
+        net.set_fault_plan(&plan);
+        let id = net.start_flow(direct, 8_000, Box::new(NoCap));
+        net.run_flow(id, SimTime::from_secs(100));
+        let faults: Vec<_> = tel
+            .tracer
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::FaultInjected)
+            .collect();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].ts_us, SimTime::from_secs(2).as_micros());
+        assert_eq!(faults[1].ts_us, SimTime::from_secs(4).as_micros());
+        assert_eq!(
+            tel.metrics
+                .snapshot()
+                .counter("simnet_faults_injected", &vec![]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn idle_network_still_applies_faults_on_time() {
+        let (mut net, _, _) = diamond([1000.0, 1.0, 1.0]);
+        let plan =
+            FaultPlan::none().link_outage(LinkId(0), SimTime::from_secs(5), SimTime::from_secs(50));
+        net.set_fault_plan(&plan);
+        // No flows at all; advance across both events.
+        net.advance_until(SimTime::from_secs(10));
+        assert!(net.link_is_down(LinkId(0)));
+        net.advance_until(SimTime::from_secs(60));
+        assert!(!net.link_is_down(LinkId(0)));
+        assert_eq!(net.fault_events_pending(), 0);
+    }
+
+    #[test]
+    fn allocation_accessor_reflects_faults() {
+        let (mut net, direct, _) = diamond([1000.0, 1.0, 1.0]);
+        let plan =
+            FaultPlan::none().link_outage(LinkId(0), SimTime::from_secs(1), SimTime::from_secs(2));
+        net.set_fault_plan(&plan);
+        let id = net.start_flow(direct, 1_000_000, Box::new(NoCap));
+        let alloc = net.active_flow_allocation();
+        assert_eq!(alloc.len(), 1);
+        assert_eq!(alloc[0].0, id);
+        assert!((alloc[0].2 - 1000.0).abs() < 1e-9, "pre-outage full rate");
+        net.advance_until(SimTime::from_millis(1500));
+        let alloc = net.active_flow_allocation();
+        assert_eq!(alloc[0].2, 0.0, "rate must drop to zero during outage");
     }
 
     #[test]

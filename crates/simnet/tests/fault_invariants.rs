@@ -1,0 +1,152 @@
+//! Invariants of the fair-share allocator under an active fault plane:
+//! after every recompute, per-link flow load must respect the
+//! (possibly browned-out) effective capacity, and no flow may retain
+//! rate across a link that is down.
+
+use ir_simnet::prelude::*;
+use std::collections::BTreeMap;
+
+/// 3 clients × 2 relays × 1 server: direct links plus both overlay
+/// hops, all at `rate` B/s.
+fn mesh(rate: f64) -> (Network, Vec<Route>) {
+    let mut topo = Topology::new();
+    let clients: Vec<NodeId> = (0..3)
+        .map(|i| topo.add_node(format!("c{i}"), NodeKind::Client))
+        .collect();
+    let mids: Vec<NodeId> = (0..2)
+        .map(|i| topo.add_node(format!("m{i}"), NodeKind::Intermediate))
+        .collect();
+    let server = topo.add_node("s", NodeKind::Server);
+    let lat = SimDuration::from_millis(10);
+    for &c in &clients {
+        topo.add_link(c, server, lat);
+        for &m in &mids {
+            topo.add_link(c, m, lat);
+        }
+    }
+    for &m in &mids {
+        topo.add_link(m, server, lat);
+    }
+    let mut routes = Vec::new();
+    for &c in &clients {
+        routes.push(topo.route(&[c, server]).unwrap());
+        for &m in &mids {
+            routes.push(topo.route(&[c, m, server]).unwrap());
+        }
+    }
+    (Network::new(topo, rate), routes)
+}
+
+fn churny_spec() -> FaultSpec {
+    FaultSpec {
+        horizon: SimDuration::from_secs(120),
+        link_mtbf: SimDuration::from_secs(10),
+        link_outage_mean: SimDuration::from_secs(5),
+        brownout_prob: 0.5,
+        brownout_factor: 0.3,
+        node_mtbf: SimDuration::from_secs(30),
+        node_downtime_mean: SimDuration::from_secs(8),
+    }
+}
+
+/// Steps the network through a dense random fault schedule while flows
+/// churn on every route, checking the allocation invariants at every
+/// step.
+#[test]
+fn loads_respect_effective_capacity_under_faults() {
+    let (mut net, routes) = mesh(10_000.0);
+    let all_links: Vec<LinkId> = (0..net.topology().link_count() as u32)
+        .map(LinkId)
+        .collect();
+    let relays: Vec<NodeId> = net.topology().nodes_of_kind(NodeKind::Intermediate);
+    let plan = FaultPlan::random(&churny_spec(), &all_links, &relays, 0xFA17);
+    assert!(!plan.is_empty(), "spec should draw a dense schedule");
+    net.set_fault_plan(&plan);
+
+    // One long-lived flow per route, restarted whenever it completes,
+    // so every link carries load through outages and recoveries.
+    let mut flows: Vec<(FlowId, Route)> = routes
+        .iter()
+        .map(|r| {
+            (
+                net.start_flow(r.clone(), 500_000, Box::new(NoCap)),
+                r.clone(),
+            )
+        })
+        .collect();
+
+    let mut saw_down_link = false;
+    let mut saw_brownout = false;
+    for step in 1..=480u64 {
+        let t = SimTime::from_micros(step * 250_000); // 250 ms steps
+        net.advance_until(t);
+        for (id, route) in &mut flows {
+            if !net.is_active(*id) {
+                *id = net.start_flow(route.clone(), 500_000, Box::new(NoCap));
+            }
+        }
+
+        let alloc = net.active_flow_allocation();
+        let mut load: BTreeMap<LinkId, f64> = BTreeMap::new();
+        for (id, links, rate) in &alloc {
+            assert!(rate.is_finite() && *rate >= 0.0, "flow {id:?} rate {rate}");
+            for &l in links {
+                *load.entry(l).or_insert(0.0) += rate;
+            }
+            if links.iter().any(|&l| net.link_is_down(l)) {
+                saw_down_link = true;
+                assert_eq!(
+                    *rate, 0.0,
+                    "step {step}: flow {id:?} keeps rate {rate} across a down link"
+                );
+            }
+        }
+        for (&l, &sum) in &load {
+            let cap = net.effective_link_rate_now(l);
+            assert!(
+                sum <= cap + 1e-6 * cap.max(1.0),
+                "step {step}: link {l:?} overloaded: {sum} > effective {cap}"
+            );
+            if cap > 0.0 && cap < 10_000.0 {
+                saw_brownout = true;
+            }
+        }
+    }
+    assert!(saw_down_link, "schedule never took a loaded link down");
+    assert!(saw_brownout, "schedule never browned a loaded link out");
+    // Recovery events may be scheduled past the horizon; drain them
+    // and confirm everything comes back up.
+    net.advance_until(SimTime::from_secs(1_000));
+    assert_eq!(net.fault_events_pending(), 0, "all events consumed");
+    for &l in &all_links {
+        assert!(!net.link_is_down(l), "link {l:?} never recovered");
+    }
+}
+
+/// The same walk is bit-deterministic: flow progress at every step is a
+/// pure function of the (seed, plan).
+#[test]
+fn faulted_walk_is_deterministic() {
+    let walk = || {
+        let (mut net, routes) = mesh(10_000.0);
+        let all_links: Vec<LinkId> = (0..net.topology().link_count() as u32)
+            .map(LinkId)
+            .collect();
+        let relays = net.topology().nodes_of_kind(NodeKind::Intermediate);
+        let plan = FaultPlan::random(&churny_spec(), &all_links, &relays, 7);
+        net.set_fault_plan(&plan);
+        let flows: Vec<FlowId> = routes
+            .iter()
+            .map(|r| net.start_flow(r.clone(), 2_000_000, Box::new(NoCap)))
+            .collect();
+        let mut trace = Vec::new();
+        for step in 1..=120u64 {
+            net.advance_until(SimTime::from_secs(step));
+            for &f in &flows {
+                trace.push(net.flow_progress(f));
+            }
+        }
+        trace
+    };
+    assert_eq!(walk(), walk());
+}

@@ -25,6 +25,9 @@ pub enum EventKind {
     FlowCancel,
     /// The engine recomputed max–min fair shares at a boundary.
     FairShareRecompute,
+    /// A scheduled fault event (link outage/repair, brownout, node
+    /// crash/restart) was applied; attrs carry the kind and factor.
+    FaultInjected,
     /// A probe race began (one event per session).
     ProbeStart,
     /// A probe race was decided; the attrs name the winning path.
@@ -34,6 +37,9 @@ pub enum EventKind {
     /// The session chose the indirect path (a path switch away from
     /// the default route).
     PathSwitch,
+    /// The session abandoned a dead/stalled selected path mid-transfer
+    /// and failed over to a surviving candidate.
+    PathFailover,
     /// A session began.
     SessionStart,
     /// A session finished; attrs carry the improvement.
@@ -61,10 +67,12 @@ impl EventKind {
             EventKind::FlowComplete => "flow_complete",
             EventKind::FlowCancel => "flow_cancel",
             EventKind::FairShareRecompute => "fair_share_recompute",
+            EventKind::FaultInjected => "fault_injected",
             EventKind::ProbeStart => "probe_start",
             EventKind::ProbeWon => "probe_won",
             EventKind::ProbeTimeout => "probe_timeout",
             EventKind::PathSwitch => "path_switch",
+            EventKind::PathFailover => "path_failover",
             EventKind::SessionStart => "session_start",
             EventKind::SessionComplete => "session_complete",
             EventKind::RelayAccept => "relay_accept",
@@ -82,11 +90,13 @@ impl EventKind {
             EventKind::FlowStart
             | EventKind::FlowComplete
             | EventKind::FlowCancel
-            | EventKind::FairShareRecompute => "simnet",
+            | EventKind::FairShareRecompute
+            | EventKind::FaultInjected => "simnet",
             EventKind::ProbeStart
             | EventKind::ProbeWon
             | EventKind::ProbeTimeout
             | EventKind::PathSwitch
+            | EventKind::PathFailover
             | EventKind::SessionStart
             | EventKind::SessionComplete
             | EventKind::Retry => "session",

@@ -1,0 +1,94 @@
+//! Fault-plan construction for workload scenarios.
+//!
+//! The simulator's [`FaultPlan`] is topology-agnostic; this module
+//! knows which parts of a built scenario should misbehave. The faults
+//! experiment targets the **overlay**: client→relay uplinks suffer
+//! outages and brownouts, and relay nodes churn (crash/restart), while
+//! access and relay→server links stay healthy — isolating the question
+//! the paper's §4 asks of the selection mechanism when intermediates
+//! are unreliable.
+
+use crate::scenario::Scenario;
+use ir_simnet::faults::{FaultPlan, FaultSpec};
+use ir_simnet::topology::LinkId;
+
+/// Builds a seeded fault plan over a scenario's overlay: every
+/// client→relay uplink draws link outages/brownouts per `spec`'s link
+/// dimensions, and every relay node draws crash/restart churn per its
+/// node dimensions. Deterministic in `(spec, seed)` and independent of
+/// roster iteration order (each target derives its own sub-seeded
+/// stream inside [`FaultPlan::random`]).
+pub fn overlay_fault_plan(scenario: &Scenario, spec: &FaultSpec, seed: u64) -> FaultPlan {
+    let topo = scenario.network.topology();
+    let mut links: Vec<LinkId> = Vec::new();
+    for &c in &scenario.clients {
+        for &v in &scenario.relays {
+            if let Some(l) = topo.link_between(c, v) {
+                links.push(l);
+            }
+        }
+    }
+    FaultPlan::random(spec, &links, &scenario.relays, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::planetlab_study;
+    use ir_simnet::faults::FaultEvent;
+    use ir_simnet::time::SimDuration;
+
+    fn spec() -> FaultSpec {
+        FaultSpec {
+            horizon: SimDuration::from_secs(1800),
+            link_mtbf: SimDuration::from_secs(300),
+            link_outage_mean: SimDuration::from_secs(30),
+            brownout_prob: 0.3,
+            brownout_factor: 0.25,
+            node_mtbf: SimDuration::from_secs(600),
+            node_downtime_mean: SimDuration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_touches_overlay_only() {
+        let scenario = planetlab_study(42);
+        let a = overlay_fault_plan(&scenario, &spec(), 7);
+        let b = overlay_fault_plan(&scenario, &spec(), 7);
+        assert_eq!(a, b, "same (spec, seed) must give the same plan");
+        assert!(!a.is_empty(), "paper-scale overlay should draw faults");
+
+        let topo = scenario.network.topology();
+        let overlay: std::collections::BTreeSet<_> = scenario
+            .clients
+            .iter()
+            .flat_map(|&c| {
+                scenario
+                    .relays
+                    .iter()
+                    .filter_map(move |&v| topo.link_between(c, v))
+            })
+            .collect();
+        for &(_, ev) in a.events() {
+            match ev {
+                FaultEvent::LinkDown(l) | FaultEvent::LinkUp(l) => {
+                    assert!(overlay.contains(&l), "non-overlay link faulted: {l:?}");
+                }
+                FaultEvent::BrownoutSet { link, .. } => {
+                    assert!(overlay.contains(&link), "non-overlay brownout: {link:?}");
+                }
+                FaultEvent::NodeDown(n) | FaultEvent::NodeUp(n) => {
+                    assert!(scenario.relays.contains(&n), "non-relay churned: {n:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scenario = planetlab_study(42);
+        let a = overlay_fault_plan(&scenario, &spec(), 1);
+        let b = overlay_fault_plan(&scenario, &spec(), 2);
+        assert_ne!(a, b);
+    }
+}

@@ -16,11 +16,13 @@
 
 pub mod calfile;
 pub mod category;
+pub mod faults;
 pub mod roster;
 pub mod scenario;
 pub mod schedule;
 
 pub use calfile::{from_kv, to_kv};
 pub use category::{Category, Variability, MBPS};
+pub use faults::overlay_fault_plan;
 pub use scenario::{build, planetlab_study, selection_study, Calibration, ClientProfile, Scenario};
 pub use schedule::Schedule;

@@ -1,0 +1,110 @@
+//! Integration: the fault plane is a pure function of its seed, and
+//! the empty plan is byte-for-byte invisible — the same guarantee
+//! PR 1's determinism suite pinned for telemetry.
+
+use indirect_routing::core::{FailoverConfig, SessionConfig};
+use indirect_routing::experiments::runner;
+use indirect_routing::simnet::faults::{FaultPlan, FaultSpec};
+use indirect_routing::simnet::time::SimDuration;
+use indirect_routing::workload;
+
+/// Every field that could betray a behavioural difference, bitwise.
+fn digest(data: &runner::MeasurementData) -> Vec<(u64, u64, u64, u32, u64, bool, bool)> {
+    data.all_records()
+        .map(|r| {
+            (
+                r.direct_throughput.to_bits(),
+                r.selected_throughput.to_bits(),
+                r.probe_throughput.to_bits(),
+                r.failovers,
+                r.stall_ms,
+                r.abandoned,
+                r.chose_indirect(),
+            )
+        })
+        .collect()
+}
+
+fn scenario(seed: u64) -> workload::Scenario {
+    workload::build(
+        seed,
+        &workload::roster::CLIENTS[..3],
+        &workload::roster::INTERMEDIATES[..4],
+        &workload::roster::SERVERS[..1],
+        workload::Calibration::default(),
+        false,
+    )
+}
+
+fn spec() -> FaultSpec {
+    FaultSpec {
+        // Cover the spread(8) measurement schedule's 10 h span.
+        horizon: SimDuration::from_secs(40_000),
+        link_mtbf: SimDuration::from_secs(600),
+        link_outage_mean: SimDuration::from_secs(120),
+        brownout_prob: 0.25,
+        brownout_factor: 0.25,
+        node_mtbf: SimDuration::from_secs(1_800),
+        node_downtime_mean: SimDuration::from_secs(90),
+    }
+}
+
+/// `faults`: None = untouched network; Some(fault_seed) = overlay plan.
+fn run(faults: Option<u64>, failover: bool) -> Vec<(u64, u64, u64, u32, u64, bool, bool)> {
+    let mut sc = scenario(42);
+    if let Some(fseed) = faults {
+        let plan = workload::overlay_fault_plan(&sc, &spec(), fseed);
+        assert!(!plan.is_empty(), "fault spec drew nothing");
+        sc.network.set_fault_plan(&plan);
+    }
+    let mut session = SessionConfig::paper_defaults();
+    if failover {
+        session.failover = Some(FailoverConfig::paper_defaults());
+    }
+    let data = runner::run_measurement_study(
+        &sc,
+        0,
+        workload::Schedule::measurement_study().spread(8),
+        session,
+    );
+    digest(&data)
+}
+
+#[test]
+fn same_fault_seed_is_bitwise_identical() {
+    let a = run(Some(7), true);
+    let b = run(Some(7), true);
+    assert_eq!(a, b, "same (scenario seed, fault seed) must replay");
+}
+
+#[test]
+fn faults_actually_perturb_the_study() {
+    let clean = run(None, true);
+    let faulted = run(Some(7), true);
+    assert_ne!(clean, faulted, "plan had no observable effect");
+    assert_ne!(run(Some(1), true), run(Some(2), true));
+}
+
+#[test]
+fn empty_plan_matches_faultless_build_bitwise() {
+    let untouched = run(None, false);
+    let nulled = {
+        let mut sc = scenario(42);
+        sc.network.set_fault_plan(&FaultPlan::none());
+        let data = runner::run_measurement_study(
+            &sc,
+            0,
+            workload::Schedule::measurement_study().spread(8),
+            SessionConfig::paper_defaults(),
+        );
+        digest(&data)
+    };
+    assert_eq!(untouched, nulled, "FaultPlan::none() must be a no-op");
+}
+
+#[test]
+fn benign_failover_config_is_invisible_without_faults() {
+    // Enabling failover on a healthy network must not change a single
+    // bit of the study either.
+    assert_eq!(run(None, false), run(None, true));
+}

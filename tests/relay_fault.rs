@@ -1,0 +1,70 @@
+//! Integration: killing a relay mid-splice must surface a clean client
+//! error (no hang, no daemon panic), and the client-side failover path
+//! must recover the transfer over a surviving route.
+
+use indirect_routing::relay::{
+    download, download_failover, ChosenPath, ClientConfig, OriginConfig, OriginServer,
+    RateSchedule, Relay, RelayConfig,
+};
+use std::time::{Duration, Instant};
+
+const KB: f64 = 1000.0;
+
+/// Origin + one shaped relay arranged so the relay wins the probe race
+/// and carries the remainder when the kill lands.
+fn rig() -> (OriginServer, OriginServer, Relay, ClientConfig) {
+    let origin_fast = OriginServer::start(OriginConfig::new(300_000)).unwrap();
+    let origin_direct =
+        OriginServer::start(OriginConfig::new(300_000).shaped(RateSchedule::constant(100.0 * KB)))
+            .unwrap();
+    let relay = Relay::start(RelayConfig::shaped(RateSchedule::constant(150.0 * KB))).unwrap();
+    let cfg = ClientConfig {
+        path: "/f".into(),
+        probe_bytes: 50_000,
+        total_bytes: 300_000,
+        timeout: Duration::from_secs(30),
+    };
+    (origin_fast, origin_direct, relay, cfg)
+}
+
+#[test]
+fn killed_relay_surfaces_clean_error_without_hanging() {
+    let (origin_fast, origin_direct, mut relay, cfg) = rig();
+    let direct = origin_direct.addr();
+    let for_relays = origin_fast.addr();
+    let relay_addr = relay.addr();
+
+    let t0 = Instant::now();
+    let worker = std::thread::spawn(move || download(direct, for_relays, &[relay_addr], &cfg));
+    // Let the probe race finish and the remainder start flowing, then
+    // sever every spliced connection.
+    std::thread::sleep(Duration::from_millis(600));
+    relay.kill();
+    let result = worker.join().expect("client must not panic");
+    let err = result.expect_err("remainder lost its carrier; download must fail");
+    let wall = t0.elapsed();
+    assert!(
+        wall < Duration::from_secs(10),
+        "clean error expected promptly, took {wall:?}: {err}"
+    );
+}
+
+#[test]
+fn failover_download_recovers_over_surviving_path() {
+    let (origin_fast, origin_direct, mut relay, cfg) = rig();
+    let direct = origin_direct.addr();
+    let for_relays = origin_fast.addr();
+    let relay_addr = relay.addr();
+
+    let worker =
+        std::thread::spawn(move || download_failover(direct, for_relays, &[relay_addr], &cfg));
+    std::thread::sleep(Duration::from_millis(600));
+    relay.kill();
+    let out = worker
+        .join()
+        .expect("client must not panic")
+        .expect("failover must recover the transfer");
+    assert!(out.body_ok, "recovered body must reassemble byte-exactly");
+    assert_eq!(out.choice, ChosenPath::Direct, "only survivor is direct");
+    assert!(out.failovers >= 1, "failover path was not exercised");
+}

@@ -22,6 +22,7 @@ fn session_cfg(file: u64, probe: u64) -> SessionConfig {
         probe_mode: ProbeMode::FirstToFinish,
         control: ControlMode::Concurrent,
         horizon: SimDuration::from_secs(120),
+        failover: None,
     }
 }
 
