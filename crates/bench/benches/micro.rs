@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ir_http::{encode_request, parse_request, ByteRange, Request};
 use ir_simnet::bandwidth::{BandwidthProcess, RegimeSwitchingProcess};
 use ir_simnet::events::EventQueue;
-use ir_simnet::fairshare::{max_min_rates, AllocFlow};
+use ir_simnet::fairshare::{max_min_rates, reference_rates, AllocFlow};
 use ir_simnet::prelude::*;
 use ir_stats::{mann_kendall, Histogram, Summary};
 use ir_tcp::{transfer_time, TcpConfig, TcpRateCap};
@@ -40,6 +40,11 @@ fn fairshare(c: &mut Criterion) {
         .collect();
     c.bench_function("max_min_rates_32f_16l", |b| {
         b.iter(|| black_box(max_min_rates(black_box(&caps), black_box(&flows))))
+    });
+    // The naive oracle the differential engine suite compares against:
+    // benchmarked so the cost gap to the production solver stays visible.
+    c.bench_function("reference_rates_32f_16l", |b| {
+        b.iter(|| black_box(reference_rates(black_box(&caps), black_box(&flows))))
     });
 }
 

@@ -1,0 +1,305 @@
+//! `bench-gate` — the perf-regression runner behind
+//! `cargo run -p ir-experiments --release -- bench-gate`.
+//!
+//! Executes reduced editions of the criterion `micro` and `figures`
+//! benchmark groups with a plain median-of-samples timing loop (the
+//! offline mini-criterion reports means to stdout; a gate needs machine
+//! -readable medians), runs the **pinned Fig 1 study** (the exact study
+//! `tests/determinism.rs` snapshots) under a telemetry handle to
+//! collect the engine-counter split, and writes everything to
+//! `BENCH_PR4.json`.
+//!
+//! The gate *fails* (non-zero exit through [`run`]'s `Err`) when:
+//!
+//! * the pinned study's boundary count moves — the determinism canary:
+//!   timings drift with hardware, boundary counts must not; or
+//! * the incremental engine stops paying for itself
+//!   (`full_solves >= boundaries` on the pinned study).
+//!
+//! Timing numbers are recorded, not asserted: CI archives
+//! `BENCH_PR4.json` so regressions are visible in artefact history
+//! without flaky wall-clock thresholds. See DESIGN.md §10 for how to
+//! read the file.
+
+use crate::runner::run_measurement_study_traced;
+use crate::{fig1, table1};
+use ir_core::SessionConfig;
+use ir_simnet::events::EventQueue;
+use ir_simnet::fairshare::{max_min_rates, reference_rates, AllocFlow};
+use ir_simnet::time::SimTime;
+use ir_telemetry::Telemetry;
+use ir_workload::{build, roster, Calibration, Schedule};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Boundary count of the pinned Fig 1 study (seed 42, 4 clients × 4
+/// relays × 1 server, spread 8 — identical to `tests/determinism.rs`).
+/// This is a pure function of the seed; if it moves, the engine's
+/// boundary schedule changed and the golden artefacts are suspect.
+/// Re-pin only after `tests/golden/` has been deliberately regenerated.
+pub const PINNED_FIG1_BOUNDARIES: u64 = 6_054;
+
+/// One benchmark's result: median nanoseconds per operation.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub group: &'static str,
+    pub name: &'static str,
+    pub median_ns: u64,
+}
+
+/// Engine-counter split of the pinned study, read back from telemetry
+/// (`simnet_boundaries` / `simnet_recomputes` / `simnet_solve_skips`).
+#[derive(Debug, Clone, Copy)]
+pub struct GateStats {
+    pub boundaries: u64,
+    pub full_solves: u64,
+    pub incremental_solves: u64,
+}
+
+/// Times `f`, returning the median ns/op over `samples` samples of
+/// `iters` iterations each (one untimed warm-up call first).
+fn median_ns(samples: usize, iters: u64, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut per_iter: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            (t0.elapsed().as_nanos() / iters as u128) as u64
+        })
+        .collect();
+    per_iter.sort_unstable();
+    per_iter[per_iter.len() / 2]
+}
+
+/// The `micro` group fixture from `crates/bench/benches/micro.rs`: 32
+/// flows over 16 links, sparse incidence, a few capped flows.
+fn micro_fairshare_problem() -> (Vec<f64>, Vec<AllocFlow>) {
+    let caps: Vec<f64> = (0..16).map(|i| 1e5 + (i as f64) * 3e4).collect();
+    let flows: Vec<AllocFlow> = (0..32)
+        .map(|i| AllocFlow {
+            links: vec![i % 16, (i * 7 + 3) % 16],
+            cap: if i % 5 == 0 { 5e4 } else { f64::INFINITY },
+        })
+        .collect();
+    (caps, flows)
+}
+
+fn run_micro_group(out: &mut Vec<BenchResult>) {
+    let (caps, flows) = micro_fairshare_problem();
+    out.push(BenchResult {
+        group: "micro",
+        name: "max_min_rates_32f_16l",
+        median_ns: median_ns(15, 200, || {
+            black_box(max_min_rates(black_box(&caps), black_box(&flows)));
+        }),
+    });
+    out.push(BenchResult {
+        group: "micro",
+        name: "reference_rates_32f_16l",
+        median_ns: median_ns(15, 200, || {
+            black_box(reference_rates(black_box(&caps), black_box(&flows)));
+        }),
+    });
+    out.push(BenchResult {
+        group: "micro",
+        name: "event_queue_push_pop_1k",
+        median_ns: median_ns(15, 20, || {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_micros((i * 7919) % 65_536), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum);
+        }),
+    });
+}
+
+/// The pinned Fig 1 study — byte-for-byte the scenario
+/// `tests/determinism.rs` snapshots into `tests/golden/`.
+fn pinned_study(tel: Option<Arc<Telemetry>>) -> crate::runner::MeasurementData {
+    let sc = build(
+        42,
+        &roster::CLIENTS[..4],
+        &roster::INTERMEDIATES[..4],
+        &roster::SERVERS[..1],
+        Calibration::default(),
+        false,
+    );
+    run_measurement_study_traced(
+        &sc,
+        0,
+        Schedule::measurement_study().spread(8),
+        SessionConfig::paper_defaults(),
+        tel,
+    )
+}
+
+fn run_figures_group(out: &mut Vec<BenchResult>) {
+    let data = pinned_study(None);
+    out.push(BenchResult {
+        group: "figures",
+        name: "fig1_report",
+        median_ns: median_ns(9, 10, || {
+            black_box(fig1::report(black_box(&data)));
+        }),
+    });
+    out.push(BenchResult {
+        group: "figures",
+        name: "table1_report",
+        median_ns: median_ns(9, 10, || {
+            black_box(table1::report(black_box(&data)));
+        }),
+    });
+    out.push(BenchResult {
+        group: "figures",
+        name: "measurement_study_pinned",
+        median_ns: median_ns(3, 1, || {
+            black_box(pinned_study(None));
+        }),
+    });
+}
+
+/// Runs the pinned study once under telemetry and reads back the
+/// engine-counter split, aggregated across every `Network` the study
+/// touched (clones share the registry handle).
+fn gate_stats() -> GateStats {
+    let tel = Arc::new(Telemetry::new());
+    let data = pinned_study(Some(tel.clone()));
+    assert!(
+        data.all_records().count() > 0,
+        "pinned study produced no records"
+    );
+    let snap = tel.metrics.snapshot();
+    let get = |name: &str| snap.counter(name, &vec![]).unwrap_or(0);
+    GateStats {
+        boundaries: get("simnet_boundaries"),
+        full_solves: get("simnet_recomputes"),
+        incremental_solves: get("simnet_solve_skips"),
+    }
+}
+
+fn render_json(results: &[BenchResult], stats: GateStats) -> String {
+    let mut s = String::from("{\n  \"bench\": \"BENCH_PR4\",\n  \"groups\": {\n");
+    for (gi, group) in ["micro", "figures"].iter().enumerate() {
+        let _ = writeln!(s, "    \"{group}\": {{");
+        let members: Vec<&BenchResult> = results.iter().filter(|r| r.group == *group).collect();
+        for (i, r) in members.iter().enumerate() {
+            let comma = if i + 1 < members.len() { "," } else { "" };
+            let _ = writeln!(s, "      \"{}\": {}{comma}", r.name, r.median_ns);
+        }
+        let comma = if gi == 0 { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(
+        s,
+        "  }},\n  \"units\": \"median_ns_per_op\",\n  \"engine_stats\": {{\n    \
+         \"boundaries\": {},\n    \"full_solves\": {},\n    \"incremental_solves\": {}\n  }},",
+        stats.boundaries, stats.full_solves, stats.incremental_solves
+    );
+    let _ = writeln!(
+        s,
+        "  \"canary\": {{\n    \"pinned_fig1_boundaries\": {PINNED_FIG1_BOUNDARIES},\n    \
+         \"observed_boundaries\": {}\n  }}\n}}",
+        stats.boundaries
+    );
+    s
+}
+
+/// Runs the full gate and writes `out` (normally `BENCH_PR4.json`).
+/// Returns `Err` with a diagnostic when a gate condition fails — the
+/// JSON is still written first so the failing run's numbers are
+/// inspectable.
+pub fn run(out: &Path) -> Result<GateStats, String> {
+    eprintln!("bench-gate: timing micro group...");
+    let mut results = Vec::new();
+    run_micro_group(&mut results);
+    eprintln!("bench-gate: timing figures group...");
+    run_figures_group(&mut results);
+    eprintln!("bench-gate: collecting engine stats on the pinned Fig 1 study...");
+    let stats = gate_stats();
+
+    let json = render_json(&results, stats);
+    std::fs::write(out, &json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    for r in &results {
+        eprintln!(
+            "bench-gate: {:>8} ns/op  {}/{}",
+            r.median_ns, r.group, r.name
+        );
+    }
+    eprintln!(
+        "bench-gate: boundaries {} full_solves {} incremental_solves {}",
+        stats.boundaries, stats.full_solves, stats.incremental_solves
+    );
+    eprintln!("bench-gate: wrote {}", out.display());
+
+    if stats.boundaries != PINNED_FIG1_BOUNDARIES {
+        return Err(format!(
+            "determinism canary: pinned Fig 1 study ran {} boundaries, expected {} — \
+             the boundary schedule moved; investigate before re-pinning",
+            stats.boundaries, PINNED_FIG1_BOUNDARIES
+        ));
+    }
+    if stats.full_solves >= stats.boundaries {
+        return Err(format!(
+            "incremental engine never skipped a solve: {} full solves over {} boundaries",
+            stats.full_solves, stats.boundaries
+        ));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canary itself, as a test: the pinned study's boundary count
+    /// is a pure function of the seed and must match the constant the
+    /// gate enforces, and the incremental engine must be doing fewer
+    /// full solves than boundary steps on it.
+    #[test]
+    fn pinned_study_boundary_count_and_solve_split() {
+        let stats = gate_stats();
+        assert_eq!(stats.boundaries, PINNED_FIG1_BOUNDARIES);
+        assert!(
+            stats.full_solves < stats.boundaries,
+            "no solve ever skipped: {stats:?}"
+        );
+        // Idle boundaries (no active flows) neither solve nor skip, so
+        // the split never exceeds the boundary count.
+        assert!(stats.full_solves + stats.incremental_solves <= stats.boundaries);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let results = vec![
+            BenchResult {
+                group: "micro",
+                name: "a",
+                median_ns: 1,
+            },
+            BenchResult {
+                group: "figures",
+                name: "b",
+                median_ns: 2,
+            },
+        ];
+        let stats = GateStats {
+            boundaries: 10,
+            full_solves: 6,
+            incremental_solves: 3,
+        };
+        let j = render_json(&results, stats);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"max_min_rates") || j.contains("\"a\": 1"));
+        assert!(j.contains("\"boundaries\": 10"));
+        assert!(j.contains("\"pinned_fig1_boundaries\""));
+    }
+}

@@ -15,7 +15,12 @@
 //!            faults      (availability under overlay faults, extension)
 //!            scenario    (workload inspection, no study)
 //!            robustness  (headline numbers across seeds)
-//!            all         (everything)
+//!            bench-gate  (perf-regression runner: times the micro +
+//!                         figures benchmark groups, records the
+//!                         engine solve split on the pinned Fig 1
+//!                         study, enforces the boundary-count canary,
+//!                         writes BENCH_PR4.json; --out FILE overrides)
+//!            all         (everything except bench-gate)
 //! ```
 //!
 //! `--faults MTBF_SECS` injects a seeded overlay fault plan (link MTBF
@@ -50,17 +55,19 @@ struct Args {
     /// `--faults`: `None` = flag absent, `Some(0)` = "none" (empty
     /// plan), `Some(n)` = overlay faults at link MTBF `n` seconds.
     faults: Option<u64>,
+    /// `--out`: output path for `bench-gate` (default BENCH_PR4.json).
+    out: PathBuf,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <artefact> [--seed N] [--scale quick|paper] [--csv DIR] [--cal FILE]\n\
          \x20                           [--threads N] [--trace FILE] [--metrics]\n\
-         \x20                           [--faults none|MTBF_SECS]\n\
+         \x20                           [--faults none|MTBF_SECS] [--out FILE]\n\
          artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3\n\
          \x20          variability overhead\n\
          \x20          measurement selection sites headroom faults scenario\n\
-         \x20          robustness all"
+         \x20          robustness bench-gate all"
     );
     std::process::exit(2);
 }
@@ -78,6 +85,7 @@ fn parse_args() -> Args {
         trace_file: None,
         metrics: false,
         faults: None,
+        out: PathBuf::from("BENCH_PR4.json"),
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -121,6 +129,9 @@ fn parse_args() -> Args {
             }
             "--metrics" => {
                 args.metrics = true;
+            }
+            "--out" => {
+                args.out = PathBuf::from(argv.next().unwrap_or_else(|| usage()));
             }
             "--faults" => {
                 args.faults = match argv.next().as_deref() {
@@ -169,6 +180,15 @@ fn main() -> ExitCode {
     let args = parse_args();
     if let Some(n) = args.threads {
         ir_experiments::set_worker_threads(n);
+    }
+    if args.artefact == "bench-gate" {
+        return match ir_experiments::bench_gate::run(&args.out) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench-gate FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     // One shared handle for every study this invocation runs; None
     // (the default) keeps every layer on its no-op path.

@@ -8,6 +8,12 @@
 //! loss-based PFTK ceiling), which the progressive-filling algorithm
 //! honours.
 
+/// Relative slack used by the freeze conditions of **both** solvers.
+/// Shared so that [`max_min_rates`] and [`reference_rates`] freeze on
+/// exactly the same comparisons — a prerequisite for their bit-level
+/// equivalence.
+const EPS: f64 = 1e-9;
+
 /// A flow, for allocation purposes: the links it traverses and its own
 /// rate cap (`f64::INFINITY` for none).
 #[derive(Debug, Clone)]
@@ -101,7 +107,6 @@ pub fn max_min_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
         }
 
         // Freeze flows that hit their cap or cross a saturated link.
-        const EPS: f64 = 1e-9;
         let mut any_frozen = false;
         for (f, flow) in flows.iter().enumerate() {
             if frozen[f] {
@@ -125,6 +130,106 @@ pub fn max_min_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
         }
         // Safety: if nothing froze despite a finite increment, numerical
         // trouble; freeze everything at current rates rather than spin.
+        if !any_frozen && inc <= 0.0 {
+            break;
+        }
+    }
+    rate
+}
+
+/// Naive progressive-filling oracle: the brute-force allocator with
+/// **no** incremental bookkeeping — per-link unfrozen-flow counts are
+/// recounted from scratch every round instead of being maintained as
+/// flows freeze. It exists as the reference the engine's differential
+/// test suite (`tests/engine_equivalence.rs`) and the fair-share
+/// property sweep hold the production solver to, **bitwise**.
+///
+/// Bit-level comparability pins the arithmetic: each round's increment
+/// is computed and applied with exactly the same floating-point
+/// operations in the same order as [`max_min_rates`] (links ascending,
+/// then flows ascending; `rate += inc` / `residual -= inc` updates; the
+/// shared [`EPS`] freeze slack). The *bookkeeping* differs, the
+/// *arithmetic* must not — so any divergence between the two solvers is
+/// a logic bug, never fp noise.
+///
+/// # Panics
+///
+/// Same contract as [`max_min_rates`].
+pub fn reference_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
+    for &c in link_caps {
+        assert!(c >= 0.0 && !c.is_nan(), "bad link capacity {c}");
+    }
+    for f in flows {
+        assert!(f.cap >= 0.0 && !f.cap.is_nan(), "bad flow cap {}", f.cap);
+        for &l in &f.links {
+            assert!(l < link_caps.len(), "unknown link index {l}");
+        }
+    }
+
+    let nf = flows.len();
+    let nl = link_caps.len();
+    let mut rate = vec![0.0_f64; nf];
+    let mut frozen = vec![false; nf];
+    let mut residual: Vec<f64> = link_caps.to_vec();
+
+    while frozen.iter().any(|&f| !f) {
+        // Recount unfrozen flows per link from scratch (the production
+        // solver maintains these incrementally).
+        let mut active_on: Vec<usize> = vec![0; nl];
+        for (f, flow) in flows.iter().enumerate() {
+            if !frozen[f] {
+                for &l in &flow.links {
+                    active_on[l] += 1;
+                }
+            }
+        }
+
+        let mut inc = f64::INFINITY;
+        for l in 0..nl {
+            if active_on[l] > 0 {
+                inc = inc.min(residual[l] / active_on[l] as f64);
+            }
+        }
+        for (f, flow) in flows.iter().enumerate() {
+            if !frozen[f] {
+                inc = inc.min(flow.cap - rate[f]);
+            }
+        }
+        if !inc.is_finite() {
+            for (f, r) in rate.iter_mut().enumerate() {
+                if !frozen[f] {
+                    *r = f64::INFINITY;
+                }
+            }
+            break;
+        }
+        let inc = inc.max(0.0);
+
+        for (f, flow) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            rate[f] += inc;
+            for &l in &flow.links {
+                residual[l] -= inc;
+            }
+        }
+
+        let mut any_frozen = false;
+        for (f, flow) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            let cap_hit = rate[f] >= flow.cap - EPS * flow.cap.max(1.0);
+            let link_hit = flow
+                .links
+                .iter()
+                .any(|&l| link_caps[l].is_finite() && residual[l] <= EPS * link_caps[l].max(1.0));
+            if cap_hit || link_hit {
+                frozen[f] = true;
+                any_frozen = true;
+            }
+        }
         if !any_frozen && inc <= 0.0 {
             break;
         }
@@ -246,6 +351,31 @@ mod tests {
         );
         assert_close(rates[0], 5.0);
         assert_close(rates[1], 5.0);
+    }
+
+    #[test]
+    fn reference_oracle_bitwise_matches_production() {
+        let caps = [5.0, 8.0, 3.0, 12.0, f64::INFINITY, 0.0];
+        let flows = [
+            flow(&[0, 1], f64::INFINITY),
+            flow(&[1, 2], 4.0),
+            flow(&[2, 3], f64::INFINITY),
+            flow(&[0, 3], 1.5),
+            flow(&[1, 4], f64::INFINITY),
+            flow(&[5], f64::INFINITY),
+            flow(&[], 7.25),
+        ];
+        let a = max_min_rates(&caps, &flows);
+        let b = reference_rates(&caps, &flows);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn reference_oracle_degenerate_unconstrained() {
+        let a = max_min_rates(&[], &[flow(&[], f64::INFINITY)]);
+        let b = reference_rates(&[], &[flow(&[], f64::INFINITY)]);
+        assert!(a[0].is_infinite() && b[0].is_infinite());
     }
 
     #[test]

@@ -52,9 +52,11 @@ pub mod prelude {
         MinProcess, PiecewiseProcess, RegimeSwitchingProcess, ScaledProcess, MIN_RATE,
     };
     pub use crate::events::EventQueue;
-    pub use crate::fairshare::{max_min_rates, AllocFlow};
+    pub use crate::fairshare::{max_min_rates, reference_rates, AllocFlow};
     pub use crate::faults::{FaultEvent, FaultPlan, FaultSpec};
-    pub use crate::sim::{CompletedFlow, ConstCap, EngineStats, FlowId, Network, NoCap, RateCap};
+    pub use crate::sim::{
+        CompletedFlow, ConstCap, EngineMode, EngineStats, FlowId, Network, NoCap, RateCap,
+    };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{LinkId, Node, NodeId, NodeKind, Route, Sharing, Topology};
     pub use crate::tracer::{trace_link, trace_process, RateTrace};

@@ -9,6 +9,17 @@
 //! completion, or the caller's horizon. Between boundaries every rate is
 //! constant, so progress integrates exactly.
 //!
+//! Two allocation engines share that boundary loop (see
+//! [`EngineMode`]): the default *incremental* engine maintains the
+//! in-use link set, a dense slot map, cached effective link rates (with
+//! a lazy-invalidation heap of upcoming rate changes) and the last
+//! solved fair-share problem, re-solving only when some solver input
+//! actually changed; the *reference* engine rebuilds the whole problem
+//! from scratch every boundary and solves it with the naive
+//! [`crate::fairshare::reference_rates`] oracle. The two are held
+//! bit-identical by the differential suite in
+//! `tests/engine_equivalence.rs` (invalidation rules: DESIGN.md §10).
+//!
 //! Determinism: with the same topology, seeds and call sequence, runs
 //! are bit-for-bit identical. Cloning a [`Network`] yields an
 //! independent replica with identical future randomness — this is how
@@ -23,6 +34,8 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, Route, Topology};
 use ir_telemetry::trace::{Event, EventKind};
 use ir_telemetry::Telemetry;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Identifier of a flow within one [`Network`].
@@ -140,12 +153,143 @@ pub struct EngineStats {
     /// Boundary steps processed (rate changes, cap changes,
     /// completions, horizons).
     pub boundaries: u64,
+    /// Boundary steps that assembled the fair-share problem and ran the
+    /// max–min solver. Always ≤ `boundaries`; the gap is the work the
+    /// incremental engine avoided.
+    pub full_solves: u64,
+    /// Boundary steps that proved every solver input bitwise unchanged
+    /// and reused the cached allocation instead of solving.
+    pub incremental_solves: u64,
     /// Flows ever started.
     pub flows_started: u64,
     /// Flows that ran to completion.
     pub flows_completed: u64,
     /// Flows cancelled before completion.
     pub flows_cancelled: u64,
+}
+
+/// Which allocation engine [`Network`] runs; see the module docs.
+///
+/// Both modes are bit-identical in every observable output (rates,
+/// boundary times, completions, even `boundaries` counts) — the
+/// differential suite in `tests/engine_equivalence.rs` holds them to
+/// that. [`EngineMode::Reference`] rebuilds and re-solves the whole
+/// max–min problem every boundary with the naive oracle, so it is the
+/// slow-but-obviously-correct baseline; switching mid-run is allowed
+/// (the incremental caches are maintained in both modes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Dirty-tracked caches + solve skipping (the default).
+    #[default]
+    Incremental,
+    /// Brute-force rebuild + [`crate::fairshare::reference_rates`]
+    /// every boundary.
+    Reference,
+}
+
+/// Marker for "link not in the current fair-share problem" in
+/// [`EngineCache::slot_of`].
+const NO_SLOT: u32 = u32::MAX;
+
+/// Dirty-tracked state the incremental engine maintains across
+/// boundaries. Everything here is *derived* — it can be rebuilt from
+/// the network at any time — and is updated in both engine modes so
+/// switching modes mid-run stays sound.
+///
+/// Invalidation rules (DESIGN.md §10):
+/// * flow start / completion / cancellation → `flows_dirty`, and
+///   `links_dirty` when a link's crossing-flow count crosses zero;
+/// * a link's cached rate segment expiring (`rate_until` reached) →
+///   refresh via the `change_heap`;
+/// * fault application / plan change → `faults_fired` (effective rates
+///   recomputed wholesale — the factor is a few array loads);
+/// * any bitwise change to a solver input → full re-solve; otherwise
+///   the cached `solution` is provably still the answer, because the
+///   solver is a pure function of `(link caps, flow links, flow caps)`.
+#[derive(Clone)]
+struct EngineCache {
+    /// Number of active flows crossing each link.
+    link_refs: Vec<u32>,
+    /// Links with `link_refs > 0`, ascending — the dense problem slots.
+    in_use: Vec<u32>,
+    /// Link index → slot in `in_use`, or [`NO_SLOT`].
+    slot_of: Vec<u32>,
+    /// The in-use set changed (some `link_refs` crossed zero).
+    links_dirty: bool,
+    /// The active flow set changed.
+    flows_dirty: bool,
+    /// Fault events applied (or the plan changed) since the last
+    /// boundary; effective rates must be re-derived.
+    faults_fired: bool,
+    /// Cached raw process rate per link, valid until `rate_until`.
+    raw_rate: Vec<f64>,
+    /// Time at which the cached `raw_rate` stops being valid
+    /// (`SimTime::MAX` = constant from here on; `SimTime::ZERO` = never
+    /// queried).
+    rate_until: Vec<SimTime>,
+    /// `raw_rate × fault factor`, the capacity actually allocated.
+    eff_rate: Vec<f64>,
+    /// Min-heap of `(rate_until, link)` for in-use links: the earliest
+    /// upcoming link-rate change without querying every process each
+    /// boundary. Entries are validated lazily on pop (stale ones —
+    /// superseded refreshes or out-of-use links — are discarded), so
+    /// duplicates are harmless.
+    change_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Solver input as of the cached solution: folded per-flow caps…
+    prob_flow_caps: Vec<f64>,
+    /// …and per-flow slot lists (rebuilt when `flows_dirty`).
+    prob_links: Vec<Vec<usize>>,
+    /// The last solver output, reusable while inputs are unchanged.
+    solution: Vec<f64>,
+    /// `solution`/`prob_*` describe the current active set.
+    have_solution: bool,
+}
+
+impl EngineCache {
+    fn new(links: usize) -> Self {
+        EngineCache {
+            link_refs: vec![0; links],
+            in_use: Vec::new(),
+            slot_of: vec![NO_SLOT; links],
+            links_dirty: true,
+            flows_dirty: true,
+            faults_fired: false,
+            raw_rate: vec![0.0; links],
+            rate_until: vec![SimTime::ZERO; links],
+            eff_rate: vec![0.0; links],
+            change_heap: BinaryHeap::new(),
+            prob_flow_caps: Vec::new(),
+            prob_links: Vec::new(),
+            solution: Vec::new(),
+            have_solution: false,
+        }
+    }
+
+    /// A flow on `route` became active.
+    fn acquire(&mut self, route: &Route) {
+        for l in &route.links {
+            let lu = l.0 as usize;
+            self.link_refs[lu] += 1;
+            if self.link_refs[lu] == 1 {
+                self.links_dirty = true;
+            }
+        }
+        self.flows_dirty = true;
+        self.have_solution = false;
+    }
+
+    /// A flow on `route` completed or was cancelled.
+    fn release(&mut self, route: &Route) {
+        for l in &route.links {
+            let lu = l.0 as usize;
+            self.link_refs[lu] -= 1;
+            if self.link_refs[lu] == 0 {
+                self.links_dirty = true;
+            }
+        }
+        self.flows_dirty = true;
+        self.have_solution = false;
+    }
 }
 
 /// Live state of an installed [`FaultPlan`]: the pending schedule plus
@@ -178,6 +322,12 @@ pub struct Network {
     /// path. Strictly observational: never consumes randomness, never
     /// moves the clock, never changes control flow.
     telemetry: Option<Arc<Telemetry>>,
+    /// Which allocation engine runs the boundary steps.
+    mode: EngineMode,
+    /// Incremental-engine state (maintained in both modes).
+    cache: EngineCache,
+    /// `(flow, rate)` pairs the most recent boundary step integrated.
+    last_rates: Vec<(FlowId, f64)>,
 }
 
 impl Clone for Network {
@@ -191,6 +341,9 @@ impl Clone for Network {
             stats: self.stats,
             faults: self.faults.clone(),
             telemetry: self.telemetry.clone(),
+            mode: self.mode,
+            cache: self.cache.clone(),
+            last_rates: self.last_rates.clone(),
         }
     }
 }
@@ -205,6 +358,7 @@ impl Network {
                     as Box<dyn BandwidthProcess>
             })
             .collect();
+        let links = topo.link_count();
         Network {
             topo,
             procs,
@@ -214,12 +368,25 @@ impl Network {
             stats: EngineStats::default(),
             faults: None,
             telemetry: None,
+            mode: EngineMode::default(),
+            cache: EngineCache::new(links),
+            last_rates: Vec::new(),
         }
     }
 
     /// Engine counters since construction (clones inherit the donor's).
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Selects the allocation engine; see [`EngineMode`].
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.mode = mode;
+    }
+
+    /// The allocation engine currently selected.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.mode
     }
 
     /// Attaches (or with `None`, detaches) a telemetry handle. Clones
@@ -237,7 +404,16 @@ impl Network {
     /// Attaches a bandwidth process to a link, replacing the previous
     /// one.
     pub fn set_link_process(&mut self, link: LinkId, proc_: Box<dyn BandwidthProcess>) {
-        self.procs[link.0 as usize] = proc_;
+        let lu = link.0 as usize;
+        self.procs[lu] = proc_;
+        // Invalidate the cached rate segment: mark it as expiring
+        // immediately and arm the heap so the next boundary re-queries
+        // the new process.
+        self.cache.rate_until[lu] = SimTime::ZERO;
+        self.cache
+            .change_heap
+            .push(Reverse((SimTime::ZERO, link.0)));
+        self.cache.have_solution = false;
     }
 
     /// The topology.
@@ -271,6 +447,10 @@ impl Network {
     /// documents. Clones made after this call inherit the plan, so
     /// every replica of a scenario network replays the same schedule.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        // Any previously applied factors may vanish (or appear) with the
+        // new plan; have the engine re-derive effective rates.
+        self.cache.faults_fired = true;
+        self.cache.have_solution = false;
         if plan.is_empty() {
             self.faults = None;
             return;
@@ -324,7 +504,9 @@ impl Network {
     fn apply_due_faults(&mut self) {
         let now = self.now;
         let Some(fs) = &mut self.faults else { return };
+        let mut fired = false;
         while let Some((at, ev)) = fs.queue.pop_until(now) {
+            fired = true;
             let (what, id, factor) = match ev {
                 FaultEvent::LinkDown(l) => {
                     fs.link_down[l.0 as usize] = true;
@@ -356,6 +538,9 @@ impl Network {
                 );
             }
         }
+        if fired {
+            self.cache.faults_fired = true;
+        }
     }
 
     /// Instantaneous *effective* rate of `link`: the raw process value
@@ -381,7 +566,8 @@ impl Network {
     pub fn active_flow_allocation(&mut self) -> Vec<(FlowId, Vec<LinkId>, f64)> {
         self.apply_due_faults();
         let active = self.active_indices();
-        let rates = self.current_rates(&active);
+        let (caps, alloc_flows) = self.scratch_problem(&active);
+        let rates = max_min_rates(&caps, &alloc_flows);
         active
             .iter()
             .zip(rates)
@@ -393,6 +579,9 @@ impl Network {
     pub fn start_flow(&mut self, route: Route, bytes: u64, cap: Box<dyn RateCap>) -> FlowId {
         let id = FlowId(self.flows.len() as u64);
         let finished = if bytes == 0 { Some(self.now) } else { None };
+        if finished.is_none() {
+            self.cache.acquire(&route);
+        }
         self.flows.push(FlowState {
             route,
             bytes_total: bytes,
@@ -418,12 +607,13 @@ impl Network {
     }
 
     /// Cancels a flow (it stops consuming bandwidth and will never
-    /// complete). No-op if already finished.
+    /// complete). No-op if already finished or cancelled.
     pub fn cancel_flow(&mut self, id: FlowId) {
         let f = &mut self.flows[id.0 as usize];
-        if f.finished.is_none() {
+        if f.finished.is_none() && !f.cancelled {
             f.cancelled = true;
             let done = f.bytes_done as u64;
+            self.cache.release(&f.route);
             self.active.remove(&(id.0 as usize));
             self.stats.flows_cancelled += 1;
             if let Some(tel) = &self.telemetry {
@@ -462,14 +652,18 @@ impl Network {
         self.active.iter().copied().collect()
     }
 
-    /// Current allocated rate of each active flow (after fair sharing
-    /// and caps).
+    /// Assembles the fair-share problem **from scratch**: the
+    /// brute-force path the engine used before the incremental caches
+    /// existed, kept verbatim as the reference. Returns `(link caps,
+    /// flows)` in dense slot order; [`EngineMode::Reference`] solves it
+    /// with the naive oracle every boundary, and the diagnostic
+    /// allocation accessor solves it with [`max_min_rates`].
     ///
     /// [`Sharing::PerFlow`] links do not couple flows: their process
     /// value folds into each crossing flow's own cap, and they enter the
     /// max–min problem with infinite capacity. [`Sharing::Capacity`]
     /// links are genuinely shared.
-    fn current_rates(&mut self, active: &[usize]) -> Vec<f64> {
+    fn scratch_problem(&mut self, active: &[usize]) -> (Vec<f64>, Vec<AllocFlow>) {
         use crate::topology::Sharing;
         let t = self.now;
         // Snapshot rates only for links in use; large scenarios have
@@ -481,7 +675,14 @@ impl Network {
         in_use.sort_unstable();
         in_use.dedup();
         // Dense remap: link index -> slot in the fair-share problem.
-        let slot_of = |l: usize| in_use.binary_search(&l).expect("in-use link");
+        // Precomputed table, not a binary search per lookup — routes
+        // touch every link once per flow, so the old O(log n) probe per
+        // hop dominated wide scenarios.
+        let mut slot = vec![usize::MAX; self.topo.link_count()];
+        for (k, &l) in in_use.iter().enumerate() {
+            slot[l] = k;
+        }
+        let slot_of = |l: usize| slot[l];
         let factors: Vec<f64> = in_use.iter().map(|&l| self.fault_factor(l)).collect();
         let rates: Vec<f64> = in_use
             .iter()
@@ -518,7 +719,200 @@ impl Network {
                 }
             })
             .collect();
-        max_min_rates(&caps, &alloc_flows)
+        (caps, alloc_flows)
+    }
+
+    /// Re-queries link `l`'s process at the current time, caching the
+    /// raw rate and the segment end, and arms the change heap.
+    fn refresh_link_rate(&mut self, l: usize) {
+        let t = self.now;
+        self.cache.raw_rate[l] = self.procs[l].rate_at(t);
+        match self.procs[l].next_change_after(t) {
+            Some(until) => {
+                debug_assert!(until > t, "rate change not in the future");
+                self.cache.rate_until[l] = until;
+                self.cache.change_heap.push(Reverse((until, l as u32)));
+            }
+            None => self.cache.rate_until[l] = SimTime::MAX,
+        }
+    }
+
+    /// Records a full max–min solve in stats and telemetry (both engine
+    /// modes).
+    fn note_full_solve(&mut self, active_flows: usize) {
+        self.stats.full_solves += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.metrics.counter("simnet_recomputes", vec![]).inc();
+            tel.tracer.record(
+                Event::new(EventKind::FairShareRecompute, self.now.as_micros(), 0)
+                    .with_u64("active_flows", active_flows as u64),
+            );
+        }
+    }
+
+    /// The incremental engine's allocation at the current instant.
+    ///
+    /// Bit-identical to solving [`Network::scratch_problem`] by
+    /// construction: every cached quantity is refreshed the moment it
+    /// can differ from the scratch value (see the [`EngineCache`]
+    /// invalidation rules), cached values are compared **bitwise**
+    /// against fresh ones, and the solve is skipped only when every
+    /// solver input is bitwise unchanged from the cached solution's —
+    /// in which case re-solving (a pure function) would reproduce the
+    /// cached output exactly.
+    fn incremental_rates(&mut self, active: &[usize]) -> Vec<f64> {
+        use crate::topology::Sharing;
+        let t = self.now;
+        // Did any solver input change since the cached solution?
+        let mut changed = false;
+        // Flow membership changes imply slot-map changes were flagged
+        // together (acquire/release set both).
+        debug_assert!(!self.cache.links_dirty || self.cache.flows_dirty);
+
+        let rebuilt = self.cache.links_dirty;
+        if rebuilt {
+            // Rebuild the dense slot map from the refcounts (ascending,
+            // matching the scratch path's sort+dedup).
+            self.cache.links_dirty = false;
+            self.cache.in_use.clear();
+            for l in 0..self.cache.link_refs.len() {
+                if self.cache.link_refs[l] > 0 {
+                    self.cache.in_use.push(l as u32);
+                }
+            }
+            for s in self.cache.slot_of.iter_mut() {
+                *s = NO_SLOT;
+            }
+            for k in 0..self.cache.in_use.len() {
+                self.cache.slot_of[self.cache.in_use[k] as usize] = k as u32;
+            }
+            for k in 0..self.cache.in_use.len() {
+                let l = self.cache.in_use[k] as usize;
+                if t >= self.cache.rate_until[l] {
+                    self.refresh_link_rate(l);
+                } else if self.cache.rate_until[l] != SimTime::MAX {
+                    // The heap entry for this still-valid segment may
+                    // have been discarded while the link was out of
+                    // use; re-arm (duplicates are harmless).
+                    self.cache
+                        .change_heap
+                        .push(Reverse((self.cache.rate_until[l], l as u32)));
+                }
+            }
+        } else {
+            // Refresh exactly the links whose cached segment expired.
+            while let Some(&Reverse((at, l))) = self.cache.change_heap.peek() {
+                if at > t {
+                    break;
+                }
+                self.cache.change_heap.pop();
+                let lu = l as usize;
+                if self.cache.link_refs[lu] == 0 || self.cache.rate_until[lu] != at {
+                    continue; // stale entry
+                }
+                self.refresh_link_rate(lu);
+                let eff = self.cache.raw_rate[lu] * self.fault_factor(lu);
+                if eff.to_bits() != self.cache.eff_rate[lu].to_bits() {
+                    self.cache.eff_rate[lu] = eff;
+                    // A PerFlow link reaches the solver only through
+                    // the folded per-flow caps (compared below); its
+                    // own problem capacity is a constant ∞. Only a
+                    // Capacity link's rate is a solver input directly.
+                    if self.topo.link(LinkId(l)).sharing == Sharing::Capacity {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        if rebuilt || self.cache.faults_fired {
+            // Fault factors may have moved under any in-use link (and a
+            // rebuilt slot map has no effective rates yet). The factor
+            // is a few array loads, so re-derive wholesale.
+            for k in 0..self.cache.in_use.len() {
+                let l = self.cache.in_use[k] as usize;
+                let eff = self.cache.raw_rate[l] * self.fault_factor(l);
+                if eff.to_bits() != self.cache.eff_rate[l].to_bits() {
+                    self.cache.eff_rate[l] = eff;
+                    if self.topo.link(LinkId(l as u32)).sharing == Sharing::Capacity {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        self.cache.faults_fired = false;
+
+        if self.cache.flows_dirty {
+            self.cache.flows_dirty = false;
+            self.cache.have_solution = false;
+            self.cache.prob_links.clear();
+            for &i in active {
+                let links: Vec<usize> = self.flows[i]
+                    .route
+                    .links
+                    .iter()
+                    .map(|l| self.cache.slot_of[l.0 as usize] as usize)
+                    .collect();
+                self.cache.prob_links.push(links);
+            }
+            self.cache.prob_flow_caps.clear();
+            self.cache.prob_flow_caps.resize(active.len(), f64::NAN);
+        }
+
+        // Folded per-flow caps are re-queried every boundary: caps are
+        // allowed to depend on flow age and progress, both of which
+        // advance each step. (The query sequence also exactly matches
+        // the scratch path, in case a cap implementation is stateful.)
+        for (k, &i) in active.iter().enumerate() {
+            let f = &mut self.flows[i];
+            let age = t - f.started;
+            let mut cap = f.cap.cap(age, f.bytes_done as u64);
+            for l in &f.route.links {
+                if self.topo.link(*l).sharing == Sharing::PerFlow {
+                    cap = cap.min(self.cache.eff_rate[l.0 as usize]);
+                }
+            }
+            if cap.to_bits() != self.cache.prob_flow_caps[k].to_bits() {
+                self.cache.prob_flow_caps[k] = cap;
+                changed = true;
+            }
+        }
+
+        if self.cache.have_solution && !changed {
+            // Provably nothing the solver sees moved (e.g. a PerFlow
+            // link's process change that left every folded cap
+            // bitwise identical): reuse the allocation.
+            self.stats.incremental_solves += 1;
+            if let Some(tel) = &self.telemetry {
+                tel.metrics.counter("simnet_solve_skips", vec![]).inc();
+            }
+            return self.cache.solution.clone();
+        }
+
+        let caps: Vec<f64> = self
+            .cache
+            .in_use
+            .iter()
+            .map(|&l| match self.topo.link(LinkId(l)).sharing {
+                Sharing::Capacity => self.cache.eff_rate[l as usize],
+                Sharing::PerFlow => f64::INFINITY,
+            })
+            .collect();
+        let alloc_flows: Vec<AllocFlow> = self
+            .cache
+            .prob_links
+            .iter()
+            .zip(&self.cache.prob_flow_caps)
+            .map(|(links, &cap)| AllocFlow {
+                links: links.clone(),
+                cap,
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &alloc_flows);
+        self.note_full_solve(active.len());
+        self.cache.solution.clone_from(&rates);
+        self.cache.have_solution = true;
+        rates
     }
 
     /// Advances simulated time by **one boundary** — to the earliest of
@@ -528,9 +922,13 @@ impl Network {
     fn advance_one_boundary(&mut self, until: SimTime) -> Vec<CompletedFlow> {
         debug_assert!(until >= self.now);
         self.stats.boundaries += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.metrics.counter("simnet_boundaries", vec![]).inc();
+        }
         self.apply_due_faults();
         let active = self.active_indices();
         if active.is_empty() {
+            self.last_rates.clear();
             // Stop at the next fault event so its application time (and
             // telemetry timestamp) stays exact even while idle.
             self.now = match self.next_fault_time() {
@@ -539,26 +937,56 @@ impl Network {
             };
             return Vec::new();
         }
-        let rates = self.current_rates(&active);
-        if let Some(tel) = &self.telemetry {
-            tel.metrics.counter("simnet_recomputes", vec![]).inc();
-            tel.tracer.record(
-                Event::new(EventKind::FairShareRecompute, self.now.as_micros(), 0)
-                    .with_u64("active_flows", active.len() as u64),
-            );
-        }
-
-        let mut boundary = until;
-        let mut in_use = std::collections::BTreeSet::new();
-        for &i in &active {
-            for l in &self.flows[i].route.links {
-                in_use.insert(l.0 as usize);
+        let rates = match self.mode {
+            EngineMode::Incremental => self.incremental_rates(&active),
+            EngineMode::Reference => {
+                let (caps, alloc_flows) = self.scratch_problem(&active);
+                let rates = crate::fairshare::reference_rates(&caps, &alloc_flows);
+                self.note_full_solve(active.len());
+                rates
             }
-        }
+        };
+        self.last_rates.clear();
+        self.last_rates.extend(
+            active
+                .iter()
+                .zip(&rates)
+                .map(|(&i, &r)| (FlowId(i as u64), r)),
+        );
+
         let t = self.now;
-        for &l in &in_use {
-            if let Some(ch) = self.procs[l].next_change_after(t) {
-                boundary = boundary.min(ch);
+        let mut boundary = until;
+        // Earliest upcoming link-rate change among in-use links.
+        match self.mode {
+            EngineMode::Incremental => {
+                // The change heap's first *valid* entry is the earliest
+                // cached segment end; stale entries (superseded
+                // refreshes, out-of-use links) are discarded on the
+                // way. Entries at or before `now` were consumed by the
+                // allocation above.
+                while let Some(&Reverse((at, l))) = self.cache.change_heap.peek() {
+                    let lu = l as usize;
+                    if self.cache.link_refs[lu] == 0 || self.cache.rate_until[lu] != at {
+                        self.cache.change_heap.pop();
+                        continue;
+                    }
+                    debug_assert!(at > t, "unconsumed due rate change");
+                    boundary = boundary.min(at);
+                    break;
+                }
+            }
+            EngineMode::Reference => {
+                let mut in_use = std::collections::BTreeSet::new();
+                for &i in &active {
+                    for l in &self.flows[i].route.links {
+                        in_use.insert(l.0 as usize);
+                    }
+                }
+                for &l in &in_use {
+                    if let Some(ch) = self.procs[l].next_change_after(t) {
+                        boundary = boundary.min(ch);
+                    }
+                }
             }
         }
         for (k, &i) in active.iter().enumerate() {
@@ -602,6 +1030,7 @@ impl Network {
             if f.bytes_total as f64 - f.bytes_done < 0.5 {
                 f.bytes_done = f.bytes_total as f64;
                 f.finished = Some(boundary);
+                self.cache.release(&f.route);
                 self.active.remove(&i);
                 self.stats.flows_completed += 1;
                 done.push(CompletedFlow {
@@ -627,6 +1056,32 @@ impl Network {
             }
         }
         done
+    }
+
+    /// `(flow, rate)` pairs integrated over the most recent boundary
+    /// step, in ascending flow order (empty before the first step or
+    /// when the step found no active flows). The differential suite
+    /// compares these bitwise across engine modes.
+    pub fn last_boundary_rates(&self) -> &[(FlowId, f64)] {
+        &self.last_rates
+    }
+
+    /// Advances simulated time by exactly one boundary, bounded by
+    /// `until`, and returns the completions at the new time. A no-op
+    /// when the clock is already at `until`. This is the
+    /// boundary-by-boundary stepper the differential suite uses to
+    /// compare engines mid-run; [`Network::advance_until`] is the
+    /// normal driving loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` is before the current time.
+    pub fn step_boundary(&mut self, until: SimTime) -> Vec<CompletedFlow> {
+        assert!(until >= self.now, "advance into the past");
+        if self.now >= until {
+            return Vec::new();
+        }
+        self.advance_one_boundary(until)
     }
 
     /// Advances simulated time to `until`, returning completions in

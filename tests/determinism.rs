@@ -2,6 +2,7 @@
 
 use indirect_routing::core::SessionConfig;
 use indirect_routing::experiments::runner;
+use indirect_routing::experiments::{fig1, table1};
 use indirect_routing::workload;
 
 fn records_digest(data: &runner::MeasurementData) -> Vec<(u64, u64, bool)> {
@@ -55,6 +56,42 @@ fn scenario_profiles_are_seed_deterministic() {
     let b = workload::planetlab_study(7);
     assert_eq!(a.profiles, b.profiles);
     assert_eq!(a.relay_quality, b.relay_quality);
+}
+
+/// Golden-artefact snapshot: the Fig 1 / Table I CSV series of the
+/// standard (reduced) study, byte-exact.
+///
+/// The goldens under `tests/golden/` were captured from the engine
+/// *before* the incremental fair-share optimization; this test is the
+/// proof that the fast engine reproduces the paper artefacts to the
+/// byte. Regenerate deliberately with
+/// `UPDATE_GOLDEN=1 cargo test --test determinism golden` after a
+/// change that is *supposed* to move the numbers.
+#[test]
+fn golden_fig1_table1_csv_bytes_unchanged() {
+    let data = run(42);
+    let artefacts = [
+        ("fig1_histogram.csv", &fig1::report(&data).csv[0].1),
+        ("table1_penalties.csv", &table1::report(&data).csv[0].1),
+    ];
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, bytes) in &artefacts {
+            std::fs::write(dir.join(name), bytes).unwrap();
+        }
+        return;
+    }
+    for (name, bytes) in &artefacts {
+        let golden = std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        assert_eq!(
+            &&golden, bytes,
+            "{name} diverged from the pre-optimization golden"
+        );
+    }
 }
 
 #[test]
