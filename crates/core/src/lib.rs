@@ -32,6 +32,7 @@ pub mod predictor;
 pub mod record;
 pub mod session;
 pub mod sim_transport;
+pub mod stable;
 pub mod transport;
 
 pub use aggregate::StudySummary;

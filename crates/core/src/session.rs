@@ -140,6 +140,48 @@ enum Control {
     Forked(Box<dyn Transport>, Handle),
 }
 
+/// Picks the `MeasureAll` winner from per-path `(probe_rate,
+/// predicted)` outcomes (`None` = the probe never finished inside the
+/// horizon).
+///
+/// An indirect candidate whose probe rate or prediction is zero, NaN,
+/// or infinite can never win: indirection has to be a *measured*
+/// upgrade over the direct default, and a dead probe measures nothing.
+/// Among the survivors the strictly highest prediction wins; a tie
+/// keeps the earliest path, and the direct path probes first, so
+/// direct wins prediction ties.
+fn select_measure_all(
+    paths: &[PathSpec],
+    outcomes: &[Option<(f64, f64)>],
+) -> Option<(PathSpec, f64)> {
+    // (path, score, probe_rate); a non-finite direct prediction ranks
+    // below every real measurement but still beats "nothing finished".
+    let mut best: Option<(PathSpec, f64, f64)> = None;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let Some((rate, predicted)) = *outcome else {
+            continue;
+        };
+        if paths[i].is_indirect()
+            && !(rate.is_finite() && rate > 0.0 && predicted.is_finite() && predicted > 0.0)
+        {
+            continue;
+        }
+        let score = if predicted.is_finite() {
+            predicted
+        } else {
+            f64::NEG_INFINITY
+        };
+        let wins = match &best {
+            None => true,
+            Some((_, best_score, _)) => score > *best_score,
+        };
+        if wins {
+            best = Some((paths[i], score, rate));
+        }
+    }
+    best.map(|(p, _, rate)| (p, rate))
+}
+
 /// Runs one session; returns the full record (and feeds it back to the
 /// policy and predictor).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's free parameters
@@ -273,17 +315,17 @@ pub fn run_session_traced(
                     .iter()
                     .map(|&h| transport.finish(h, cfg.horizon))
                     .collect();
-                let mut best: Option<(PathSpec, f64, f64)> = None;
-                for (i, t) in timings.iter().enumerate() {
-                    let Some(t) = t else { continue };
-                    let rate = t.throughput();
-                    let predicted = predictor.predict(&paths[i], rate);
-                    match &best {
-                        Some((_, best_pred, _)) if *best_pred >= predicted => {}
-                        _ => best = Some((paths[i], predicted, rate)),
-                    }
-                }
-                best.map(|(p, _, rate)| (p, rate))
+                let outcomes: Vec<Option<(f64, f64)>> = timings
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        t.as_ref().map(|t| {
+                            let rate = t.throughput();
+                            (rate, predictor.predict(&paths[i], rate))
+                        })
+                    })
+                    .collect();
+                select_measure_all(&paths, &outcomes)
             }
         };
 
@@ -683,6 +725,65 @@ mod tests {
         cfg: &SessionConfig,
     ) -> TransferRecord {
         run_session(tp, policy, &mut FirstPortion, c, s, full, 0, cfg)
+    }
+
+    fn sel_paths() -> Vec<PathSpec> {
+        let (c, v, s) = (NodeId(0), NodeId(1), NodeId(2));
+        vec![PathSpec::direct(c, s), PathSpec::indirect(c, s, v)]
+    }
+
+    #[test]
+    fn measure_all_tie_keeps_direct() {
+        // Identical predictions: the direct path probes first and must
+        // win the tie — indirection without a measured upgrade is all
+        // cost, no benefit.
+        let paths = sel_paths();
+        let picked = select_measure_all(&paths, &[Some((100.0, 100.0)), Some((100.0, 100.0))])
+            .expect("both probes finished");
+        assert!(!picked.0.is_indirect(), "tie must keep the direct path");
+        assert_eq!(picked.1, 100.0);
+    }
+
+    #[test]
+    fn measure_all_strictly_better_indirect_wins() {
+        let paths = sel_paths();
+        let picked = select_measure_all(&paths, &[Some((100.0, 100.0)), Some((101.0, 101.0))])
+            .expect("both probes finished");
+        assert!(picked.0.is_indirect());
+    }
+
+    #[test]
+    fn measure_all_never_selects_indirect_on_zero_or_nan_probe() {
+        let paths = sel_paths();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            // Dead indirect probe vs a modest direct: direct wins.
+            let picked = select_measure_all(&paths, &[Some((10.0, 10.0)), Some((bad, bad))])
+                .expect("direct finished");
+            assert!(!picked.0.is_indirect(), "indirect won on probe rate {bad}");
+            // Even when the *direct* probe also died, a dead indirect
+            // probe must not be promoted.
+            let picked = select_measure_all(&paths, &[None, Some((bad, bad))]);
+            assert!(
+                picked.is_none_or(|(p, _)| !p.is_indirect()),
+                "dead indirect probe selected on rate {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_all_nan_prediction_never_replaces_a_real_one() {
+        // A NaN prediction on the indirect leg (e.g. a pathological
+        // predictor) must not unseat the direct measurement, whichever
+        // side of it the direct probe sits.
+        let paths = sel_paths();
+        let picked = select_measure_all(&paths, &[Some((5.0, 5.0)), Some((50.0, f64::NAN))])
+            .expect("direct finished");
+        assert!(!picked.0.is_indirect());
+        // And a NaN direct prediction still beats "nothing at all" —
+        // the session falls back to direct, never to a dead relay.
+        let picked = select_measure_all(&paths, &[Some((f64::NAN, f64::NAN)), None])
+            .expect("direct is the fallback");
+        assert!(!picked.0.is_indirect());
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! [`StableHash`] impls for session parameter types.
+//!
+//! These encodings key the on-disk study cache (`ir-artifact`): they
+//! must stay **pinned**. Each impl destructures its type exhaustively,
+//! so adding a field is a compile error here — the fix is to extend the
+//! encoding *and* bump the consuming artefact's code-version salt so
+//! stale cache entries are retired rather than wrongly reused.
+
+use crate::session::{ControlMode, FailoverConfig, ProbeMode, SessionConfig};
+use ir_artifact::{StableHash, StableHasher};
+
+impl StableHash for ProbeMode {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_tag(match self {
+            ProbeMode::FirstToFinish => 0,
+            ProbeMode::MeasureAll => 1,
+        });
+    }
+}
+
+impl StableHash for ControlMode {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_tag(match self {
+            ControlMode::Concurrent => 0,
+            ControlMode::Forked => 1,
+        });
+    }
+}
+
+impl StableHash for FailoverConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let FailoverConfig {
+            stall_timeout,
+            max_retries,
+            initial_backoff,
+        } = *self;
+        stall_timeout.stable_hash(h);
+        max_retries.stable_hash(h);
+        initial_backoff.stable_hash(h);
+    }
+}
+
+impl StableHash for SessionConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let SessionConfig {
+            probe_bytes,
+            file_bytes,
+            probe_mode,
+            control,
+            horizon,
+            failover,
+        } = *self;
+        probe_bytes.stable_hash(h);
+        file_bytes.stable_hash(h);
+        probe_mode.stable_hash(h);
+        control.stable_hash(h);
+        horizon.stable_hash(h);
+        failover.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_artifact::fingerprint_of;
+
+    #[test]
+    fn session_config_fingerprint_tracks_every_knob() {
+        let base = SessionConfig::paper_defaults();
+        assert_eq!(
+            fingerprint_of(&base),
+            fingerprint_of(&SessionConfig::paper_defaults())
+        );
+        let mut failover = base;
+        failover.failover = Some(FailoverConfig::paper_defaults());
+        assert_ne!(fingerprint_of(&base), fingerprint_of(&failover));
+        let mut mode = base;
+        mode.probe_mode = ProbeMode::MeasureAll;
+        assert_ne!(fingerprint_of(&base), fingerprint_of(&mode));
+    }
+}

@@ -20,6 +20,14 @@
 //! `BENCH_PR4.json` so regressions are visible in artefact history
 //! without flaky wall-clock thresholds. See DESIGN.md §10 for how to
 //! read the file.
+//!
+//! The gate also runs the pinned **mini sweep** (`sweep::mini_plan`,
+//! seed 42 — the same geometry as the pinned Fig 1 study) cold and then
+//! warm against a throwaway cache, writing the wall-clock split and hit
+//! rates to `BENCH_PR5.json` next to `BENCH_PR4.json`. It fails when
+//! the warm pass is not served 100% from cache, when the warm pass
+//! executes any study, or when warm artefact bytes diverge from a
+//! cacheless run.
 
 use crate::runner::run_measurement_study_traced;
 use crate::{fig1, table1};
@@ -186,6 +194,85 @@ fn gate_stats() -> GateStats {
     }
 }
 
+/// Cold-vs-warm behaviour of the pinned mini sweep against a fresh
+/// cache, plus byte-identity against a cacheless run.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepStats {
+    /// Artefacts in the mini plan.
+    pub artefacts: u64,
+    /// Studies the cold pass executed (must be < `artefacts`: the
+    /// dedup the scheduler exists for).
+    pub cold_studies_executed: u64,
+    /// Studies the warm pass executed (must be 0).
+    pub warm_studies_executed: u64,
+    /// Cold-pass cache hit rate (fresh cache: 0).
+    pub cold_hit_rate: f64,
+    /// Warm-pass cache hit rate (must be 1).
+    pub warm_hit_rate: f64,
+    /// Cold-pass wall clock, milliseconds.
+    pub cold_ms: u64,
+    /// Warm-pass wall clock, milliseconds.
+    pub warm_ms: u64,
+    /// Warm artefact bundles byte-equal to a cacheless run.
+    pub byte_identical: bool,
+}
+
+/// Runs the pinned mini sweep cold, warm, and cacheless in a throwaway
+/// cache directory, returning the comparison.
+fn sweep_stats() -> Result<SweepStats, String> {
+    use crate::sweep;
+    let dir = std::env::temp_dir().join(format!("ir-bench-gate-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ir_artifact::ArtifactCache::open(&dir)
+        .map_err(|e| format!("cannot open gate cache at {}: {e}", dir.display()))?;
+    let sweep_err = |e: std::io::Error| format!("gate sweep failed: {e}");
+
+    let t0 = Instant::now();
+    let cold =
+        sweep::run_sweep(sweep::mini_plan(42), Some(&cache), None, None).map_err(sweep_err)?;
+    let cold_ms = t0.elapsed().as_millis() as u64;
+    let t1 = Instant::now();
+    let warm =
+        sweep::run_sweep(sweep::mini_plan(42), Some(&cache), None, None).map_err(sweep_err)?;
+    let warm_ms = t1.elapsed().as_millis() as u64;
+    let cacheless = sweep::run_sweep(sweep::mini_plan(42), None, None, None).map_err(sweep_err)?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let byte_identical = warm.artefacts.len() == cacheless.artefacts.len()
+        && warm
+            .artefacts
+            .iter()
+            .zip(cacheless.artefacts.iter())
+            .all(|(w, c)| w.output == c.output);
+    Ok(SweepStats {
+        artefacts: cold.artefacts.len() as u64,
+        cold_studies_executed: cold.studies_executed(),
+        warm_studies_executed: warm.studies_executed(),
+        cold_hit_rate: cold.hit_rate(),
+        warm_hit_rate: warm.hit_rate(),
+        cold_ms,
+        warm_ms,
+        byte_identical,
+    })
+}
+
+fn render_sweep_json(s: SweepStats) -> String {
+    format!(
+        "{{\n  \"bench\": \"BENCH_PR5\",\n  \"sweep\": {{\n    \"artefacts\": {},\n    \
+         \"cold_studies_executed\": {},\n    \"warm_studies_executed\": {},\n    \
+         \"cold_hit_rate\": {:.4},\n    \"warm_hit_rate\": {:.4},\n    \"cold_ms\": {},\n    \
+         \"warm_ms\": {},\n    \"byte_identical\": {}\n  }},\n  \"units\": \"wall_clock_ms\"\n}}\n",
+        s.artefacts,
+        s.cold_studies_executed,
+        s.warm_studies_executed,
+        s.cold_hit_rate,
+        s.warm_hit_rate,
+        s.cold_ms,
+        s.warm_ms,
+        s.byte_identical
+    )
+}
+
 fn render_json(results: &[BenchResult], stats: GateStats) -> String {
     let mut s = String::from("{\n  \"bench\": \"BENCH_PR4\",\n  \"groups\": {\n");
     for (gi, group) in ["micro", "figures"].iter().enumerate() {
@@ -240,6 +327,23 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
     );
     eprintln!("bench-gate: wrote {}", out.display());
 
+    eprintln!("bench-gate: timing the pinned mini sweep cold vs warm...");
+    let sweep = sweep_stats()?;
+    let out5 = out.with_file_name("BENCH_PR5.json");
+    std::fs::write(&out5, render_sweep_json(sweep))
+        .map_err(|e| format!("cannot write {}: {e}", out5.display()))?;
+    eprintln!(
+        "bench-gate: sweep cold {}ms (hit rate {:.0}%) warm {}ms (hit rate {:.0}%), \
+         {}/{} studies executed warm/cold",
+        sweep.cold_ms,
+        sweep.cold_hit_rate * 100.0,
+        sweep.warm_ms,
+        sweep.warm_hit_rate * 100.0,
+        sweep.warm_studies_executed,
+        sweep.cold_studies_executed,
+    );
+    eprintln!("bench-gate: wrote {}", out5.display());
+
     if stats.boundaries != PINNED_FIG1_BOUNDARIES {
         return Err(format!(
             "determinism canary: pinned Fig 1 study ran {} boundaries, expected {} — \
@@ -252,6 +356,21 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
             "incremental engine never skipped a solve: {} full solves over {} boundaries",
             stats.full_solves, stats.boundaries
         ));
+    }
+    if sweep.cold_studies_executed >= sweep.artefacts {
+        return Err(format!(
+            "sweep dedup broken: cold pass executed {} studies for {} artefacts",
+            sweep.cold_studies_executed, sweep.artefacts
+        ));
+    }
+    if sweep.warm_studies_executed != 0 || sweep.warm_hit_rate < 1.0 {
+        return Err(format!(
+            "warm sweep not fully served from cache: {} studies executed, hit rate {:.2}",
+            sweep.warm_studies_executed, sweep.warm_hit_rate
+        ));
+    }
+    if !sweep.byte_identical {
+        return Err("warm sweep artefact bytes diverge from a cacheless run".into());
     }
     Ok(stats)
 }
@@ -275,6 +394,21 @@ mod tests {
         // Idle boundaries (no active flows) neither solve nor skip, so
         // the split never exceeds the boundary count.
         assert!(stats.full_solves + stats.incremental_solves <= stats.boundaries);
+    }
+
+    /// The PR5 gate conditions, as a test: the cold mini sweep dedups
+    /// its shared study, the warm pass is 100% cache-served with zero
+    /// study executions, and warm bytes match a cacheless run.
+    #[test]
+    fn sweep_gate_conditions_hold() {
+        let s = sweep_stats().unwrap();
+        assert!(s.cold_studies_executed < s.artefacts, "{s:?}");
+        assert_eq!(s.warm_studies_executed, 0, "{s:?}");
+        assert!((s.warm_hit_rate - 1.0).abs() < 1e-9, "{s:?}");
+        assert!(s.byte_identical, "{s:?}");
+        let j = render_sweep_json(s);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"warm_hit_rate\": 1.0000"), "{j}");
     }
 
     #[test]

@@ -207,7 +207,12 @@ pub fn run(seed: u64, scale: Scale) -> Vec<FaultCell> {
 
 /// Builds the faults report.
 pub fn report(seed: u64, scale: Scale) -> Report {
-    let cells = run(seed, scale);
+    report_of(&run(seed, scale))
+}
+
+/// Builds the faults report from precomputed (possibly cache-restored)
+/// sweep cells.
+pub fn report_of(cells: &[FaultCell]) -> Report {
     let mut table = ir_stats::TextTable::new()
         .title("availability and goodput under overlay faults")
         .header([
@@ -220,7 +225,7 @@ pub fn report(seed: u64, scale: Scale) -> Report {
             "goodput ratio",
         ]);
     let mut rows = Vec::new();
-    for c in &cells {
+    for c in cells {
         table.row([
             if c.mtbf_secs == 0 {
                 "none".into()

@@ -121,12 +121,17 @@ pub fn run(seed: u64, transfers: u64) -> Vec<Headroom> {
 
 /// Builds the headroom report.
 pub fn report(seed: u64, transfers: u64) -> Report {
-    let results = run(seed, transfers);
+    report_of(&run(seed, transfers))
+}
+
+/// Builds the headroom report from precomputed (possibly
+/// cache-restored) study results.
+pub fn report_of(results: &[Headroom]) -> Report {
     let mut table = ir_stats::TextTable::new()
         .title("attainable vs captured improvement (%)")
         .header(["client", "oracle", "random set k=10", "static single"]);
     let mut rows = Vec::new();
-    for r in &results {
+    for r in results {
         table.row([
             r.client.clone(),
             format!("{:+.1}", r.oracle_pct),

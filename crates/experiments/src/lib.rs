@@ -28,6 +28,7 @@
 //! enforces the boundary-count determinism canary (`BENCH_PR4.json`).
 
 pub mod bench_gate;
+pub mod codec;
 pub mod faults;
 pub mod fig1;
 pub mod fig2;
@@ -42,6 +43,7 @@ pub mod report;
 pub mod robustness;
 pub mod runner;
 pub mod sites;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -49,10 +51,10 @@ pub mod variability;
 
 pub use report::{Check, Report};
 pub use runner::{
-    measurement_study_default, measurement_study_default_traced, run_measurement_study,
-    run_measurement_study_traced, run_selection_study, run_selection_study_traced,
-    selection_study_default, selection_study_default_traced, set_worker_threads, MeasurementData,
-    PairRun, Scale, SelectionData, SelectionRun, FIG6_KS,
+    effective_worker_threads, measurement_study_default, measurement_study_default_traced,
+    run_measurement_study, run_measurement_study_traced, run_selection_study,
+    run_selection_study_traced, selection_study_default, selection_study_default_traced,
+    set_worker_threads, MeasurementData, PairRun, Scale, SelectionData, SelectionRun, FIG6_KS,
 };
 
 /// Runs every measurement-study artefact on shared data.

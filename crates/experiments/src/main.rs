@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <artefact> [--seed N] [--scale quick|paper] [--csv DIR]
 //!             [--cal FILE] [--threads N] [--trace FILE] [--metrics]
-//!             [--faults none|MTBF_SECS]
+//!             [--faults none|MTBF_SECS] [--cache-dir DIR|none]
 //!
 //! artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3
 //!            variability overhead
@@ -15,13 +15,26 @@
 //!            faults      (availability under overlay faults, extension)
 //!            scenario    (workload inspection, no study)
 //!            robustness  (headline numbers across seeds)
+//!            sweep       (every artefact through the dependency-aware
+//!                         scheduler: shared studies execute once, the
+//!                         content-addressed cache under --cache-dir
+//!                         (default results/.cache, "none" disables)
+//!                         serves repeat runs byte-identically)
+//!            cache-gc    (artefact-cache maintenance: drop corrupt
+//!                         entries, evict oldest until under
+//!                         --max-bytes)
 //!            bench-gate  (perf-regression runner: times the micro +
 //!                         figures benchmark groups, records the
 //!                         engine solve split on the pinned Fig 1
 //!                         study, enforces the boundary-count canary,
-//!                         writes BENCH_PR4.json; --out FILE overrides)
-//!            all         (everything except bench-gate)
+//!                         writes BENCH_PR4.json; --out FILE overrides;
+//!                         also times the pinned mini sweep cold vs
+//!                         warm and writes BENCH_PR5.json)
+//!            all         (everything except bench-gate, no cache)
 //! ```
+//!
+//! `--threads 0` restores the default worker count (one per available
+//! core) after an earlier cap in the same process.
 //!
 //! `--faults MTBF_SECS` injects a seeded overlay fault plan (link MTBF
 //! in seconds) into the measurement study and enables session failover;
@@ -57,6 +70,11 @@ struct Args {
     faults: Option<u64>,
     /// `--out`: output path for `bench-gate` (default BENCH_PR4.json).
     out: PathBuf,
+    /// `--cache-dir`: artefact-cache location for `sweep`/`cache-gc`;
+    /// `None` means caching disabled (`--cache-dir none`).
+    cache_dir: Option<PathBuf>,
+    /// `--max-bytes`: `cache-gc` eviction budget.
+    gc_max_bytes: u64,
 }
 
 fn usage() -> ! {
@@ -64,10 +82,11 @@ fn usage() -> ! {
         "usage: experiments <artefact> [--seed N] [--scale quick|paper] [--csv DIR] [--cal FILE]\n\
          \x20                           [--threads N] [--trace FILE] [--metrics]\n\
          \x20                           [--faults none|MTBF_SECS] [--out FILE]\n\
+         \x20                           [--cache-dir DIR|none] [--max-bytes N]\n\
          artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3\n\
          \x20          variability overhead\n\
          \x20          measurement selection sites headroom faults scenario\n\
-         \x20          robustness bench-gate all"
+         \x20          robustness sweep cache-gc bench-gate all"
     );
     std::process::exit(2);
 }
@@ -86,6 +105,8 @@ fn parse_args() -> Args {
         metrics: false,
         faults: None,
         out: PathBuf::from("BENCH_PR4.json"),
+        cache_dir: Some(PathBuf::from("results/.cache")),
+        gc_max_bytes: 256 * 1024 * 1024,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -117,10 +138,11 @@ fn parse_args() -> Args {
                 }));
             }
             "--threads" => {
+                // 0 is meaningful: restore the available-parallelism
+                // default after an earlier cap.
                 args.threads = Some(
                     argv.next()
                         .and_then(|v| v.parse().ok())
-                        .filter(|&n| n > 0)
                         .unwrap_or_else(|| usage()),
                 );
             }
@@ -132,6 +154,19 @@ fn parse_args() -> Args {
             }
             "--out" => {
                 args.out = PathBuf::from(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--cache-dir" => {
+                args.cache_dir = match argv.next().as_deref() {
+                    Some("none") => None,
+                    Some(dir) => Some(PathBuf::from(dir)),
+                    None => usage(),
+                };
+            }
+            "--max-bytes" => {
+                args.gc_max_bytes = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--faults" => {
                 args.faults = match argv.next().as_deref() {
@@ -190,6 +225,29 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.artefact == "cache-gc" {
+        let Some(dir) = &args.cache_dir else {
+            eprintln!("cache-gc needs a cache directory (omit --cache-dir none)");
+            return ExitCode::FAILURE;
+        };
+        return match ir_artifact::ArtifactCache::open(dir).and_then(|c| c.gc(args.gc_max_bytes)) {
+            Ok(r) => {
+                println!(
+                    "cache-gc {}: scanned {}, removed {} corrupt, evicted {}, {} bytes kept",
+                    dir.display(),
+                    r.scanned,
+                    r.corrupt_removed,
+                    r.evicted,
+                    r.bytes_after
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cache-gc failed for {}: {e}", dir.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
     // One shared handle for every study this invocation runs; None
     // (the default) keeps every layer on its no-op path.
     let tel: Option<Arc<Telemetry>> = if args.trace_file.is_some() || args.metrics {
@@ -220,6 +278,7 @@ fn main() -> ExitCode {
     let needs_faults = matches!(args.artefact.as_str(), "faults" | "all");
     let needs_scenario = args.artefact == "scenario";
     let needs_robustness = matches!(args.artefact.as_str(), "robustness" | "all");
+    let needs_sweep = args.artefact == "sweep";
     if !needs_measurement
         && !needs_selection
         && !needs_sites
@@ -227,11 +286,86 @@ fn main() -> ExitCode {
         && !needs_faults
         && !needs_scenario
         && !needs_robustness
+        && !needs_sweep
     {
         usage();
     }
 
     let mut ok = true;
+
+    if needs_sweep {
+        let cache = match &args.cache_dir {
+            Some(dir) => match ir_artifact::ArtifactCache::open(dir) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!("cannot open cache at {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        eprintln!(
+            "running artefact sweep (seed {}, {:?} scale, cache: {})...",
+            args.seed,
+            args.scale,
+            match &args.cache_dir {
+                Some(d) => d.display().to_string(),
+                None => "disabled".into(),
+            }
+        );
+        let t0 = std::time::Instant::now();
+        let plan = ir_experiments::sweep::full_plan(args.seed, args.scale, tel.clone());
+        let report = match ir_experiments::sweep::run_sweep(
+            plan,
+            cache.as_ref(),
+            args.csv_dir.as_deref(),
+            tel.as_ref(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for a in &report.artefacts {
+            println!("{}", a.output.text);
+            println!();
+        }
+        println!("== sweep summary ==");
+        for s in &report.studies {
+            println!(
+                "study    {:<24} {:>12?} {:>9.1}ms  {}",
+                s.name,
+                s.source,
+                s.wall.as_secs_f64() * 1e3,
+                s.fingerprint.to_hex()
+            );
+        }
+        for a in &report.artefacts {
+            println!(
+                "artefact {:<24} {:>12?} {:>9.1}ms  {}",
+                a.name,
+                a.source,
+                a.wall.as_secs_f64() * 1e3,
+                a.fingerprint.to_hex()
+            );
+        }
+        println!(
+            "{} artefacts ({} from cache), {} studies executed; cache {} hits / {} misses / \
+             {} stores / {} corrupt (hit rate {:.0}%); wall {:.1}s",
+            report.artefacts.len(),
+            report.artefact_hits(),
+            report.studies_executed(),
+            report.cache_hits,
+            report.cache_misses,
+            report.cache_stores,
+            report.cache_corrupt,
+            report.hit_rate() * 100.0,
+            t0.elapsed().as_secs_f64()
+        );
+        println!();
+        ok &= report.all_pass();
+    }
 
     if needs_measurement {
         eprintln!(

@@ -225,11 +225,12 @@ pub fn set_worker_threads(n: usize) {
     WORKER_THREADS.store(n, Ordering::Relaxed);
 }
 
-/// Generic indexed parallel map over tasks. Deterministic: output `i`
-/// corresponds to input `i` regardless of scheduling.
-fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
+/// Worker count the study runner's parallel map will actually use for
+/// `n` tasks under the current [`set_worker_threads`] setting: the
+/// configured cap, or
+/// one per available core when the setting is 0 (the default and the
+/// restore value), never more than the task count and never 0.
+pub fn effective_worker_threads(n: usize) -> usize {
     let configured = WORKER_THREADS.load(Ordering::Relaxed);
     let workers = if configured > 0 {
         configured
@@ -237,8 +238,16 @@ fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4)
-    }
-    .min(n.max(1));
+    };
+    workers.min(n.max(1))
+}
+
+/// Generic indexed parallel map over tasks. Deterministic: output `i`
+/// corresponds to input `i` regardless of scheduling.
+fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = effective_worker_threads(n);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -506,6 +515,24 @@ pub fn secs(s: u64) -> SimDuration {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `set_worker_threads(0)` must restore the available-parallelism
+    /// default — not panic, and not pin the pool to 0 workers.
+    #[test]
+    fn worker_threads_zero_restores_available_parallelism() {
+        let default = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        set_worker_threads(2);
+        assert_eq!(effective_worker_threads(64), 2);
+        set_worker_threads(0);
+        assert_eq!(effective_worker_threads(64), default.min(64));
+        // Even a degenerate task count yields at least one worker.
+        assert!(effective_worker_threads(0) >= 1);
+        // And the pool actually runs with the restored default.
+        let out = parallel_map(8, |i| i * 2);
+        assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+    }
 
     fn tiny_scenario() -> Scenario {
         // 3 clients × 4 relays × 1 server keeps unit tests fast.

@@ -47,12 +47,17 @@ pub fn run(seed: u64, transfers_per_pair: u64) -> Vec<SiteResult> {
 
 /// Builds the per-site report.
 pub fn report(seed: u64, transfers_per_pair: u64) -> Report {
-    let results = run(seed, transfers_per_pair);
+    report_of(&run(seed, transfers_per_pair))
+}
+
+/// Builds the per-site report from precomputed (possibly
+/// cache-restored) study results.
+pub fn report_of(results: &[SiteResult]) -> Report {
     let mut table = ir_stats::TextTable::new()
         .title("per-site improvement (indirect-chosen transfers)")
         .header(["site", "mean improvement (%)", "chose indirect (%)", "n"]);
     let mut rows = Vec::new();
-    for r in &results {
+    for r in results {
         table.row([
             r.site.clone(),
             format!("{:+.1}", r.mean_improvement_pct),

@@ -1,0 +1,620 @@
+//! The dependency-aware sweep: every artefact of the paper through the
+//! `ir-artifact` scheduler with a content-addressed cache.
+//!
+//! [`full_plan`] declares the whole evaluation as a two-layer DAG —
+//! five studies feeding fourteen artefacts:
+//!
+//! | study | artefacts |
+//! |---|---|
+//! | measurement (§2.2 planetlab) | fig1 fig2 fig3 fig4 fig5 table1 table2 variability overhead |
+//! | selection (§4) | fig6 table3 |
+//! | sites (per destination site) | sites |
+//! | headroom (oracle replica) | headroom |
+//! | faults (overlay outages) | faults |
+//!
+//! Study fingerprints hash **every input that determines the output**:
+//! the seed, rosters, [`Calibration`], [`Schedule`], [`SessionConfig`],
+//! sweep constants (`ks`, MTBFs), the generated fault plans, and
+//! [`CODEC_VERSION`]. Artefact fingerprints hash the artefact name, its
+//! per-artefact code-version salt ([`SALTS`] — bump when render logic
+//! changes), and its study fingerprints. Same inputs ⇒ same key ⇒ a
+//! warm cache reproduces every artefact byte-for-byte without running a
+//! single study; any changed input misses cleanly.
+
+use crate::codec;
+use crate::report::Report;
+use crate::runner::{
+    measurement_study_default_traced, run_measurement_study, selection_study_default_traced,
+    MeasurementData, Scale, SelectionData, FIG6_KS,
+};
+use crate::{
+    faults, fig1, fig2, fig3, fig4, fig5, fig6, headroom, overhead, sites, table1, table2, table3,
+    variability,
+};
+use ir_artifact::{
+    execute, ArtefactOutput, ArtefactSpec, ArtifactCache, ExecReport, Fingerprint, StableHash,
+    StableHasher, StudySpec,
+};
+use ir_core::SessionConfig;
+use ir_simnet::time::SimDuration;
+use ir_telemetry::trace::{Event, EventKind};
+use ir_telemetry::Telemetry;
+use ir_workload::roster::{ClientSite, RelaySite, ServerSite};
+use ir_workload::{Calibration, Schedule};
+use std::any::Any;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Version of the study byte encodings in [`crate::codec`]. Part of
+/// every study fingerprint: bumping it retires every cached study
+/// (they would no longer decode) instead of misreading them.
+pub const CODEC_VERSION: u32 = 1;
+
+/// Per-artefact code-version salts. Bump an entry whenever that
+/// artefact's render logic changes in a way that alters its output —
+/// the fingerprint moves and stale cached bundles stop matching.
+pub const SALTS: &[(&str, u64)] = &[
+    ("fig1", 1),
+    ("fig2", 1),
+    ("fig3", 1),
+    ("fig4", 1),
+    ("fig5", 1),
+    ("fig6", 1),
+    ("table1", 1),
+    ("table2", 1),
+    ("table3", 1),
+    ("variability", 1),
+    ("overhead", 1),
+    ("sites", 1),
+    ("headroom", 1),
+    ("faults", 1),
+];
+
+fn salt_of(name: &str) -> u64 {
+    SALTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, s)| s)
+        .unwrap_or_else(|| panic!("artefact {name:?} has no entry in sweep::SALTS"))
+}
+
+/// A declared sweep: studies plus the artefacts consuming them.
+pub struct SweepPlan {
+    /// Every study any artefact may demand.
+    pub studies: Vec<StudySpec>,
+    /// Artefacts in emission order.
+    pub artefacts: Vec<ArtefactSpec>,
+}
+
+fn artefact_fingerprint(name: &str, deps: &[Fingerprint]) -> Fingerprint {
+    let mut h = StableHasher::new();
+    "artefact".stable_hash(&mut h);
+    CODEC_VERSION.stable_hash(&mut h);
+    name.stable_hash(&mut h);
+    salt_of(name).stable_hash(&mut h);
+    deps.stable_hash(&mut h);
+    h.finish()
+}
+
+fn output_of(r: &Report) -> ArtefactOutput {
+    ArtefactOutput {
+        pass: r.all_pass(),
+        text: r.render(),
+        files: r
+            .csv
+            .iter()
+            .map(|(name, contents)| {
+                (
+                    format!("{}_{}.csv", r.id, name),
+                    contents.as_bytes().to_vec(),
+                )
+            })
+            .collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measurement_fingerprint(
+    seed: u64,
+    clients: &[ClientSite],
+    relays: &[RelaySite],
+    servers: &[ServerSite],
+    cal: &Calibration,
+    force_low_med: bool,
+    server_index: usize,
+    schedule: Schedule,
+    session: &SessionConfig,
+) -> Fingerprint {
+    let mut h = StableHasher::new();
+    "study/measurement".stable_hash(&mut h);
+    CODEC_VERSION.stable_hash(&mut h);
+    seed.stable_hash(&mut h);
+    clients.stable_hash(&mut h);
+    relays.stable_hash(&mut h);
+    servers.stable_hash(&mut h);
+    cal.stable_hash(&mut h);
+    force_low_med.stable_hash(&mut h);
+    server_index.stable_hash(&mut h);
+    schedule.stable_hash(&mut h);
+    session.stable_hash(&mut h);
+    h.finish()
+}
+
+fn measurement_spec(
+    name: String,
+    fingerprint: Fingerprint,
+    run: impl FnOnce() -> MeasurementData + 'static,
+) -> StudySpec {
+    StudySpec {
+        name,
+        fingerprint,
+        run: Box::new(move || Arc::new(run()) as Arc<dyn Any + Send + Sync>),
+        encode: Box::new(|out| {
+            codec::encode_measurement(out.downcast_ref().expect("measurement study output"))
+        }),
+        decode: Box::new(|bytes| {
+            codec::decode_measurement(bytes).map(|d| Arc::new(d) as Arc<dyn Any + Send + Sync>)
+        }),
+    }
+}
+
+fn measurement_report_fn(name: &str) -> fn(&MeasurementData) -> Report {
+    match name {
+        "fig1" => fig1::report,
+        "fig2" => fig2::report,
+        "fig3" => fig3::report,
+        "fig4" => fig4::report,
+        "fig5" => fig5::report,
+        "table1" => table1::report,
+        "table2" => table2::report,
+        "variability" => variability::report,
+        "overhead" => overhead::report,
+        other => panic!("{other:?} is not a measurement artefact"),
+    }
+}
+
+fn measurement_artefact(name: &'static str, dep: Fingerprint) -> ArtefactSpec {
+    let render = measurement_report_fn(name);
+    ArtefactSpec {
+        name: name.to_string(),
+        fingerprint: artefact_fingerprint(name, &[dep]),
+        deps: vec![dep],
+        render: Box::new(move |inputs| {
+            output_of(&render(inputs[0].downcast_ref().expect("measurement data")))
+        }),
+    }
+}
+
+fn selection_artefact(name: &'static str, dep: Fingerprint) -> ArtefactSpec {
+    let render: fn(&SelectionData) -> Report = match name {
+        "fig6" => fig6::report,
+        "table3" => table3::report,
+        other => panic!("{other:?} is not a selection artefact"),
+    };
+    ArtefactSpec {
+        name: name.to_string(),
+        fingerprint: artefact_fingerprint(name, &[dep]),
+        deps: vec![dep],
+        render: Box::new(move |inputs| {
+            output_of(&render(inputs[0].downcast_ref().expect("selection data")))
+        }),
+    }
+}
+
+/// Transfers per pair the `sites` study uses at a scale (shared by the
+/// `sites` CLI artefact and the sweep).
+pub fn sites_transfers(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 8,
+        Scale::Paper => 25,
+    }
+}
+
+/// Transfers the `headroom` study uses at a scale.
+pub fn headroom_transfers(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 30,
+        Scale::Paper => 120,
+    }
+}
+
+/// The full evaluation: five studies, fourteen artefacts. `tel` is
+/// shared by the measurement/selection studies (simnet, session, and
+/// runner layers report into it), exactly as the per-artefact CLI paths
+/// do.
+pub fn full_plan(seed: u64, scale: Scale, tel: Option<Arc<Telemetry>>) -> SweepPlan {
+    let roster = ir_workload::roster::CLIENTS;
+    let relays = ir_workload::roster::INTERMEDIATES;
+    let servers = ir_workload::roster::SERVERS;
+    let cal = Calibration::default();
+    let session = SessionConfig::paper_defaults();
+
+    // §2.2 measurement study (shared by nine artefacts).
+    let m_schedule = Schedule::measurement_study().spread(scale.measurement_transfers());
+    let m_fp = measurement_fingerprint(
+        seed, roster, relays, servers, &cal, false, 0, m_schedule, &session,
+    );
+    let m_tel = tel.clone();
+    let measurement = measurement_spec(
+        format!("measurement(seed={seed},{scale:?})"),
+        m_fp,
+        move || measurement_study_default_traced(seed, scale, m_tel),
+    );
+
+    // §4 selection study (shared by fig6 + table3).
+    let s_schedule = Schedule::selection_study().spread(scale.selection_transfers());
+    let s_fp = {
+        let mut h = StableHasher::new();
+        "study/selection".stable_hash(&mut h);
+        CODEC_VERSION.stable_hash(&mut h);
+        seed.stable_hash(&mut h);
+        ir_workload::roster::SELECTION_CLIENTS.stable_hash(&mut h);
+        ir_workload::roster::selection_relays().stable_hash(&mut h);
+        servers[..1].stable_hash(&mut h);
+        cal.stable_hash(&mut h);
+        true.stable_hash(&mut h); // force_low_med
+        FIG6_KS
+            .iter()
+            .map(|&k| k as u64)
+            .collect::<Vec<_>>()
+            .stable_hash(&mut h);
+        s_schedule.stable_hash(&mut h);
+        session.stable_hash(&mut h);
+        h.finish()
+    };
+    let s_tel = tel.clone();
+    let selection = StudySpec {
+        name: format!("selection(seed={seed},{scale:?})"),
+        fingerprint: s_fp,
+        run: Box::new(move || {
+            Arc::new(selection_study_default_traced(seed, scale, FIG6_KS, s_tel))
+                as Arc<dyn Any + Send + Sync>
+        }),
+        encode: Box::new(|out| {
+            codec::encode_selection(out.downcast_ref().expect("selection study output"))
+        }),
+        decode: Box::new(|bytes| {
+            codec::decode_selection(bytes).map(|d| Arc::new(d) as Arc<dyn Any + Send + Sync>)
+        }),
+    };
+
+    // Per-site study (all four destinations).
+    let site_transfers = sites_transfers(scale);
+    let sites_fp = {
+        let mut h = StableHasher::new();
+        "study/sites".stable_hash(&mut h);
+        CODEC_VERSION.stable_hash(&mut h);
+        seed.stable_hash(&mut h);
+        roster.stable_hash(&mut h);
+        relays.stable_hash(&mut h);
+        servers.stable_hash(&mut h);
+        cal.stable_hash(&mut h);
+        site_transfers.stable_hash(&mut h);
+        Schedule::measurement_study()
+            .spread(site_transfers)
+            .stable_hash(&mut h);
+        session.stable_hash(&mut h);
+        h.finish()
+    };
+    let sites_study = StudySpec {
+        name: format!("sites(seed={seed},transfers={site_transfers})"),
+        fingerprint: sites_fp,
+        run: Box::new(move || {
+            Arc::new(sites::run(seed, site_transfers)) as Arc<dyn Any + Send + Sync>
+        }),
+        encode: Box::new(|out| {
+            codec::encode_sites(
+                out.downcast_ref::<Vec<sites::SiteResult>>()
+                    .expect("sites output"),
+            )
+        }),
+        decode: Box::new(|bytes| {
+            codec::decode_sites(bytes).map(|d| Arc::new(d) as Arc<dyn Any + Send + Sync>)
+        }),
+    };
+
+    // Oracle headroom study.
+    let hr_transfers = headroom_transfers(scale);
+    let hr_fp = {
+        let mut h = StableHasher::new();
+        "study/headroom".stable_hash(&mut h);
+        CODEC_VERSION.stable_hash(&mut h);
+        seed.stable_hash(&mut h);
+        ir_workload::roster::SELECTION_CLIENTS.stable_hash(&mut h);
+        ir_workload::roster::selection_relays().stable_hash(&mut h);
+        servers[..1].stable_hash(&mut h);
+        cal.stable_hash(&mut h);
+        hr_transfers.stable_hash(&mut h);
+        Schedule::selection_study()
+            .spread(hr_transfers)
+            .stable_hash(&mut h);
+        session.stable_hash(&mut h);
+        SimDuration::from_secs(1200).stable_hash(&mut h); // oracle horizon
+        10u64.stable_hash(&mut h); // random-set k
+        h.finish()
+    };
+    let headroom_study = StudySpec {
+        name: format!("headroom(seed={seed},transfers={hr_transfers})"),
+        fingerprint: hr_fp,
+        run: Box::new(move || {
+            Arc::new(headroom::run(seed, hr_transfers)) as Arc<dyn Any + Send + Sync>
+        }),
+        encode: Box::new(|out| {
+            codec::encode_headroom(
+                out.downcast_ref::<Vec<headroom::Headroom>>()
+                    .expect("headroom output"),
+            )
+        }),
+        decode: Box::new(|bytes| {
+            codec::decode_headroom(bytes).map(|d| Arc::new(d) as Arc<dyn Any + Send + Sync>)
+        }),
+    };
+
+    // Fault-plane sweep. The generated fault plans are pure functions
+    // of (scenario, spec, seed); hash the plans themselves so the
+    // fingerprint covers fault pressure directly.
+    let f_schedule = Schedule::measurement_study().spread(match scale {
+        Scale::Quick => 12,
+        Scale::Paper => 40,
+    });
+    let faults_fp = {
+        let mut h = StableHasher::new();
+        "study/faults".stable_hash(&mut h);
+        CODEC_VERSION.stable_hash(&mut h);
+        seed.stable_hash(&mut h);
+        roster[..3].stable_hash(&mut h);
+        relays[..6].stable_hash(&mut h);
+        servers[..1].stable_hash(&mut h);
+        cal.stable_hash(&mut h);
+        faults::MTBF_SECS.stable_hash(&mut h);
+        faults::KS
+            .iter()
+            .map(|&k| k as u64)
+            .collect::<Vec<_>>()
+            .stable_hash(&mut h);
+        f_schedule.stable_hash(&mut h);
+        faults::failover_session().stable_hash(&mut h);
+        let scenario = faults::sweep_scenario(seed);
+        let horizon = f_schedule.span() + SimDuration::from_secs(3600);
+        for &mtbf in faults::MTBF_SECS {
+            if mtbf != 0 {
+                ir_workload::overlay_fault_plan(
+                    &scenario,
+                    &faults::fault_spec(mtbf, horizon),
+                    seed ^ 0xFA17,
+                )
+                .stable_hash(&mut h);
+            }
+        }
+        h.finish()
+    };
+    let faults_study = StudySpec {
+        name: format!("faults(seed={seed},{scale:?})"),
+        fingerprint: faults_fp,
+        run: Box::new(move || Arc::new(faults::run(seed, scale)) as Arc<dyn Any + Send + Sync>),
+        encode: Box::new(|out| {
+            codec::encode_faults(
+                out.downcast_ref::<Vec<faults::FaultCell>>()
+                    .expect("faults output"),
+            )
+        }),
+        decode: Box::new(|bytes| {
+            codec::decode_faults(bytes).map(|d| Arc::new(d) as Arc<dyn Any + Send + Sync>)
+        }),
+    };
+
+    let mut artefacts: Vec<ArtefactSpec> = [
+        "fig1",
+        "fig2",
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "variability",
+        "overhead",
+    ]
+    .into_iter()
+    .map(|name| measurement_artefact(name, m_fp))
+    .collect();
+    artefacts.push(selection_artefact("fig6", s_fp));
+    artefacts.push(selection_artefact("table3", s_fp));
+    artefacts.push(ArtefactSpec {
+        name: "sites".into(),
+        fingerprint: artefact_fingerprint("sites", &[sites_fp]),
+        deps: vec![sites_fp],
+        render: Box::new(|inputs| {
+            output_of(&sites::report_of(
+                inputs[0]
+                    .downcast_ref::<Vec<sites::SiteResult>>()
+                    .expect("site results"),
+            ))
+        }),
+    });
+    artefacts.push(ArtefactSpec {
+        name: "headroom".into(),
+        fingerprint: artefact_fingerprint("headroom", &[hr_fp]),
+        deps: vec![hr_fp],
+        render: Box::new(|inputs| {
+            output_of(&headroom::report_of(
+                inputs[0]
+                    .downcast_ref::<Vec<headroom::Headroom>>()
+                    .expect("headroom results"),
+            ))
+        }),
+    });
+    artefacts.push(ArtefactSpec {
+        name: "faults".into(),
+        fingerprint: artefact_fingerprint("faults", &[faults_fp]),
+        deps: vec![faults_fp],
+        render: Box::new(|inputs| {
+            output_of(&faults::report_of(
+                inputs[0]
+                    .downcast_ref::<Vec<faults::FaultCell>>()
+                    .expect("fault cells"),
+            ))
+        }),
+    });
+
+    SweepPlan {
+        studies: vec![
+            measurement,
+            selection,
+            sites_study,
+            headroom_study,
+            faults_study,
+        ],
+        artefacts,
+    }
+}
+
+/// A small pinned sweep for tests and the bench gate: the 4×4×1
+/// determinism-golden geometry feeding the two artefacts that share the
+/// measurement study (Fig 1 + Table I) — one study, two artefacts, so
+/// shared-study dedup and cache behaviour are observable in seconds.
+pub fn mini_plan(seed: u64) -> SweepPlan {
+    let clients = &ir_workload::roster::CLIENTS[..4];
+    let relays = &ir_workload::roster::INTERMEDIATES[..4];
+    let servers = &ir_workload::roster::SERVERS[..1];
+    let cal = Calibration::default();
+    let schedule = Schedule::measurement_study().spread(8);
+    let session = SessionConfig::paper_defaults();
+    let fp = measurement_fingerprint(
+        seed, clients, relays, servers, &cal, false, 0, schedule, &session,
+    );
+    let study = measurement_spec(format!("measurement-mini(seed={seed})"), fp, move || {
+        let scenario = ir_workload::build(seed, clients, relays, servers, cal, false);
+        run_measurement_study(&scenario, 0, schedule, session)
+    });
+    SweepPlan {
+        studies: vec![study],
+        artefacts: vec![
+            measurement_artefact("fig1", fp),
+            measurement_artefact("table1", fp),
+        ],
+    }
+}
+
+/// Executes a sweep plan, writes every artefact file under `out_dir`
+/// (when given), and wires cache counters and per-node spans into
+/// `tel`. With `cache: None` every study runs and every artefact
+/// renders — the cacheless baseline warm runs must match byte-for-byte.
+pub fn run_sweep(
+    plan: SweepPlan,
+    cache: Option<&ArtifactCache>,
+    out_dir: Option<&Path>,
+    tel: Option<&Arc<Telemetry>>,
+) -> std::io::Result<ExecReport> {
+    let report = execute(plan.studies, plan.artefacts, cache);
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)?;
+        for artefact in &report.artefacts {
+            for (name, bytes) in &artefact.output.files {
+                std::fs::write(dir.join(name), bytes)?;
+            }
+        }
+    }
+    if let Some(tel) = tel {
+        tel.metrics
+            .counter("artifact_cache_hits", vec![])
+            .add(report.cache_hits);
+        tel.metrics
+            .counter("artifact_cache_misses", vec![])
+            .add(report.cache_misses);
+        tel.metrics
+            .counter("artifact_cache_stores", vec![])
+            .add(report.cache_stores);
+        tel.metrics
+            .counter("artifact_cache_corrupt", vec![])
+            .add(report.cache_corrupt);
+        tel.metrics
+            .counter("sweep_studies_executed", vec![])
+            .add(report.studies_executed());
+        tel.metrics
+            .counter("sweep_artefacts", vec![])
+            .add(report.artefacts.len() as u64);
+        for (i, s) in report.studies.iter().enumerate() {
+            tel.tracer.record(
+                Event::span(EventKind::StudyExec, 0, s.wall.as_micros() as u64, i as u64)
+                    .with_str("study", s.name.clone())
+                    .with_str("source", format!("{:?}", s.source))
+                    .with_str("fingerprint", s.fingerprint.to_hex()),
+            );
+        }
+        for (i, a) in report.artefacts.iter().enumerate() {
+            tel.tracer.record(
+                Event::span(
+                    EventKind::ArtifactRender,
+                    0,
+                    a.wall.as_micros() as u64,
+                    i as u64,
+                )
+                .with_str("artefact", a.name.clone())
+                .with_str("source", format!("{:?}", a.source))
+                .with_str("fingerprint", a.fingerprint.to_hex()),
+            );
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_full_plan_artefact_has_a_salt_and_unique_fingerprint() {
+        let plan = full_plan(2007, Scale::Quick, None);
+        assert_eq!(plan.studies.len(), 5);
+        assert_eq!(plan.artefacts.len(), SALTS.len());
+        let mut fps: Vec<Fingerprint> = plan
+            .artefacts
+            .iter()
+            .map(|a| a.fingerprint)
+            .chain(plan.studies.iter().map(|s| s.fingerprint))
+            .collect();
+        fps.sort();
+        fps.dedup();
+        assert_eq!(fps.len(), plan.artefacts.len() + plan.studies.len());
+        // Every artefact's deps resolve to a declared study.
+        for a in &plan.artefacts {
+            for dep in &a.deps {
+                assert!(
+                    plan.studies.iter().any(|s| s.fingerprint == *dep),
+                    "artefact {} has unresolved dep",
+                    a.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_move_with_seed_and_scale() {
+        let a = full_plan(1, Scale::Quick, None);
+        let b = full_plan(2, Scale::Quick, None);
+        let c = full_plan(1, Scale::Paper, None);
+        let d = full_plan(1, Scale::Quick, None);
+        for ((x, y), (z, w)) in a
+            .studies
+            .iter()
+            .zip(b.studies.iter())
+            .zip(c.studies.iter().zip(d.studies.iter()))
+        {
+            assert_ne!(x.fingerprint, y.fingerprint, "seed must move {}", x.name);
+            assert_ne!(x.fingerprint, z.fingerprint, "scale must move {}", x.name);
+            assert_eq!(x.fingerprint, w.fingerprint, "same inputs, same key");
+        }
+    }
+
+    #[test]
+    fn mini_plan_is_stable_and_distinct_from_full() {
+        let a = mini_plan(42);
+        let b = mini_plan(42);
+        assert_eq!(a.studies[0].fingerprint, b.studies[0].fingerprint);
+        assert_eq!(a.artefacts[0].fingerprint, b.artefacts[0].fingerprint);
+        let full = full_plan(42, Scale::Quick, None);
+        assert_ne!(a.studies[0].fingerprint, full.studies[0].fingerprint);
+        // Same artefact name, different deps ⇒ different artefact key.
+        assert_ne!(a.artefacts[0].fingerprint, full.artefacts[0].fingerprint);
+    }
+}

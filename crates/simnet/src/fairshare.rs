@@ -148,7 +148,7 @@ pub fn max_min_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
 /// is computed and applied with exactly the same floating-point
 /// operations in the same order as [`max_min_rates`] (links ascending,
 /// then flows ascending; `rate += inc` / `residual -= inc` updates; the
-/// shared [`EPS`] freeze slack). The *bookkeeping* differs, the
+/// shared `EPS` freeze slack). The *bookkeeping* differs, the
 /// *arithmetic* must not — so any divergence between the two solvers is
 /// a logic bug, never fp noise.
 ///

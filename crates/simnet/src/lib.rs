@@ -41,6 +41,7 @@ pub mod events;
 pub mod fairshare;
 pub mod faults;
 pub mod sim;
+pub mod stable;
 pub mod time;
 pub mod topology;
 pub mod tracer;

@@ -55,6 +55,12 @@ pub enum EventKind {
     /// A runner task (one (client, relay/k) schedule) ran; `dur_us`
     /// spans it.
     RunnerTask,
+    /// The sweep scheduler materialised a study (executed it or decoded
+    /// it from the artefact cache); `dur_us` spans the materialisation.
+    StudyExec,
+    /// The sweep scheduler materialised an artefact (rendered it or
+    /// restored its cached bundle); `dur_us` spans it.
+    ArtifactRender,
     /// Escape hatch for ad-hoc instrumentation.
     Custom(&'static str),
 }
@@ -80,6 +86,8 @@ impl EventKind {
             EventKind::RelayShutdown => "relay_shutdown",
             EventKind::Retry => "retry",
             EventKind::RunnerTask => "runner_task",
+            EventKind::StudyExec => "study_exec",
+            EventKind::ArtifactRender => "artifact_render",
             EventKind::Custom(name) => name,
         }
     }
@@ -102,6 +110,7 @@ impl EventKind {
             | EventKind::Retry => "session",
             EventKind::RelayAccept | EventKind::RelaySplice | EventKind::RelayShutdown => "relay",
             EventKind::RunnerTask => "runner",
+            EventKind::StudyExec | EventKind::ArtifactRender => "sweep",
             EventKind::Custom(_) => "custom",
         }
     }

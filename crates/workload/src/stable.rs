@@ -1,0 +1,144 @@
+//! [`StableHash`] impls for workload parameter types.
+//!
+//! These encodings key the on-disk study cache (`ir-artifact`): they
+//! must stay **pinned**. Each impl destructures its type exhaustively,
+//! so adding a field is a compile error here — the fix is to extend the
+//! encoding *and* bump the consuming artefact's code-version salt so
+//! stale cache entries are retired rather than wrongly reused.
+
+use crate::roster::{ClientSite, RelaySite, ServerSite};
+use crate::scenario::Calibration;
+use crate::schedule::Schedule;
+use ir_artifact::{StableHash, StableHasher};
+
+impl StableHash for Calibration {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let Calibration {
+            low_mbps,
+            med_mbps,
+            high_mbps,
+            frac_medium,
+            frac_high,
+            var_frac_low_med,
+            var_frac_high,
+            stable_levels,
+            variable_levels,
+            high_variable_levels,
+            stable_hold_secs,
+            variable_hold_secs,
+            stable_noise,
+            variable_noise,
+            overlay_median_mbps,
+            access_headroom_median,
+            access_headroom_sigma,
+            relay_quality_sigma,
+            pair_sigma,
+            overlay_phi,
+            overlay_sigma,
+            overlay_tick_secs,
+            jump_arrival_secs,
+            jump_duration_secs,
+            jump_factor,
+            relay_server_mbps,
+        } = *self;
+        low_mbps.stable_hash(h);
+        med_mbps.stable_hash(h);
+        high_mbps.stable_hash(h);
+        frac_medium.stable_hash(h);
+        frac_high.stable_hash(h);
+        var_frac_low_med.stable_hash(h);
+        var_frac_high.stable_hash(h);
+        stable_levels.stable_hash(h);
+        variable_levels.stable_hash(h);
+        high_variable_levels.stable_hash(h);
+        stable_hold_secs.stable_hash(h);
+        variable_hold_secs.stable_hash(h);
+        stable_noise.stable_hash(h);
+        variable_noise.stable_hash(h);
+        overlay_median_mbps.stable_hash(h);
+        access_headroom_median.stable_hash(h);
+        access_headroom_sigma.stable_hash(h);
+        relay_quality_sigma.stable_hash(h);
+        pair_sigma.stable_hash(h);
+        overlay_phi.stable_hash(h);
+        overlay_sigma.stable_hash(h);
+        overlay_tick_secs.stable_hash(h);
+        jump_arrival_secs.stable_hash(h);
+        jump_duration_secs.stable_hash(h);
+        jump_factor.stable_hash(h);
+        relay_server_mbps.stable_hash(h);
+    }
+}
+
+impl StableHash for Schedule {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let Schedule { period, count } = *self;
+        period.stable_hash(h);
+        count.stable_hash(h);
+    }
+}
+
+impl StableHash for ClientSite {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let ClientSite {
+            name,
+            domain,
+            us_latency_ms,
+        } = *self;
+        name.stable_hash(h);
+        domain.stable_hash(h);
+        us_latency_ms.stable_hash(h);
+    }
+}
+
+impl StableHash for RelaySite {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let RelaySite {
+            name,
+            domain,
+            synthesized,
+        } = *self;
+        name.stable_hash(h);
+        domain.stable_hash(h);
+        synthesized.stable_hash(h);
+    }
+}
+
+impl StableHash for ServerSite {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let ServerSite { name, rate_factor } = *self;
+        name.stable_hash(h);
+        rate_factor.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roster::{CLIENTS, INTERMEDIATES};
+    use ir_artifact::fingerprint_of;
+
+    #[test]
+    fn calibration_fingerprint_tracks_field_changes() {
+        let base = Calibration::default();
+        assert_eq!(
+            fingerprint_of(&base),
+            fingerprint_of(&Calibration::default())
+        );
+        let mut tweaked = base;
+        tweaked.overlay_median_mbps += 0.001;
+        assert_ne!(fingerprint_of(&base), fingerprint_of(&tweaked));
+    }
+
+    #[test]
+    fn schedules_and_rosters_disambiguate() {
+        let a = Schedule::measurement_study();
+        let b = Schedule::measurement_study().spread(8);
+        assert_ne!(fingerprint_of(&a), fingerprint_of(&b));
+        assert_ne!(fingerprint_of(&CLIENTS[..4]), fingerprint_of(&CLIENTS[..5]));
+        assert_ne!(
+            fingerprint_of(&CLIENTS[0]),
+            fingerprint_of(&INTERMEDIATES[0])
+        );
+    }
+}

@@ -94,6 +94,37 @@ fn golden_fig1_table1_csv_bytes_unchanged() {
     }
 }
 
+/// Golden-artefact snapshot: the faults artefact's cells CSV, byte-
+/// exact at the quick scale the module's own tests pin (seed 11).
+///
+/// The fault plane stacks every layer of the stack — fault plan
+/// generation, failover sessions, availability accounting — so a
+/// byte-stable CSV here is the broadest single determinism check the
+/// suite has. Regenerate deliberately with
+/// `UPDATE_GOLDEN=1 cargo test --test determinism golden` after a
+/// change that is *supposed* to move the numbers.
+#[test]
+fn golden_faults_csv_bytes_unchanged() {
+    use indirect_routing::experiments::faults;
+    let report = faults::report(11, runner::Scale::Quick);
+    let artefacts = [("faults_cells.csv", &report.csv[0].1)];
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, bytes) in &artefacts {
+            std::fs::write(dir.join(name), bytes).unwrap();
+        }
+        return;
+    }
+    for (name, bytes) in &artefacts {
+        let golden = std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        assert_eq!(&&golden, bytes, "{name} diverged from the golden snapshot");
+    }
+}
+
 #[test]
 fn selection_study_deterministic() {
     let mk = || {
