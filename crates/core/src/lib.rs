@@ -36,7 +36,7 @@ pub mod stable;
 pub mod transport;
 
 pub use aggregate::StudySummary;
-pub use path::PathSpec;
+pub use path::{PathSpec, MAX_HOPS};
 pub use policy::{
     DirectOnly, EpsilonGreedy, FullSet, RandomSet, SelectCtx, SelectionPolicy, StaticSingle, Ucb1,
     UtilizationWeighted,
@@ -44,7 +44,8 @@ pub use policy::{
 pub use predictor::{EwmaBlend, FirstPortion, Predictor};
 pub use record::{improvement, TransferRecord, UtilizationTracker};
 pub use session::{
-    run_session, run_session_traced, ControlMode, FailoverConfig, ProbeMode, SessionConfig,
+    run_paths_session_traced, run_session, run_session_traced, ControlMode, FailoverConfig,
+    ProbeMode, SessionConfig,
 };
 pub use sim_transport::{SimTransport, TcpDerivation};
 pub use transport::{Handle, RaceWin, Timing, Transport};

@@ -1,19 +1,41 @@
-//! Path specifications: direct vs indirect-via-a-relay.
+//! Path specifications: direct vs indirect-via-a-chain-of-relays.
+//!
+//! The paper's protocol probes one intermediate at a time, but the
+//! policy plane (`ir-policy`) generalizes candidates to *hop chains*:
+//! `client -> r1 -> r2 -> server`. A [`PathSpec`] therefore carries up
+//! to [`MAX_HOPS`] intermediates inline — it stays `Copy` (sessions
+//! pass paths by value throughout) and one-hop specs behave exactly as
+//! the old `via: Option<NodeId>` encoding did.
 
 use ir_simnet::topology::{NodeId, Route, Topology};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// An end-to-end path choice between a client and a server.
+/// Maximum number of intermediate hops a [`PathSpec`] can carry.
+///
+/// Chains longer than this lose to their own relay-processing latency
+/// long before they win a probe race (Kedia et al. observe the overlay
+/// detour benefit collapsing past a few hops), so the cap is a
+/// protocol constant, not a tunable.
+pub const MAX_HOPS: usize = 3;
+
+/// Filler for unused hop slots, so derived `Eq`/`Hash`/`Ord` only see
+/// normalized values. Never a valid node: topologies are far smaller.
+const FILL: NodeId = NodeId(u32::MAX);
+
+/// An end-to-end path choice between a client and a server: the direct
+/// Internet path, or a detour through 1..=[`MAX_HOPS`] overlay relays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PathSpec {
     /// The downloading client.
     pub client: NodeId,
     /// The origin server.
     pub server: NodeId,
-    /// `None` for the default Internet path; `Some(relay)` to route via
-    /// an intermediate overlay node.
-    pub via: Option<NodeId>,
+    /// Number of intermediate hops in use (0 = direct).
+    pub(crate) hop_len: u8,
+    /// Intermediate hops, in traversal order; slots `hop_len..` hold
+    /// [`FILL`] so the derived comparisons stay canonical.
+    pub(crate) hops: [NodeId; MAX_HOPS],
 }
 
 impl PathSpec {
@@ -22,24 +44,79 @@ impl PathSpec {
         PathSpec {
             client,
             server,
-            via: None,
+            hop_len: 0,
+            hops: [FILL; MAX_HOPS],
         }
     }
 
-    /// An indirect path through `via`.
+    /// An indirect path through the single relay `via`.
     pub fn indirect(client: NodeId, server: NodeId, via: NodeId) -> Self {
-        assert_ne!(via, client, "relay cannot be the client");
-        assert_ne!(via, server, "relay cannot be the server");
+        PathSpec::chain(client, server, &[via])
+    }
+
+    /// An indirect path through the given relay chain, in traversal
+    /// order. An empty chain is the direct path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is longer than [`MAX_HOPS`], revisits a
+    /// relay, or routes through either endpoint. Policies emitting
+    /// untrusted node lists should sanitize first (`ir-policy` has the
+    /// shared helper).
+    pub fn chain(client: NodeId, server: NodeId, chain: &[NodeId]) -> Self {
+        assert!(
+            chain.len() <= MAX_HOPS,
+            "chain of {} exceeds MAX_HOPS={MAX_HOPS}",
+            chain.len()
+        );
+        let mut hops = [FILL; MAX_HOPS];
+        for (i, &hop) in chain.iter().enumerate() {
+            assert_ne!(hop, client, "relay cannot be the client");
+            assert_ne!(hop, server, "relay cannot be the server");
+            assert!(
+                !chain[..i].contains(&hop),
+                "duplicate relay {hop:?} in chain"
+            );
+            hops[i] = hop;
+        }
         PathSpec {
             client,
             server,
-            via: Some(via),
+            hop_len: chain.len() as u8,
+            hops,
         }
+    }
+
+    /// The intermediate hops, in traversal order (empty for the direct
+    /// path).
+    pub fn hops(&self) -> &[NodeId] {
+        &self.hops[..self.hop_len as usize]
+    }
+
+    /// Number of intermediate hops (0 = direct).
+    pub fn hop_count(&self) -> usize {
+        self.hop_len as usize
+    }
+
+    /// The *first* intermediate, if any — the single relay for one-hop
+    /// paths. Utilization accounting credits this node: it is the relay
+    /// the client contacted, whatever the chain does afterwards.
+    pub fn via(&self) -> Option<NodeId> {
+        self.hops().first().copied()
     }
 
     /// True if this is an indirect path.
     pub fn is_indirect(&self) -> bool {
-        self.via.is_some()
+        self.hop_len > 0
+    }
+
+    /// The full node sequence `client, hops…, server`.
+    fn node_seq(&self) -> Vec<NodeId> {
+        let mut seq = Vec::with_capacity(self.hop_count() + 2);
+        seq.push(self.client);
+        seq.extend_from_slice(self.hops());
+        seq.push(self.server);
+        seq
     }
 
     /// Resolves this spec to a concrete route in `topo`.
@@ -47,28 +124,36 @@ impl PathSpec {
     /// Returns `None` if the required links are missing from the
     /// topology.
     pub fn resolve(&self, topo: &Topology) -> Option<Route> {
-        match self.via {
-            None => topo.route(&[self.client, self.server]),
-            Some(via) => topo.route(&[self.client, via, self.server]),
-        }
+        topo.route(&self.node_seq())
     }
 
     /// Human-readable description using node names from `topo`.
     pub fn describe(&self, topo: &Topology) -> String {
         let c = &topo.node(self.client).name;
         let s = &topo.node(self.server).name;
-        match self.via {
-            None => format!("{c} -> {s} (direct)"),
-            Some(v) => format!("{c} -> {} -> {s}", topo.node(v).name),
+        if self.hop_len == 0 {
+            format!("{c} -> {s} (direct)")
+        } else {
+            let mids: Vec<&str> = self
+                .hops()
+                .iter()
+                .map(|&v| topo.node(v).name.as_str())
+                .collect();
+            format!("{c} -> {} -> {s}", mids.join(" -> "))
         }
     }
 }
 
 impl fmt::Display for PathSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.via {
-            None => write!(f, "direct({}->{})", self.client.0, self.server.0),
-            Some(v) => write!(f, "via({}->{}->{})", self.client.0, v.0, self.server.0),
+        if self.hop_len == 0 {
+            write!(f, "direct({}->{})", self.client.0, self.server.0)
+        } else {
+            write!(f, "via({}", self.client.0)?;
+            for v in self.hops() {
+                write!(f, "->{}", v.0)?;
+            }
+            write!(f, "->{})", self.server.0)
         }
     }
 }
@@ -88,6 +173,15 @@ mod tests {
         t.add_link(c, v, SimDuration::from_millis(60));
         t.add_link(v, s, SimDuration::from_millis(15));
         (t, c, v, s)
+    }
+
+    /// Like [`topo`], plus a second relay wired `v -> w -> s`.
+    fn topo2() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+        let (mut t, c, v, s) = topo();
+        let w = t.add_node("Utah", NodeKind::Intermediate);
+        t.add_link(v, w, SimDuration::from_millis(5));
+        t.add_link(w, s, SimDuration::from_millis(5));
+        (t, c, v, w, s)
     }
 
     #[test]
@@ -123,9 +217,55 @@ mod tests {
     }
 
     #[test]
+    fn two_hop_chain_resolves_and_describes() {
+        let (t, c, v, w, s) = topo2();
+        let p = PathSpec::chain(c, s, &[v, w]);
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.hops(), &[v, w]);
+        assert_eq!(p.via(), Some(v), "via() credits the first hop");
+        assert_eq!(p.resolve(&t).unwrap().len(), 3);
+        assert_eq!(p.describe(&t), "Berlin -> Texas -> Utah -> eBay");
+        assert_eq!(
+            p.to_string(),
+            format!("via({}->{}->{}->{})", c.0, v.0, w.0, s.0)
+        );
+        // The reversed chain has no v <- w link.
+        assert!(PathSpec::chain(c, s, &[w, v]).resolve(&t).is_none());
+    }
+
+    #[test]
+    fn empty_chain_is_direct() {
+        let (_, c, _, s) = topo();
+        assert_eq!(PathSpec::chain(c, s, &[]), PathSpec::direct(c, s));
+        assert_eq!(PathSpec::direct(c, s).via(), None);
+        assert_eq!(PathSpec::direct(c, s).hops(), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn one_hop_chain_equals_indirect() {
+        let (_, c, v, s) = topo();
+        assert_eq!(PathSpec::chain(c, s, &[v]), PathSpec::indirect(c, s, v));
+    }
+
+    #[test]
     #[should_panic(expected = "relay cannot be the client")]
     fn relay_cannot_be_endpoint() {
         let (_, c, _, s) = topo();
         PathSpec::indirect(c, s, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relay")]
+    fn chain_rejects_revisits() {
+        let (_, c, v, s) = topo();
+        PathSpec::chain(c, s, &[v, v]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_HOPS")]
+    fn chain_rejects_overlong() {
+        let (_, c, _, s) = topo();
+        let hops: Vec<NodeId> = (10..10 + MAX_HOPS as u32 + 1).map(NodeId).collect();
+        PathSpec::chain(c, s, &hops);
     }
 }

@@ -176,7 +176,7 @@ impl SelectionPolicy for UtilizationWeighted {
         for &via in &rec.candidates {
             *self.appeared.entry(via).or_insert(0) += 1;
         }
-        if let Some(via) = rec.selected.via {
+        if let Some(via) = rec.selected.via() {
             *self.chosen.entry(via).or_insert(0) += 1;
         }
     }

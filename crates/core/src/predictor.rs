@@ -99,10 +99,9 @@ mod tests {
     use ir_simnet::topology::NodeId;
 
     fn path(via: Option<u32>) -> PathSpec {
-        PathSpec {
-            client: NodeId(0),
-            server: NodeId(1),
-            via: via.map(NodeId),
+        match via {
+            None => PathSpec::direct(NodeId(0), NodeId(1)),
+            Some(v) => PathSpec::indirect(NodeId(0), NodeId(1), NodeId(v)),
         }
     }
 

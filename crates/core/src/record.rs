@@ -112,7 +112,7 @@ impl UtilizationTracker {
         for &via in &rec.candidates {
             *self.appeared.entry((rec.client, via)).or_insert(0) += 1;
         }
-        if let Some(via) = rec.selected.via {
+        if let Some(via) = rec.selected.via() {
             *self.chosen.entry((rec.client, via)).or_insert(0) += 1;
         }
     }

@@ -225,7 +225,6 @@ pub fn run_session_traced(
     cfg: &SessionConfig,
     tel: Option<&Telemetry>,
 ) -> TransferRecord {
-    cfg.validate();
     let ctx = SelectCtx {
         client,
         server,
@@ -233,6 +232,49 @@ pub fn run_session_traced(
         transfer_index,
     };
     let candidates = policy.candidates(&ctx);
+    let paths: Vec<PathSpec> = candidates
+        .iter()
+        .map(|&via| PathSpec::indirect(client, server, via))
+        .collect();
+    let record = run_paths_session_traced(
+        transport,
+        predictor,
+        client,
+        server,
+        &paths,
+        candidates,
+        transfer_index,
+        cfg,
+        tel,
+    );
+    policy.observe(&record);
+    record
+}
+
+/// The path-plane session runner: races the direct path against an
+/// explicit, ordered list of indirect candidate paths (1-hop or
+/// multi-hop chains). [`run_session_traced`] is a thin wrapper that
+/// maps a [`SelectionPolicy`]'s relay candidates to 1-hop paths;
+/// `ir-policy` selectors call this directly with arbitrary chains.
+///
+/// `candidates` is recorded verbatim in the returned
+/// [`TransferRecord`] (the paper's "random set" bookkeeping). Paths
+/// the transport cannot resolve are dropped from the race — counted in
+/// the `path_unresolvable` metric and traced per path — rather than
+/// silently skipped or panicked on.
+#[allow(clippy::too_many_arguments)]
+pub fn run_paths_session_traced(
+    transport: &mut dyn Transport,
+    predictor: &mut dyn Predictor,
+    client: NodeId,
+    server: NodeId,
+    indirect_paths: &[PathSpec],
+    candidates: Vec<NodeId>,
+    transfer_index: u64,
+    cfg: &SessionConfig,
+    tel: Option<&Telemetry>,
+) -> TransferRecord {
+    cfg.validate();
     let direct = PathSpec::direct(client, server);
     let t0 = transport.now();
     if let Some(tel) = tel {
@@ -241,9 +283,35 @@ pub fn run_session_traced(
             Event::new(EventKind::SessionStart, t0.as_micros(), transfer_index)
                 .with_u64("client", client.0 as u64)
                 .with_u64("server", server.0 as u64)
-                .with_u64("candidates", candidates.len() as u64),
+                .with_u64("candidates", indirect_paths.len() as u64),
         );
     }
+
+    // Drop candidate paths the transport cannot carry (missing links).
+    // The paper's 1-hop star always resolves; multi-hop chains from
+    // generative policies may not, and a silent skip would corrupt the
+    // probe-overhead accounting of tournament runs.
+    let candidate_paths: Vec<PathSpec> = indirect_paths
+        .iter()
+        .filter(|p| {
+            let ok = transport.resolvable(p);
+            if !ok {
+                if let Some(tel) = tel {
+                    tel.metrics.counter("path_unresolvable", vec![]).inc();
+                    tel.tracer.record(
+                        Event::new(
+                            EventKind::PathUnresolvable,
+                            transport.now().as_micros(),
+                            transfer_index,
+                        )
+                        .with_str("path", p.to_string()),
+                    );
+                }
+            }
+            ok
+        })
+        .copied()
+        .collect();
 
     // Control process: whole file on the direct path.
     let control = match cfg.control {
@@ -267,7 +335,7 @@ pub fn run_session_traced(
         failovers,
         stall_ms,
         abandoned,
-    ) = if candidates.is_empty() {
+    ) = if candidate_paths.is_empty() {
         // Direct-only: no probe phase; the whole file goes direct.
         let h = transport.begin(&direct, cfg.file_bytes);
         let t = transport.finish(h, cfg.horizon);
@@ -275,11 +343,7 @@ pub fn run_session_traced(
         (direct, f64::NAN, rate, false, t.is_some(), 0, 0, false)
     } else {
         let paths: Vec<PathSpec> = std::iter::once(direct)
-            .chain(
-                candidates
-                    .iter()
-                    .map(|&via| PathSpec::indirect(client, server, via)),
-            )
+            .chain(candidate_paths.iter().copied())
             .collect();
         let handles: Vec<Handle> = paths
             .iter()
@@ -343,11 +407,11 @@ pub fn run_session_traced(
                             },
                         )
                         .with_f64("probe_rate", probe_rate);
-                    if let Some(via) = path.via {
+                    if let Some(via) = path.via() {
                         won = won.with_u64("via", via.0 as u64);
                     }
                     tel.tracer.record(won);
-                    if let Some(via) = path.via {
+                    if let Some(via) = path.via() {
                         tel.metrics.counter("session_path_switches", vec![]).inc();
                         tel.tracer.record(
                             Event::new(EventKind::PathSwitch, now_us, transfer_index)
@@ -477,7 +541,6 @@ pub fn run_session_traced(
             .with_f64("selected_bps", record.selected_throughput),
         );
     }
-    policy.observe(&record);
     record
 }
 
@@ -1089,5 +1152,52 @@ mod tests {
         assert_eq!(snap.counter("session_failovers", &vec![]), Some(1));
         assert_eq!(snap.counter("session_stall_retries", &vec![]), Some(1));
         assert_eq!(snap.counter("session_abandoned", &vec![]), None);
+    }
+
+    /// An unresolvable candidate path is dropped from the race, counted
+    /// in `path_unresolvable`, and traced — never silently skipped, and
+    /// never fatal to the session.
+    #[test]
+    fn unresolvable_path_is_counted_traced_and_dropped() {
+        let (mut tp, c, v, s) = world(100_000.0, 300_000.0);
+        // NodeId(9) does not exist in the 3-node world, so a chain
+        // through it has no links to map onto.
+        let ghost = NodeId(9);
+        let paths = vec![
+            PathSpec::chain(c, s, &[ghost]),
+            PathSpec::chain(c, s, &[v, ghost]),
+            PathSpec::indirect(c, s, v),
+        ];
+        let tel = Telemetry::new();
+        let rec = run_paths_session_traced(
+            &mut tp,
+            &mut FirstPortion,
+            c,
+            s,
+            &paths,
+            vec![ghost, v],
+            0,
+            &SessionConfig::paper_defaults(),
+            Some(&tel),
+        );
+        // The resolvable indirect path still raced (and, being 3×
+        // direct, won).
+        assert!(rec.chose_indirect());
+        assert_eq!(rec.selected.via(), Some(v));
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("path_unresolvable", &vec![]), Some(2));
+        let unresolved: Vec<String> = tel
+            .tracer
+            .snapshot()
+            .iter()
+            .filter(|e| e.kind == EventKind::PathUnresolvable)
+            .flat_map(|e| e.attrs.iter())
+            .filter_map(|(k, a)| match (*k, a) {
+                ("path", ir_telemetry::trace::Attr::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(unresolved.len(), 2);
+        assert!(unresolved.iter().all(|p| p.contains("9")), "{unresolved:?}");
     }
 }

@@ -120,6 +120,10 @@ impl Transport for SimTransport {
         h
     }
 
+    fn resolvable(&self, path: &PathSpec) -> bool {
+        path.resolve(self.net.topology()).is_some()
+    }
+
     fn begin_warm(&mut self, path: &PathSpec, bytes: u64) -> Handle {
         let route = path
             .resolve(self.net.topology())

@@ -6,8 +6,29 @@
 //! encoding *and* bump the consuming artefact's code-version salt so
 //! stale cache entries are retired rather than wrongly reused.
 
+use crate::path::PathSpec;
 use crate::session::{ControlMode, FailoverConfig, ProbeMode, SessionConfig};
 use ir_artifact::{StableHash, StableHasher};
+
+impl StableHash for PathSpec {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let PathSpec {
+            client,
+            server,
+            hop_len,
+            hops,
+        } = *self;
+        client.0.stable_hash(h);
+        server.0.stable_hash(h);
+        // Only the live hops participate: the fill slots are a
+        // representation detail, and hashing them would make the
+        // fingerprint depend on MAX_HOPS.
+        h.write_len(hop_len as usize);
+        for hop in &hops[..hop_len as usize] {
+            hop.0.stable_hash(h);
+        }
+    }
+}
 
 impl StableHash for ProbeMode {
     fn stable_hash(&self, h: &mut StableHasher) {

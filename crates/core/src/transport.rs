@@ -60,6 +60,16 @@ pub trait Transport {
     /// Panics if the path cannot be resolved on this transport.
     fn begin(&mut self, path: &PathSpec, bytes: u64) -> Handle;
 
+    /// True when this transport can carry `path` at all. The session
+    /// runner drops unresolvable candidate paths (with telemetry)
+    /// before [`Transport::begin`], which is entitled to panic on
+    /// them. Default: everything is carriable, for transports without
+    /// a topology to consult.
+    fn resolvable(&self, path: &PathSpec) -> bool {
+        let _ = path;
+        true
+    }
+
     /// Starts a transfer over an already-warm connection on `path` —
     /// no handshake, congestion window already open. This is the
     /// remainder request of §2.1: another `Range` on the connection the

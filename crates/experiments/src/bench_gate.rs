@@ -28,6 +28,14 @@
 //! the warm pass is not served 100% from cache, when the warm pass
 //! executes any study, or when warm artefact bytes diverge from a
 //! cacheless run.
+//!
+//! Finally the gate times the path plane and writes `BENCH_PR6.json`:
+//! per-policy `paths()` decision latency, the pinned tournament's
+//! probe-path counts (the probe-count determinism canary), and an
+//! incremental tournament sweep — cold with the roster minus one
+//! policy, then warm with the full roster — failing unless the warm
+//! pass executes *exactly* the added policy's study, the guarantee
+//! that growing the roster never re-runs existing policies.
 
 use crate::runner::run_measurement_study_traced;
 use crate::{fig1, table1};
@@ -273,6 +281,139 @@ fn render_sweep_json(s: SweepStats) -> String {
     )
 }
 
+/// Total probe paths the pinned quick tournament (seed 11 — the exact
+/// run `tests/determinism.rs` snapshots into
+/// `tests/golden/tournament_cells.csv`) asks the network to pay,
+/// summed over every policy × scenario cell. A pure function of the
+/// seed: timings drift with hardware, probe counts must not. Re-pin
+/// only after the tournament golden has been deliberately regenerated.
+pub const PINNED_TOURNAMENT_PROBE_PATHS: u64 = 750;
+
+/// Path-plane gate numbers: per-policy decision latency, the pinned
+/// probe-count canary, and the incremental-sweep proof that adding a
+/// policy re-runs only that policy's study.
+#[derive(Debug, Clone)]
+pub struct PolicyStats {
+    /// `(policy, median ns per paths() decision)` on the star scenario.
+    pub decision_ns: Vec<(&'static str, u64)>,
+    /// `(policy, probe paths)` in the pinned quick tournament.
+    pub probe_paths: Vec<(&'static str, u64)>,
+    /// Policies in the cold subset plan (the full roster minus one).
+    pub subset_policies: u64,
+    /// Studies the cold subset pass executed.
+    pub cold_studies_executed: u64,
+    /// Studies the warm full-roster pass executed; must equal the
+    /// number of policies added on top of the subset (one).
+    pub warm_studies_executed: u64,
+}
+
+impl PolicyStats {
+    pub fn observed_probe_paths(&self) -> u64 {
+        self.probe_paths.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// Times every policy's `paths()` decision, counts the pinned
+/// tournament's probe paths, and runs the incremental tournament sweep
+/// (cold subset, warm full roster) in a throwaway cache.
+fn policy_stats() -> Result<PolicyStats, String> {
+    use crate::{sweep, tournament};
+    use ir_policy::PathCtx;
+
+    let sc = tournament::scenario("star", 42);
+    let topo = sc.network.topology().clone();
+    let mut decision_ns = Vec::new();
+    for &policy in tournament::POLICIES {
+        let mut sel = tournament::make_selector(policy, 42);
+        let ctx = PathCtx {
+            client: sc.clients[0],
+            server: sc.server,
+            relays: &sc.relays,
+            topo: &topo,
+            transfer_index: 0,
+        };
+        decision_ns.push((
+            policy,
+            median_ns(15, 50, || {
+                black_box(sel.paths(black_box(&ctx)));
+            }),
+        ));
+    }
+
+    let cells = crate::tournament::run(11, crate::Scale::Quick);
+    let probe_paths: Vec<(&'static str, u64)> = tournament::POLICIES
+        .iter()
+        .map(|&p| {
+            let n: f64 = cells
+                .iter()
+                .filter(|c| c.policy == p)
+                .map(|c| c.probe_paths_per_transfer * c.transfers as f64)
+                .sum();
+            (p, n.round() as u64)
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("ir-bench-gate-policy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ir_artifact::ArtifactCache::open(&dir)
+        .map_err(|e| format!("cannot open gate cache at {}: {e}", dir.display()))?;
+    let sweep_err = |e: std::io::Error| format!("gate tournament sweep failed: {e}");
+    let subset = &tournament::POLICIES[..tournament::POLICIES.len() - 1];
+    let cold = sweep::run_sweep(
+        sweep::tournament_plan(42, crate::Scale::Quick, subset),
+        Some(&cache),
+        None,
+        None,
+    )
+    .map_err(sweep_err)?;
+    let warm = sweep::run_sweep(
+        sweep::tournament_plan(42, crate::Scale::Quick, tournament::POLICIES),
+        Some(&cache),
+        None,
+        None,
+    )
+    .map_err(sweep_err)?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Ok(PolicyStats {
+        decision_ns,
+        probe_paths,
+        subset_policies: subset.len() as u64,
+        cold_studies_executed: cold.studies_executed(),
+        warm_studies_executed: warm.studies_executed(),
+    })
+}
+
+fn render_policy_json(s: &PolicyStats) -> String {
+    let mut j = String::from("{\n  \"bench\": \"BENCH_PR6\",\n  \"policies\": {\n");
+    for (i, (policy, ns)) in s.decision_ns.iter().enumerate() {
+        let probe = s
+            .probe_paths
+            .iter()
+            .find(|(p, _)| p == policy)
+            .map_or(0, |&(_, n)| n);
+        let comma = if i + 1 < s.decision_ns.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{policy}\": {{ \"paths_ns\": {ns}, \"probe_paths\": {probe} }}{comma}"
+        );
+    }
+    let _ = writeln!(
+        j,
+        "  }},\n  \"units\": \"median_ns_per_decision\",\n  \"incremental_sweep\": {{\n    \
+         \"subset_policies\": {},\n    \"cold_studies_executed\": {},\n    \
+         \"warm_studies_executed\": {}\n  }},",
+        s.subset_policies, s.cold_studies_executed, s.warm_studies_executed
+    );
+    let _ = writeln!(
+        j,
+        "  \"canary\": {{\n    \"pinned_probe_paths\": {PINNED_TOURNAMENT_PROBE_PATHS},\n    \
+         \"observed_probe_paths\": {}\n  }}\n}}",
+        s.observed_probe_paths()
+    );
+    j
+}
+
 fn render_json(results: &[BenchResult], stats: GateStats) -> String {
     let mut s = String::from("{\n  \"bench\": \"BENCH_PR4\",\n  \"groups\": {\n");
     for (gi, group) in ["micro", "figures"].iter().enumerate() {
@@ -344,6 +485,24 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
     );
     eprintln!("bench-gate: wrote {}", out5.display());
 
+    eprintln!("bench-gate: timing policy decisions and the incremental tournament sweep...");
+    let policy = policy_stats()?;
+    let out6 = out.with_file_name("BENCH_PR6.json");
+    std::fs::write(&out6, render_policy_json(&policy))
+        .map_err(|e| format!("cannot write {}: {e}", out6.display()))?;
+    for (p, ns) in &policy.decision_ns {
+        eprintln!("bench-gate: {ns:>8} ns/decision  policy/{p}");
+    }
+    eprintln!(
+        "bench-gate: tournament probe paths {} (pinned {}), warm roster-grow pass executed \
+         {} studies over a {}-study cold subset",
+        policy.observed_probe_paths(),
+        PINNED_TOURNAMENT_PROBE_PATHS,
+        policy.warm_studies_executed,
+        policy.cold_studies_executed,
+    );
+    eprintln!("bench-gate: wrote {}", out6.display());
+
     if stats.boundaries != PINNED_FIG1_BOUNDARIES {
         return Err(format!(
             "determinism canary: pinned Fig 1 study ran {} boundaries, expected {} — \
@@ -371,6 +530,28 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
     }
     if !sweep.byte_identical {
         return Err("warm sweep artefact bytes diverge from a cacheless run".into());
+    }
+    if policy.observed_probe_paths() != PINNED_TOURNAMENT_PROBE_PATHS {
+        return Err(format!(
+            "probe-count canary: pinned tournament probed {} paths, expected {} — a policy's \
+             decision sequence moved; investigate before re-pinning",
+            policy.observed_probe_paths(),
+            PINNED_TOURNAMENT_PROBE_PATHS
+        ));
+    }
+    if policy.cold_studies_executed != policy.subset_policies {
+        return Err(format!(
+            "tournament cold subset executed {} studies for {} policies",
+            policy.cold_studies_executed, policy.subset_policies
+        ));
+    }
+    let added = crate::tournament::POLICIES.len() as u64 - policy.subset_policies;
+    if policy.warm_studies_executed != added {
+        return Err(format!(
+            "adding {added} policy re-ran {} tournament studies — per-policy fingerprints no \
+             longer isolate the roster",
+            policy.warm_studies_executed
+        ));
     }
     Ok(stats)
 }
@@ -409,6 +590,28 @@ mod tests {
         let j = render_sweep_json(s);
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"warm_hit_rate\": 1.0000"), "{j}");
+    }
+
+    /// The PR6 gate conditions, as a test: the pinned tournament's
+    /// probe count matches the canary, the cold subset sweep executes
+    /// one study per policy, and growing the roster by one policy
+    /// executes exactly one warm study.
+    #[test]
+    fn policy_gate_conditions_hold() {
+        let s = policy_stats().unwrap();
+        assert_eq!(
+            s.observed_probe_paths(),
+            PINNED_TOURNAMENT_PROBE_PATHS,
+            "{s:?}"
+        );
+        assert_eq!(s.cold_studies_executed, s.subset_policies, "{s:?}");
+        let added = crate::tournament::POLICIES.len() as u64 - s.subset_policies;
+        assert_eq!(s.warm_studies_executed, added, "{s:?}");
+        assert_eq!(s.decision_ns.len(), crate::tournament::POLICIES.len());
+        let j = render_policy_json(&s);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"k-shortest\""), "{j}");
+        assert!(j.contains("\"pinned_probe_paths\": 750"), "{j}");
     }
 
     #[test]

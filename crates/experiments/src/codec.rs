@@ -13,6 +13,7 @@ use crate::faults::FaultCell;
 use crate::headroom::Headroom;
 use crate::runner::{MeasurementData, PairRun, SelectionData, SelectionRun};
 use crate::sites::SiteResult;
+use crate::tournament::TournamentCell;
 use ir_artifact::{ByteReader, ByteWriter};
 use ir_core::{PathSpec, TransferRecord};
 use ir_simnet::time::SimTime;
@@ -43,28 +44,30 @@ fn get_nodes(r: &mut ByteReader<'_>) -> Option<Vec<NodeId>> {
 fn put_path(w: &mut ByteWriter, p: &PathSpec) {
     put_node(w, p.client);
     put_node(w, p.server);
-    match p.via {
-        None => w.put_u8(0),
-        Some(v) => {
-            w.put_u8(1);
-            put_node(w, v);
-        }
+    // Hop-chain layout (codec v2): count then the hops in traversal
+    // order. A 1-hop chain is byte-for-byte the old `via` encoding.
+    w.put_u8(p.hop_count() as u8);
+    for &hop in p.hops() {
+        put_node(w, hop);
     }
 }
 
 fn get_path(r: &mut ByteReader<'_>) -> Option<PathSpec> {
     let client = get_node(r)?;
     let server = get_node(r)?;
-    let via = match r.get_u8()? {
-        0 => None,
-        1 => Some(get_node(r)?),
-        _ => return None,
-    };
-    Some(PathSpec {
-        client,
-        server,
-        via,
-    })
+    let n = r.get_u8()? as usize;
+    if n > ir_core::MAX_HOPS {
+        return None;
+    }
+    let hops: Vec<NodeId> = (0..n).map(|_| get_node(r)).collect::<Option<_>>()?;
+    // Reject degenerate chains instead of panicking in `chain`.
+    if hops.iter().any(|&h| h == client || h == server) {
+        return None;
+    }
+    if (1..hops.len()).any(|i| hops[..i].contains(&hops[i])) {
+        return None;
+    }
+    Some(PathSpec::chain(client, server, &hops))
 }
 
 fn put_record(w: &mut ByteWriter, rec: &TransferRecord) {
@@ -386,6 +389,57 @@ pub fn decode_faults(bytes: &[u8]) -> Option<Vec<FaultCell>> {
                 goodput: r.get_f64()?,
                 goodput_ratio: r.get_f64()?,
                 mean_improvement_pct: r.get_f64()?,
+            })
+        })
+        .collect::<Option<_>>()?;
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Encodes one policy's tournament cells.
+pub fn encode_tournament(cells: &[TournamentCell]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(cells.len() as u64);
+    for c in cells {
+        let TournamentCell {
+            policy,
+            scenario,
+            transfers,
+            mean_improvement_pct,
+            indirect_pct,
+            penalty_rate_pct,
+            probe_paths_per_transfer,
+            multi_hop_pct,
+        } = c;
+        w.put_str(policy);
+        w.put_str(scenario);
+        w.put_u64(*transfers as u64);
+        w.put_f64(*mean_improvement_pct);
+        w.put_f64(*indirect_pct);
+        w.put_f64(*penalty_rate_pct);
+        w.put_f64(*probe_paths_per_transfer);
+        w.put_f64(*multi_hop_pct);
+    }
+    w.into_bytes()
+}
+
+/// Decodes tournament cells; `None` on any malformation.
+pub fn decode_tournament(bytes: &[u8]) -> Option<Vec<TournamentCell>> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_len()?;
+    let out: Vec<TournamentCell> = (0..n)
+        .map(|_| {
+            Some(TournamentCell {
+                policy: r.get_str()?,
+                scenario: r.get_str()?,
+                transfers: r.get_u64()? as usize,
+                mean_improvement_pct: r.get_f64()?,
+                indirect_pct: r.get_f64()?,
+                penalty_rate_pct: r.get_f64()?,
+                probe_paths_per_transfer: r.get_f64()?,
+                multi_hop_pct: r.get_f64()?,
             })
         })
         .collect::<Option<_>>()?;

@@ -27,7 +27,9 @@ pub fn scatter(data: &MeasurementData) -> Vec<(f64, f64)> {
             if r.client != client || !r.chose_indirect() {
                 continue;
             }
-            let Some(via) = r.selected.via else { continue };
+            let Some(via) = r.selected.via() else {
+                continue;
+            };
             if !top.contains(&via) {
                 continue;
             }

@@ -47,6 +47,7 @@ pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod tournament;
 pub mod variability;
 
 pub use report::{Check, Report};

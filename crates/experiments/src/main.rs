@@ -13,6 +13,10 @@
 //!            sites       (per-site 33-49% range, extension)
 //!            headroom    (oracle-attainable vs captured, extension)
 //!            faults      (availability under overlay faults, extension)
+//!            tournament  (policy × scenario table: every path-selection
+//!                         policy on every tournament scenario, with
+//!                         improvement, penalty rate, probe overhead and
+//!                         multi-hop share per cell)
 //!            scenario    (workload inspection, no study)
 //!            robustness  (headline numbers across seeds)
 //!            sweep       (every artefact through the dependency-aware
@@ -85,8 +89,8 @@ fn usage() -> ! {
          \x20                           [--cache-dir DIR|none] [--max-bytes N]\n\
          artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3\n\
          \x20          variability overhead\n\
-         \x20          measurement selection sites headroom faults scenario\n\
-         \x20          robustness sweep cache-gc bench-gate all"
+         \x20          measurement selection sites headroom faults tournament\n\
+         \x20          scenario robustness sweep cache-gc bench-gate all"
     );
     std::process::exit(2);
 }
@@ -276,6 +280,7 @@ fn main() -> ExitCode {
     let needs_sites = matches!(args.artefact.as_str(), "sites" | "all");
     let needs_headroom = matches!(args.artefact.as_str(), "headroom" | "all");
     let needs_faults = matches!(args.artefact.as_str(), "faults" | "all");
+    let needs_tournament = matches!(args.artefact.as_str(), "tournament" | "all");
     let needs_scenario = args.artefact == "scenario";
     let needs_robustness = matches!(args.artefact.as_str(), "robustness" | "all");
     let needs_sweep = args.artefact == "sweep";
@@ -284,6 +289,7 @@ fn main() -> ExitCode {
         && !needs_sites
         && !needs_headroom
         && !needs_faults
+        && !needs_tournament
         && !needs_scenario
         && !needs_robustness
         && !needs_sweep
@@ -464,6 +470,15 @@ fn main() -> ExitCode {
             args.seed, args.scale
         );
         let r = ir_experiments::faults::report(args.seed, args.scale);
+        ok &= emit(&[r], &args.csv_dir);
+    }
+
+    if needs_tournament {
+        eprintln!(
+            "running policy tournament (seed {}, {:?} scale)...",
+            args.seed, args.scale
+        );
+        let r = ir_experiments::tournament::report(args.seed, args.scale);
         ok &= emit(&[r], &args.csv_dir);
     }
 

@@ -2,7 +2,7 @@
 //! `ir-artifact` scheduler with a content-addressed cache.
 //!
 //! [`full_plan`] declares the whole evaluation as a two-layer DAG —
-//! five studies feeding fourteen artefacts:
+//! studies feeding artefacts:
 //!
 //! | study | artefacts |
 //! |---|---|
@@ -11,6 +11,7 @@
 //! | sites (per destination site) | sites |
 //! | headroom (oracle replica) | headroom |
 //! | faults (overlay outages) | faults |
+//! | tournament/`<policy>` (one study **per policy**) | tournament |
 //!
 //! Study fingerprints hash **every input that determines the output**:
 //! the seed, rosters, [`Calibration`], [`Schedule`], [`SessionConfig`],
@@ -29,7 +30,7 @@ use crate::runner::{
 };
 use crate::{
     faults, fig1, fig2, fig3, fig4, fig5, fig6, headroom, overhead, sites, table1, table2, table3,
-    variability,
+    tournament, variability,
 };
 use ir_artifact::{
     execute, ArtefactOutput, ArtefactSpec, ArtifactCache, ExecReport, Fingerprint, StableHash,
@@ -48,7 +49,10 @@ use std::sync::Arc;
 /// Version of the study byte encodings in [`crate::codec`]. Part of
 /// every study fingerprint: bumping it retires every cached study
 /// (they would no longer decode) instead of misreading them.
-pub const CODEC_VERSION: u32 = 1;
+///
+/// v2: [`ir_core::PathSpec`] widened from `via: Option<NodeId>` to a
+/// hop chain — path encoding is now hop count + hops.
+pub const CODEC_VERSION: u32 = 2;
 
 /// Per-artefact code-version salts. Bump an entry whenever that
 /// artefact's render logic changes in a way that alters its output —
@@ -68,6 +72,7 @@ pub const SALTS: &[(&str, u64)] = &[
     ("sites", 1),
     ("headroom", 1),
     ("faults", 1),
+    ("tournament", 1),
 ];
 
 fn salt_of(name: &str) -> u64 {
@@ -218,7 +223,8 @@ pub fn headroom_transfers(scale: Scale) -> u64 {
     }
 }
 
-/// The full evaluation: five studies, fourteen artefacts. `tel` is
+/// The full evaluation: the five shared studies plus one tournament
+/// study per policy, feeding fifteen artefacts. `tel` is
 /// shared by the measurement/selection studies (simnet, session, and
 /// runner layers report into it), exactly as the per-artefact CLI paths
 /// do.
@@ -403,6 +409,9 @@ pub fn full_plan(seed: u64, scale: Scale, tel: Option<Arc<Telemetry>>) -> SweepP
         }),
     };
 
+    // Policy tournament: one study per policy, one artefact over all.
+    let mut tplan = tournament_plan(seed, scale, tournament::POLICIES);
+
     let mut artefacts: Vec<ArtefactSpec> = [
         "fig1",
         "fig2",
@@ -456,15 +465,109 @@ pub fn full_plan(seed: u64, scale: Scale, tel: Option<Arc<Telemetry>>) -> SweepP
         }),
     });
 
+    artefacts.append(&mut tplan.artefacts);
+
+    let mut studies = vec![
+        measurement,
+        selection,
+        sites_study,
+        headroom_study,
+        faults_study,
+    ];
+    studies.append(&mut tplan.studies);
+
+    SweepPlan { studies, artefacts }
+}
+
+/// Fingerprint of one policy's tournament study. Covers everything
+/// that determines its cells — the seed, scale (via transfer count
+/// and schedule), session config, shared tournament constants, the
+/// scenario roster, the star-scenario inputs, and **this policy's**
+/// config — but nothing about any other policy, so growing the
+/// [`tournament::POLICIES`] roster never moves an existing study's
+/// key.
+fn tournament_policy_fingerprint(seed: u64, scale: Scale, policy: &str) -> Fingerprint {
+    let mut h = StableHasher::new();
+    "study/tournament".stable_hash(&mut h);
+    CODEC_VERSION.stable_hash(&mut h);
+    seed.stable_hash(&mut h);
+    policy.stable_hash(&mut h);
+    (tournament::TOURNAMENT_K as u64).stable_hash(&mut h);
+    for &name in tournament::SCENARIOS {
+        name.stable_hash(&mut h);
+    }
+    Schedule::measurement_study()
+        .spread(tournament::tournament_transfers(scale))
+        .stable_hash(&mut h);
+    tournament::tournament_session().stable_hash(&mut h);
+    // Star-scenario inputs (the ridge is fixed geometry, covered by
+    // the SCENARIOS names + codec version).
+    ir_workload::roster::CLIENTS[..3].stable_hash(&mut h);
+    ir_workload::roster::INTERMEDIATES[..6].stable_hash(&mut h);
+    ir_workload::roster::SERVERS[..1].stable_hash(&mut h);
+    Calibration::default().stable_hash(&mut h);
+    // Per-policy config, exhaustively (see ir-policy's StableHash
+    // impls).
+    match policy {
+        "random-set" | "utilization-weighted" => {
+            (tournament::TOURNAMENT_K as u64).stable_hash(&mut h)
+        }
+        "k-shortest" => tournament::kshortest_config().stable_hash(&mut h),
+        "adaptive" => tournament::adaptive_config().stable_hash(&mut h),
+        "backpressure" => tournament::backpressure_config().stable_hash(&mut h),
+        other => panic!("tournament policy {other:?} has no fingerprint arm"),
+    }
+    h.finish()
+}
+
+/// The tournament as a sweep plan: one cached study per `policies`
+/// entry plus the single `tournament` artefact consuming them. The
+/// full plan passes the whole roster; the bench gate passes subsets to
+/// prove that adding a policy re-runs only the new study.
+pub fn tournament_plan(seed: u64, scale: Scale, policies: &[&'static str]) -> SweepPlan {
+    let studies: Vec<StudySpec> = policies
+        .iter()
+        .map(|&p| {
+            let fp = tournament_policy_fingerprint(seed, scale, p);
+            StudySpec {
+                name: format!("tournament/{p}(seed={seed},{scale:?})"),
+                fingerprint: fp,
+                run: Box::new(move || {
+                    Arc::new(tournament::run_policy(seed, scale, p)) as Arc<dyn Any + Send + Sync>
+                }),
+                encode: Box::new(|out| {
+                    codec::encode_tournament(
+                        out.downcast_ref::<Vec<tournament::TournamentCell>>()
+                            .expect("tournament cells"),
+                    )
+                }),
+                decode: Box::new(|bytes| {
+                    codec::decode_tournament(bytes)
+                        .map(|d| Arc::new(d) as Arc<dyn Any + Send + Sync>)
+                }),
+            }
+        })
+        .collect();
+    let deps: Vec<Fingerprint> = studies.iter().map(|s| s.fingerprint).collect();
+    let artefact = ArtefactSpec {
+        name: "tournament".into(),
+        fingerprint: artefact_fingerprint("tournament", &deps),
+        deps: deps.clone(),
+        render: Box::new(|inputs| {
+            let cells: Vec<tournament::TournamentCell> = inputs
+                .iter()
+                .flat_map(|i| {
+                    i.downcast_ref::<Vec<tournament::TournamentCell>>()
+                        .expect("tournament cells")
+                        .clone()
+                })
+                .collect();
+            output_of(&tournament::report_of(&cells))
+        }),
+    };
     SweepPlan {
-        studies: vec![
-            measurement,
-            selection,
-            sites_study,
-            headroom_study,
-            faults_study,
-        ],
-        artefacts,
+        studies,
+        artefacts: vec![artefact],
     }
 }
 
@@ -565,7 +668,7 @@ mod tests {
     #[test]
     fn every_full_plan_artefact_has_a_salt_and_unique_fingerprint() {
         let plan = full_plan(2007, Scale::Quick, None);
-        assert_eq!(plan.studies.len(), 5);
+        assert_eq!(plan.studies.len(), 5 + tournament::POLICIES.len());
         assert_eq!(plan.artefacts.len(), SALTS.len());
         let mut fps: Vec<Fingerprint> = plan
             .artefacts
@@ -585,6 +688,26 @@ mod tests {
                     a.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn adding_a_policy_keeps_existing_tournament_fingerprints() {
+        let small = tournament_plan(7, Scale::Quick, &["random-set", "k-shortest"]);
+        let big = tournament_plan(7, Scale::Quick, &["random-set", "k-shortest", "adaptive"]);
+        for (s, b) in small.studies.iter().zip(&big.studies) {
+            assert_eq!(s.fingerprint, b.fingerprint, "{} moved", s.name);
+        }
+        // The artefact key covers the roster, so it does move.
+        assert_ne!(small.artefacts[0].fingerprint, big.artefacts[0].fingerprint);
+        // And the full plan embeds the same per-policy keys.
+        let full = full_plan(7, Scale::Quick, None);
+        for s in &small.studies {
+            assert!(
+                full.studies.iter().any(|f| f.fingerprint == s.fingerprint),
+                "{} missing from full plan",
+                s.name
+            );
         }
     }
 

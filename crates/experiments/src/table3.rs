@@ -34,7 +34,7 @@ pub fn rows_for(data: &SelectionData, client: NodeId) -> Vec<Row> {
     for run in data.runs.iter().filter(|r| r.client == client) {
         for rec in &run.records {
             util.observe(rec);
-            if let Some(via) = rec.selected.via {
+            if let Some(via) = rec.selected.via() {
                 let v = rec.improvement_pct();
                 if v.is_finite() {
                     improvements.entry(via).or_default().push(v);

@@ -1,0 +1,197 @@
+//! Adapter porting `ir-core`'s relay policies into the path plane.
+
+use crate::sanitize::sanitize_candidates;
+use crate::selector::{PathCtx, PathSelector};
+use ir_core::{PathSpec, SelectCtx, SelectionPolicy, TransferRecord};
+
+/// Wraps any [`SelectionPolicy`] as a [`PathSelector`]: each relay
+/// candidate becomes one 1-hop path, in the policy's order.
+///
+/// The adapter is **byte-identical** to running the policy through
+/// `ir_core::run_session_traced` on sane policies: same candidate
+/// sequence, same RNG consumption, same paths in the same order. The
+/// only behavioral addition is [`sanitize_candidates`] — a policy
+/// emitting the client, the server, or a duplicate gets filtered here
+/// instead of panicking in `PathSpec::indirect` (the legacy entry
+/// point still panics, which no shipped policy triggers).
+pub struct PolicySelector<P> {
+    inner: P,
+}
+
+impl<P: SelectionPolicy> PolicySelector<P> {
+    /// Ports `policy` into the path plane.
+    pub fn new(policy: P) -> Self {
+        PolicySelector { inner: policy }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: SelectionPolicy> PathSelector for PolicySelector<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn paths(&mut self, ctx: &PathCtx<'_>) -> Vec<PathSpec> {
+        let sctx = SelectCtx {
+            client: ctx.client,
+            server: ctx.server,
+            full_set: ctx.relays,
+            transfer_index: ctx.transfer_index,
+        };
+        let raw = self.inner.candidates(&sctx);
+        sanitize_candidates(ctx.client, ctx.server, &raw)
+            .into_iter()
+            .map(|via| PathSpec::indirect(ctx.client, ctx.server, via))
+            .collect()
+    }
+
+    fn observe(&mut self, rec: &TransferRecord) {
+        self.inner.observe(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_core::{RandomSet, StaticSingle, UtilizationWeighted};
+    use ir_simnet::time::SimTime;
+    use ir_simnet::topology::{NodeId, NodeKind, Topology};
+
+    fn ctx_topo() -> Topology {
+        let mut t = Topology::new();
+        t.add_node("c", NodeKind::Client);
+        t.add_node("s", NodeKind::Server);
+        for i in 0..8 {
+            t.add_node(format!("r{i}"), NodeKind::Intermediate);
+        }
+        t
+    }
+
+    fn rec_with(selected_via: Option<NodeId>, cands: &[NodeId]) -> TransferRecord {
+        let c = NodeId(0);
+        let s = NodeId(1);
+        TransferRecord {
+            client: c,
+            server: s,
+            started: SimTime::ZERO,
+            file_bytes: 1,
+            selected: match selected_via {
+                None => PathSpec::direct(c, s),
+                Some(v) => PathSpec::indirect(c, s, v),
+            },
+            candidates: cands.to_vec(),
+            direct_throughput: 1.0,
+            selected_throughput: 2.0,
+            probe_throughput: 2.0,
+            selected_path_rate: 2.0,
+            probe_timeout: false,
+            failovers: 0,
+            stall_ms: 0,
+            abandoned: false,
+        }
+    }
+
+    /// The port must consume the policy's RNG identically: the adapted
+    /// paths are exactly the raw candidates, one 1-hop path each.
+    #[test]
+    fn random_set_ports_byte_identically() {
+        let topo = ctx_topo();
+        let relays: Vec<NodeId> = (2..10).map(NodeId).collect();
+        let mut raw = RandomSet::new(3, 42);
+        let mut ported = PolicySelector::new(RandomSet::new(3, 42));
+        for k in 0..32u64 {
+            let sctx = SelectCtx {
+                client: NodeId(0),
+                server: NodeId(1),
+                full_set: &relays,
+                transfer_index: k,
+            };
+            let pctx = PathCtx {
+                client: NodeId(0),
+                server: NodeId(1),
+                relays: &relays,
+                topo: &topo,
+                transfer_index: k,
+            };
+            let want: Vec<PathSpec> = raw
+                .candidates(&sctx)
+                .into_iter()
+                .map(|v| PathSpec::indirect(NodeId(0), NodeId(1), v))
+                .collect();
+            assert_eq!(ported.paths(&pctx), want, "diverged at transfer {k}");
+        }
+    }
+
+    /// Satellite regression: the §6 utilization-weighted policy's
+    /// `observe` loop. A seeded sweep of repeated good outcomes for one
+    /// relay must measurably raise its selection frequency through the
+    /// ported plane.
+    #[test]
+    fn utilization_weighted_observe_raises_selection_frequency() {
+        let topo = ctx_topo();
+        let relays = [NodeId(2), NodeId(3)];
+        let mut sel = PolicySelector::new(UtilizationWeighted::new(1, 5));
+        let pctx = |k: u64| PathCtx {
+            client: NodeId(0),
+            server: NodeId(1),
+            relays: &relays,
+            topo: &topo,
+            transfer_index: k,
+        };
+        // Baseline: cold weights are uniform → roughly 50/50.
+        let before: usize = (0..400)
+            .filter(|&k| sel.paths(&pctx(k))[0].via() == Some(NodeId(2)))
+            .count();
+        assert!((120..=280).contains(&before), "cold split {before}/400");
+        // Seeded sweep: relay 2 is always chosen when it appears,
+        // relay 3 never is.
+        for _ in 0..40 {
+            sel.observe(&rec_with(Some(NodeId(2)), &[NodeId(2)]));
+            sel.observe(&rec_with(None, &[NodeId(3)]));
+        }
+        let after: usize = (0..400)
+            .filter(|&k| sel.paths(&pctx(k))[0].via() == Some(NodeId(2)))
+            .count();
+        assert!(
+            after > before + 60,
+            "good outcomes did not raise frequency: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn degenerate_policy_output_is_sanitized_not_fatal() {
+        /// A policy that returns the endpoints and duplicates.
+        struct Hostile;
+        impl SelectionPolicy for Hostile {
+            fn name(&self) -> &'static str {
+                "hostile"
+            }
+            fn candidates(&mut self, ctx: &SelectCtx<'_>) -> Vec<NodeId> {
+                vec![ctx.client, NodeId(4), ctx.server, NodeId(4), NodeId(5)]
+            }
+        }
+        let topo = ctx_topo();
+        let relays: Vec<NodeId> = (2..10).map(NodeId).collect();
+        let mut sel = PolicySelector::new(Hostile);
+        let paths = sel.paths(&PathCtx {
+            client: NodeId(0),
+            server: NodeId(1),
+            relays: &relays,
+            topo: &topo,
+            transfer_index: 0,
+        });
+        let vias: Vec<Option<NodeId>> = paths.iter().map(|p| p.via()).collect();
+        assert_eq!(vias, vec![Some(NodeId(4)), Some(NodeId(5))]);
+    }
+
+    #[test]
+    fn observe_passes_through() {
+        let mut sel = PolicySelector::new(StaticSingle(NodeId(2)));
+        sel.observe(&rec_with(Some(NodeId(2)), &[NodeId(2)]));
+        assert_eq!(sel.name(), "static-single");
+    }
+}

@@ -1,0 +1,40 @@
+//! The [`PathSelector`] trait and its decision context.
+
+use ir_core::{PathSpec, TransferRecord};
+use ir_simnet::topology::{NodeId, Topology};
+
+/// Context for one path-selection decision.
+///
+/// Unlike `ir-core`'s `SelectCtx`, this carries the **topology**: path
+/// selectors may inspect link latency to build chains, where relay
+/// policies only choose among opaque relay ids.
+#[derive(Debug, Clone)]
+pub struct PathCtx<'a> {
+    /// The client about to transfer.
+    pub client: NodeId,
+    /// The destination server.
+    pub server: NodeId,
+    /// Every relay available to this client (the paper's "full set").
+    pub relays: &'a [NodeId],
+    /// The network topology the transfer will run over.
+    pub topo: &'a Topology,
+    /// Sequence number of this transfer for this client (0-based).
+    pub transfer_index: u64,
+}
+
+/// A path-selection policy: decides which indirect paths (1-hop or
+/// multi-hop chains) a session probes against the direct path, and in
+/// what order. The probe race still makes the final call — a selector
+/// shapes the candidate field, it does not override measurement.
+pub trait PathSelector: Send {
+    /// Short name for reports and per-policy telemetry labels.
+    fn name(&self) -> &'static str;
+
+    /// Indirect candidate paths to probe for this transfer, in probe
+    /// order. Empty means direct-only. The direct path is always raced
+    /// and must not be returned here.
+    fn paths(&mut self, ctx: &PathCtx<'_>) -> Vec<PathSpec>;
+
+    /// Learns from a completed transfer.
+    fn observe(&mut self, _rec: &TransferRecord) {}
+}

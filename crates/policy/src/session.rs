@@ -1,0 +1,306 @@
+//! Session driver for the path plane.
+//!
+//! [`run_selector_session_traced`] is the path-plane analogue of
+//! `ir_core::run_session_traced`: it asks a [`PathSelector`] for the
+//! indirect paths to probe, records the decision (a `selection_decision`
+//! trace span plus per-policy probe-overhead counters), and hands the
+//! probe race to `ir_core::run_paths_session_traced` unchanged — so the
+//! §2.1 protocol semantics, failover behavior, and goldens are shared
+//! with the relay plane, not reimplemented.
+
+use crate::selector::{PathCtx, PathSelector};
+use ir_core::{run_paths_session_traced, Predictor, SessionConfig, TransferRecord, Transport};
+use ir_simnet::topology::{NodeId, Topology};
+use ir_telemetry::trace::{Event, EventKind};
+use ir_telemetry::Telemetry;
+
+/// Runs one transfer session through a path selector, untraced.
+#[allow(clippy::too_many_arguments)]
+pub fn run_selector_session(
+    transport: &mut dyn Transport,
+    selector: &mut dyn PathSelector,
+    predictor: &mut dyn Predictor,
+    client: NodeId,
+    server: NodeId,
+    relays: &[NodeId],
+    topo: &Topology,
+    transfer_index: u64,
+    cfg: &SessionConfig,
+) -> TransferRecord {
+    run_selector_session_traced(
+        transport,
+        selector,
+        predictor,
+        client,
+        server,
+        relays,
+        topo,
+        transfer_index,
+        cfg,
+        None,
+    )
+}
+
+/// Runs one transfer session through a path selector.
+///
+/// The selector's decision is instrumented per policy name:
+///
+/// * counter `policy_decisions{policy}` — decisions taken;
+/// * counter `policy_probe_paths{policy}` — indirect paths emitted,
+///   i.e. the probe overhead this policy asks the network to pay;
+/// * a [`EventKind::SelectionDecision`] span carrying the policy name
+///   and path count.
+///
+/// The record's `candidates` field keeps its relay-plane meaning: the
+/// distinct first hops of the probed paths, in probe order. For ported
+/// 1-hop policies this is byte-identical to the legacy field.
+#[allow(clippy::too_many_arguments)]
+pub fn run_selector_session_traced(
+    transport: &mut dyn Transport,
+    selector: &mut dyn PathSelector,
+    predictor: &mut dyn Predictor,
+    client: NodeId,
+    server: NodeId,
+    relays: &[NodeId],
+    topo: &Topology,
+    transfer_index: u64,
+    cfg: &SessionConfig,
+    tel: Option<&Telemetry>,
+) -> TransferRecord {
+    let ctx = PathCtx {
+        client,
+        server,
+        relays,
+        topo,
+        transfer_index,
+    };
+    let t0 = transport.now();
+    let paths = selector.paths(&ctx);
+    let decided = transport.now();
+    debug_assert!(
+        paths.iter().all(|p| p.is_indirect()),
+        "selector {} returned the direct path as a candidate",
+        selector.name()
+    );
+
+    // First hops, deduped in probe order: the relay-plane view of the
+    // decision, used for utilization accounting and reports.
+    let mut candidates: Vec<NodeId> = Vec::with_capacity(paths.len());
+    for p in &paths {
+        if let Some(via) = p.via() {
+            if !candidates.contains(&via) {
+                candidates.push(via);
+            }
+        }
+    }
+
+    if let Some(tel) = tel {
+        let labels = vec![("policy", selector.name().to_string())];
+        tel.metrics
+            .counter("policy_decisions", labels.clone())
+            .inc();
+        tel.metrics
+            .counter("policy_probe_paths", labels)
+            .add(paths.len() as u64);
+        tel.tracer.record(
+            Event::span(
+                EventKind::SelectionDecision,
+                t0.as_micros(),
+                decided.as_micros().saturating_sub(t0.as_micros()),
+                transfer_index,
+            )
+            .with_str("policy", selector.name())
+            .with_u64("paths", paths.len() as u64)
+            .with_u64(
+                "max_hops",
+                paths.iter().map(|p| p.hop_count()).max().unwrap_or(0) as u64,
+            ),
+        );
+    }
+
+    let record = run_paths_session_traced(
+        transport,
+        predictor,
+        client,
+        server,
+        &paths,
+        candidates,
+        transfer_index,
+        cfg,
+        tel,
+    );
+    selector.observe(&record);
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kshortest::{KShortest, KShortestConfig};
+    use crate::legacy::PolicySelector;
+    use ir_core::{run_session_traced, FirstPortion, RandomSet, SimTransport, UtilizationWeighted};
+    use ir_simnet::bandwidth::ConstantProcess;
+    use ir_simnet::sim::Network;
+    use ir_simnet::time::SimDuration;
+    use ir_simnet::topology::{NodeKind, Topology};
+    use ir_telemetry::Telemetry;
+
+    const MBPS: f64 = 1e6 / 8.0; // bytes/sec per "megabit"
+
+    /// A star with one relay per rate; extra relay-relay "ridge" links
+    /// (with their own rates) can be spliced in before the network is
+    /// sealed.
+    fn star(
+        relay_rates_mbps: &[f64],
+        ridges: &[(usize, usize, f64)],
+    ) -> (Network, NodeId, NodeId, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let c = t.add_node("c", NodeKind::Client);
+        let s = t.add_node("s", NodeKind::Server);
+        let lat = SimDuration::from_millis(5);
+        let mut relays = Vec::new();
+        let mut planned = vec![(t.add_link(c, s, lat), 2.0)];
+        for (i, &r_mbps) in relay_rates_mbps.iter().enumerate() {
+            let r = t.add_node(format!("r{i}"), NodeKind::Intermediate);
+            planned.push((t.add_link(c, r, lat), r_mbps));
+            planned.push((t.add_link(r, s, lat), r_mbps));
+            relays.push(r);
+        }
+        for &(a, b, mbps) in ridges {
+            let l = t.add_link(relays[a], relays[b], SimDuration::from_millis(1));
+            planned.push((l, mbps));
+        }
+        let mut net = Network::new(t, 1.0);
+        for (l, mbps) in planned {
+            net.set_link_process(l, Box::new(ConstantProcess::new(mbps * MBPS)));
+        }
+        (net, c, s, relays)
+    }
+
+    /// Acceptance: a ported legacy policy produces records identical to
+    /// the relay-plane entry point, transfer for transfer.
+    #[test]
+    fn ported_policy_matches_relay_plane_byte_for_byte() {
+        for seed in [1u64, 7, 42] {
+            let (net, c, s, relays) = star(&[1.0, 3.0, 5.0, 0.5], &[]);
+            let cfg = SessionConfig::paper_defaults();
+            let mut legacy_records = Vec::new();
+            {
+                let mut transport = SimTransport::new(net.clone());
+                let mut policy = UtilizationWeighted::new(2, seed);
+                for k in 0..12 {
+                    legacy_records.push(run_session_traced(
+                        &mut transport,
+                        &mut policy,
+                        &mut FirstPortion,
+                        c,
+                        s,
+                        &relays,
+                        k,
+                        &cfg,
+                        None,
+                    ));
+                }
+            }
+            let topo = net.topology().clone();
+            let mut transport = SimTransport::new(net);
+            let mut sel = PolicySelector::new(UtilizationWeighted::new(2, seed));
+            for (k, want) in legacy_records.iter().enumerate() {
+                let got = run_selector_session(
+                    &mut transport,
+                    &mut sel,
+                    &mut FirstPortion,
+                    c,
+                    s,
+                    &relays,
+                    &topo,
+                    k as u64,
+                    &cfg,
+                );
+                assert_eq!(&got, want, "seed {seed} transfer {k} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn decision_telemetry_is_emitted_per_policy() {
+        let (net, c, s, relays) = star(&[4.0, 1.0], &[]);
+        let topo = net.topology().clone();
+        let mut transport = SimTransport::new(net);
+        let mut sel = PolicySelector::new(RandomSet::new(2, 9));
+        let tel = Telemetry::new();
+        for k in 0..3 {
+            run_selector_session_traced(
+                &mut transport,
+                &mut sel,
+                &mut FirstPortion,
+                c,
+                s,
+                &relays,
+                &topo,
+                k,
+                &SessionConfig::paper_defaults(),
+                Some(&tel),
+            );
+        }
+        let labels = vec![("policy", "random-set".to_string())];
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("policy_decisions", &labels), Some(3));
+        assert_eq!(snap.counter("policy_probe_paths", &labels), Some(6));
+        let decisions = tel
+            .tracer
+            .snapshot()
+            .iter()
+            .filter(|e| e.kind == EventKind::SelectionDecision)
+            .count();
+        assert_eq!(decisions, 3);
+    }
+
+    /// Acceptance: with a fast relay-relay ridge the k-shortest
+    /// selector probes a 2-hop chain and the race picks it over every
+    /// 1-hop path.
+    #[test]
+    fn two_hop_chain_wins_probe_race_end_to_end() {
+        // r0 has a fat uplink but a thin 1-hop downlink; r1 the
+        // reverse. Only the chain c -> r0 -> r1 -> s is fat end to
+        // end, so every 1-hop path bottlenecks at 1 Mbps while the
+        // 2-hop chain runs at 20.
+        let mut t = Topology::new();
+        let c = t.add_node("c", NodeKind::Client);
+        let s = t.add_node("s", NodeKind::Server);
+        let r0 = t.add_node("r0", NodeKind::Intermediate);
+        let r1 = t.add_node("r1", NodeKind::Intermediate);
+        let ms = |n: u64| SimDuration::from_millis(n);
+        let fat = 20.0 * MBPS;
+        let thin = 1.0 * MBPS;
+        let planned = [
+            (t.add_link(c, s, ms(5)), 2.0 * MBPS),
+            (t.add_link(c, r0, ms(5)), fat),
+            (t.add_link(r0, s, ms(5)), thin), // r0's 1-hop path is thin
+            (t.add_link(c, r1, ms(5)), thin), // r1's 1-hop path is thin
+            (t.add_link(r1, s, ms(5)), fat),
+            (t.add_link(r0, r1, ms(1)), fat), // the ridge
+        ];
+        let mut net = Network::new(t, 1.0);
+        for (l, rate) in planned {
+            net.set_link_process(l, Box::new(ConstantProcess::new(rate)));
+        }
+        let relays = vec![r0, r1];
+        let topo = net.topology().clone();
+        let mut transport = SimTransport::new(net);
+        let mut sel = KShortest::new(KShortestConfig::default());
+        let rec = run_selector_session(
+            &mut transport,
+            &mut sel,
+            &mut FirstPortion,
+            c,
+            s,
+            &relays,
+            &topo,
+            0,
+            &SessionConfig::paper_defaults(),
+        );
+        assert_eq!(rec.selected.hops(), &[r0, r1]);
+        assert!(rec.selected_throughput > rec.direct_throughput);
+    }
+}

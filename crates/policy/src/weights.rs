@@ -1,0 +1,87 @@
+//! Defensive weighted sampling.
+//!
+//! `ir_stats::sampling::weighted_index` panics on empty, negative,
+//! non-finite, or zero-sum weights — the right contract for the
+//! workload generator, where such weights are bugs. Learned selector
+//! weights are different: a cold-started or all-penalized learner
+//! legitimately produces an all-zero weight vector, and the correct
+//! behavior is to fall back to uniform exploration, not to crash the
+//! sweep.
+
+use ir_stats::sampling::weighted_index;
+use rand::Rng;
+
+/// Samples an index proportionally to `weights`, treating negative and
+/// non-finite entries as zero. When every usable weight is zero the
+/// draw is **uniform** over all indices instead of a panic.
+///
+/// # Panics
+///
+/// Panics only if `weights` is empty — there is nothing to select.
+pub fn weighted_index_or_uniform<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "empty weight vector");
+    let cleaned: Vec<f64> = weights
+        .iter()
+        .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+        .collect();
+    if cleaned.iter().sum::<f64>() > 0.0 {
+        weighted_index(rng, &cleaned)
+    } else {
+        rng.gen_range(0..weights.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proportional_when_weights_are_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index_or_uniform(&mut rng, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_total_falls_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = [0.0, 0.0, 0.0, 0.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[weighted_index_or_uniform(&mut rng, &w)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 40_000.0;
+            assert!((frac - 0.25).abs() < 0.02, "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bad_weights_are_treated_as_zero() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // NaN / negative / infinite entries must never be selected
+        // while a positive entry exists.
+        let w = [f64::NAN, -5.0, f64::INFINITY, 2.0];
+        for _ in 0..1_000 {
+            assert_eq!(weighted_index_or_uniform(&mut rng, &w), 3);
+        }
+        // All-bad degenerates to uniform, not a panic.
+        let all_bad = [f64::NAN, -1.0];
+        let i = weighted_index_or_uniform(&mut rng, &all_bad);
+        assert!(i < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weight vector")]
+    fn empty_still_panics() {
+        weighted_index_or_uniform(&mut StdRng::seed_from_u64(1), &[]);
+    }
+}

@@ -119,7 +119,11 @@ impl RealTransport {
     }
 
     fn request_for(&self, path: &PathSpec, range: ByteRange) -> (SocketAddr, Request) {
-        match path.via {
+        assert!(
+            path.hop_count() <= 1,
+            "socket relays splice one hop; unresolvable chain {path} reached request_for"
+        );
+        match path.via() {
             None => (
                 self.world.direct,
                 Request::get(self.world.path.clone())
@@ -261,6 +265,16 @@ impl Transport for RealTransport {
         // Remember the path for warm pooling at completion.
         self.handle_paths.insert(h, *path);
         h
+    }
+
+    fn resolvable(&self, path: &PathSpec) -> bool {
+        // A socket relay splices exactly one proxy hop: direct always
+        // works, one known relay works, longer chains never do.
+        match path.hops() {
+            [] => true,
+            [via] => self.world.relays.contains_key(via),
+            _ => false,
+        }
     }
 
     fn begin_warm(&mut self, path: &PathSpec, bytes: u64) -> Handle {

@@ -40,6 +40,9 @@ pub enum EventKind {
     /// The session abandoned a dead/stalled selected path mid-transfer
     /// and failed over to a surviving candidate.
     PathFailover,
+    /// A candidate path could not be resolved on the transport and was
+    /// dropped from the probe race; attrs carry the path.
+    PathUnresolvable,
     /// A session began.
     SessionStart,
     /// A session finished; attrs carry the improvement.
@@ -55,6 +58,10 @@ pub enum EventKind {
     /// A runner task (one (client, relay/k) schedule) ran; `dur_us`
     /// spans it.
     RunnerTask,
+    /// A path selector produced its candidate paths for one session;
+    /// `dur_us` spans the decision, attrs carry the policy name and
+    /// path count.
+    SelectionDecision,
     /// The sweep scheduler materialised a study (executed it or decoded
     /// it from the artefact cache); `dur_us` spans the materialisation.
     StudyExec,
@@ -78,6 +85,7 @@ impl EventKind {
             EventKind::ProbeWon => "probe_won",
             EventKind::ProbeTimeout => "probe_timeout",
             EventKind::PathSwitch => "path_switch",
+            EventKind::PathUnresolvable => "path_unresolvable",
             EventKind::PathFailover => "path_failover",
             EventKind::SessionStart => "session_start",
             EventKind::SessionComplete => "session_complete",
@@ -86,6 +94,7 @@ impl EventKind {
             EventKind::RelayShutdown => "relay_shutdown",
             EventKind::Retry => "retry",
             EventKind::RunnerTask => "runner_task",
+            EventKind::SelectionDecision => "selection_decision",
             EventKind::StudyExec => "study_exec",
             EventKind::ArtifactRender => "artifact_render",
             EventKind::Custom(name) => name,
@@ -104,12 +113,14 @@ impl EventKind {
             | EventKind::ProbeWon
             | EventKind::ProbeTimeout
             | EventKind::PathSwitch
+            | EventKind::PathUnresolvable
             | EventKind::PathFailover
             | EventKind::SessionStart
             | EventKind::SessionComplete
             | EventKind::Retry => "session",
             EventKind::RelayAccept | EventKind::RelaySplice | EventKind::RelayShutdown => "relay",
             EventKind::RunnerTask => "runner",
+            EventKind::SelectionDecision => "policy",
             EventKind::StudyExec | EventKind::ArtifactRender => "sweep",
             EventKind::Custom(_) => "custom",
         }

@@ -16,6 +16,8 @@
 //!   racing client, token-bucket shapers).
 //! * [`core`] — the paper's contribution: probe/predict/select framework
 //!   and intermediate-node selection policies.
+//! * [`policy`] — the path-selection policy plane: selectors that pick
+//!   direct/1-hop/multi-hop candidate paths (the §6 extension space).
 //! * [`workload`] — PlanetLab-like scenario generator with the paper's
 //!   node roster.
 //! * [`experiments`] — the harness reproducing every table and figure of
@@ -24,6 +26,7 @@
 pub use ir_core as core;
 pub use ir_experiments as experiments;
 pub use ir_http as http;
+pub use ir_policy as policy;
 pub use ir_relay as relay;
 pub use ir_simnet as simnet;
 pub use ir_stats as stats;

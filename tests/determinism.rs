@@ -125,6 +125,37 @@ fn golden_faults_csv_bytes_unchanged() {
     }
 }
 
+/// Golden-artefact snapshot: the tournament artefact's cells CSV,
+/// byte-exact at quick scale (seed 11, matching the faults golden).
+///
+/// The tournament stacks the whole new path plane — k-shortest chain
+/// enumeration, adaptive/backpressure state, the selector session
+/// driver, probe-overhead telemetry — on top of the probe race, so a
+/// byte-stable CSV here pins every policy at once. Regenerate
+/// deliberately with `UPDATE_GOLDEN=1 cargo test --test determinism
+/// golden` after a change that is *supposed* to move the numbers.
+#[test]
+fn golden_tournament_csv_bytes_unchanged() {
+    use indirect_routing::experiments::tournament;
+    let report = tournament::report(11, runner::Scale::Quick);
+    let artefacts = [("tournament_cells.csv", &report.csv[0].1)];
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, bytes) in &artefacts {
+            std::fs::write(dir.join(name), bytes).unwrap();
+        }
+        return;
+    }
+    for (name, bytes) in &artefacts {
+        let golden = std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        assert_eq!(&&golden, bytes, "{name} diverged from the golden snapshot");
+    }
+}
+
 #[test]
 fn selection_study_deterministic() {
     let mk = || {
