@@ -16,6 +16,7 @@ use crate::policy::{SelectCtx, SelectionPolicy};
 use crate::predictor::Predictor;
 use crate::record::TransferRecord;
 use crate::transport::{Handle, Timing, Transport};
+pub use ir_simnet::sim::EngineMode;
 use ir_simnet::time::SimDuration;
 use ir_simnet::topology::NodeId;
 use ir_telemetry::trace::{Event, EventKind};
@@ -103,6 +104,10 @@ pub struct SessionConfig {
     /// paper's protocol) keeps the original single-attempt behavior
     /// bit-for-bit.
     pub failover: Option<FailoverConfig>,
+    /// Fair-share engine the simulated transport runs sessions on.
+    /// Every mode is bit-identical (enforced by the cross-engine
+    /// differential suite); this knob trades wall-clock, not results.
+    pub engine: EngineMode,
 }
 
 impl SessionConfig {
@@ -116,6 +121,7 @@ impl SessionConfig {
             control: ControlMode::Concurrent,
             horizon: SimDuration::from_secs(600),
             failover: None,
+            engine: EngineMode::Incremental,
         }
     }
 

@@ -70,6 +70,7 @@ impl StableHash for SessionConfig {
             control,
             horizon,
             failover,
+            engine,
         } = *self;
         probe_bytes.stable_hash(h);
         file_bytes.stable_hash(h);
@@ -77,6 +78,7 @@ impl StableHash for SessionConfig {
         control.stable_hash(h);
         horizon.stable_hash(h);
         failover.stable_hash(h);
+        engine.stable_hash(h);
     }
 }
 
@@ -98,5 +100,16 @@ mod tests {
         let mut mode = base;
         mode.probe_mode = ProbeMode::MeasureAll;
         assert_ne!(fingerprint_of(&base), fingerprint_of(&mode));
+        let mut engine = base;
+        engine.engine = crate::session::EngineMode::Reference;
+        assert_ne!(fingerprint_of(&base), fingerprint_of(&engine));
+        // Sharded at any thread count shares one fingerprint: results
+        // are bit-identical, so threads is not a semantic input.
+        let mut s2 = base;
+        s2.engine = crate::session::EngineMode::Sharded { threads: 2 };
+        let mut s8 = base;
+        s8.engine = crate::session::EngineMode::Sharded { threads: 8 };
+        assert_eq!(fingerprint_of(&s2), fingerprint_of(&s8));
+        assert_ne!(fingerprint_of(&base), fingerprint_of(&s2));
     }
 }

@@ -29,13 +29,21 @@
 //! executes any study, or when warm artefact bytes diverge from a
 //! cacheless run.
 //!
-//! Finally the gate times the path plane and writes `BENCH_PR6.json`:
+//! The gate then times the path plane and writes `BENCH_PR6.json`:
 //! per-policy `paths()` decision latency, the pinned tournament's
 //! probe-path counts (the probe-count determinism canary), and an
 //! incremental tournament sweep — cold with the roster minus one
 //! policy, then warm with the full roster — failing unless the warm
 //! pass executes *exactly* the added policy's study, the guarantee
 //! that growing the roster never re-runs existing policies.
+//!
+//! Finally the gate times the partition-sharded engine on the megaflow
+//! gate geometry (32,768 flows, 32 rack components) and writes
+//! `BENCH_PR7.json`: median ns/boundary for the single-threaded
+//! incremental engine vs `Sharded` at every available core, the speedup
+//! ratio, the decomposition stats, and the pinned mini-megaflow
+//! boundary canary. It fails when the canary moves, or when the sharded
+//! engine is *slower* than incremental on a machine with ≥ 4 cores.
 
 use crate::runner::run_measurement_study_traced;
 use crate::{fig1, table1};
@@ -414,6 +422,100 @@ fn render_policy_json(s: &PolicyStats) -> String {
     j
 }
 
+/// Boundary count of the mini megaflow geometry
+/// ([`crate::megaflow::MegaflowConfig::mini`], seed 2007 — the sweep's
+/// quick-scale study). A pure function of the config and seed; if it
+/// moves, the engine's boundary schedule changed. Re-pin only after a
+/// deliberate engine-semantics change.
+pub const PINNED_MEGAFLOW_MINI_BOUNDARIES: u64 = 18;
+
+/// Megaflow gate numbers: the sharded engine's ns/boundary at 1 vs N
+/// threads on the gate geometry, the decomposition stats, and the
+/// pinned mini canary observation.
+#[derive(Debug, Clone, Copy)]
+pub struct MegaflowStats {
+    /// Concurrent transfers in the gate geometry.
+    pub flows: u64,
+    /// Roster size of the gate geometry.
+    pub nodes: u64,
+    /// Solve boundaries the gate run crossed.
+    pub boundaries: u64,
+    /// Sum over solves of the component count.
+    pub component_solves: u64,
+    /// Distinct completion instants (batched rack finishes).
+    pub completion_batches: u64,
+    /// Boundary count of the pinned mini geometry (the canary).
+    pub mini_boundaries: u64,
+    /// Worker threads the sharded timing used.
+    pub threads: u64,
+    /// Median ns per boundary, single-threaded incremental engine.
+    pub incremental_ns_per_boundary: u64,
+    /// Median ns per boundary, `Sharded { threads }`.
+    pub sharded_ns_per_boundary: u64,
+}
+
+impl MegaflowStats {
+    /// Incremental-over-sharded wall-clock ratio (> 1 ⇒ sharding pays).
+    pub fn speedup(&self) -> f64 {
+        self.incremental_ns_per_boundary as f64 / self.sharded_ns_per_boundary.max(1) as f64
+    }
+}
+
+/// Runs the mini canary, then times the gate geometry under the
+/// incremental and sharded engines (`samples` timed runs each).
+fn megaflow_stats(samples: usize) -> MegaflowStats {
+    use crate::megaflow::{self, MegaflowConfig};
+    use ir_simnet::sim::EngineMode;
+
+    let mini = megaflow::run(2007, &MegaflowConfig::mini(), EngineMode::Incremental, None);
+    let cfg = MegaflowConfig::gate();
+    let base = megaflow::run(2007, &cfg, EngineMode::Incremental, None);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let time_ns = |engine: EngineMode| {
+        median_ns(samples, 1, || {
+            black_box(megaflow::run(2007, &cfg, engine, None));
+        })
+    };
+    let inc_ns = time_ns(EngineMode::Incremental);
+    let sh_ns = time_ns(EngineMode::Sharded { threads });
+    let per_boundary = |total: u64| total / base.boundaries.max(1);
+    MegaflowStats {
+        flows: base.flows_started,
+        nodes: base.nodes,
+        boundaries: base.boundaries,
+        component_solves: base.component_solves,
+        completion_batches: base.completion_batches,
+        mini_boundaries: mini.boundaries,
+        threads: threads as u64,
+        incremental_ns_per_boundary: per_boundary(inc_ns),
+        sharded_ns_per_boundary: per_boundary(sh_ns),
+    }
+}
+
+fn render_megaflow_json(s: &MegaflowStats) -> String {
+    format!(
+        "{{\n  \"bench\": \"BENCH_PR7\",\n  \"megaflow\": {{\n    \"flows\": {},\n    \
+         \"nodes\": {},\n    \"boundaries\": {},\n    \"component_solves\": {},\n    \
+         \"completion_batches\": {},\n    \"threads\": {},\n    \
+         \"incremental_ns_per_boundary\": {},\n    \"sharded_ns_per_boundary\": {},\n    \
+         \"speedup\": {:.3}\n  }},\n  \"units\": \"median_ns_per_boundary\",\n  \
+         \"canary\": {{\n    \"pinned_megaflow_mini_boundaries\": \
+         {PINNED_MEGAFLOW_MINI_BOUNDARIES},\n    \"observed_mini_boundaries\": {}\n  }}\n}}\n",
+        s.flows,
+        s.nodes,
+        s.boundaries,
+        s.component_solves,
+        s.completion_batches,
+        s.threads,
+        s.incremental_ns_per_boundary,
+        s.sharded_ns_per_boundary,
+        s.speedup(),
+        s.mini_boundaries
+    )
+}
+
 fn render_json(results: &[BenchResult], stats: GateStats) -> String {
     let mut s = String::from("{\n  \"bench\": \"BENCH_PR4\",\n  \"groups\": {\n");
     for (gi, group) in ["micro", "figures"].iter().enumerate() {
@@ -503,6 +605,23 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
     );
     eprintln!("bench-gate: wrote {}", out6.display());
 
+    eprintln!("bench-gate: timing the megaflow study, incremental vs sharded...");
+    let mega = megaflow_stats(5);
+    let out7 = out.with_file_name("BENCH_PR7.json");
+    std::fs::write(&out7, render_megaflow_json(&mega))
+        .map_err(|e| format!("cannot write {}: {e}", out7.display()))?;
+    eprintln!(
+        "bench-gate: megaflow {} flows / {} boundaries — {} ns/boundary incremental, \
+         {} ns/boundary sharded×{} (speedup {:.2}×)",
+        mega.flows,
+        mega.boundaries,
+        mega.incremental_ns_per_boundary,
+        mega.sharded_ns_per_boundary,
+        mega.threads,
+        mega.speedup(),
+    );
+    eprintln!("bench-gate: wrote {}", out7.display());
+
     if stats.boundaries != PINNED_FIG1_BOUNDARIES {
         return Err(format!(
             "determinism canary: pinned Fig 1 study ran {} boundaries, expected {} — \
@@ -551,6 +670,23 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
             "adding {added} policy re-ran {} tournament studies — per-policy fingerprints no \
              longer isolate the roster",
             policy.warm_studies_executed
+        ));
+    }
+    if mega.mini_boundaries != PINNED_MEGAFLOW_MINI_BOUNDARIES {
+        return Err(format!(
+            "megaflow canary: mini geometry ran {} boundaries, expected {} — the engine's \
+             boundary schedule moved; investigate before re-pinning",
+            mega.mini_boundaries, PINNED_MEGAFLOW_MINI_BOUNDARIES
+        ));
+    }
+    if mega.threads >= 4 && mega.speedup() < 1.0 {
+        return Err(format!(
+            "sharded engine slower than incremental at {} threads: {} vs {} ns/boundary \
+             (speedup {:.2}×)",
+            mega.threads,
+            mega.sharded_ns_per_boundary,
+            mega.incremental_ns_per_boundary,
+            mega.speedup()
         ));
     }
     Ok(stats)
@@ -612,6 +748,38 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"k-shortest\""), "{j}");
         assert!(j.contains("\"pinned_probe_paths\": 750"), "{j}");
+    }
+
+    /// The PR7 canary, as a test: the mini megaflow geometry's boundary
+    /// count matches the pinned constant (timing conditions are
+    /// release-only, so the test checks structure, not the ratio).
+    #[test]
+    fn megaflow_gate_canary_holds() {
+        use crate::megaflow::{self, MegaflowConfig};
+        use ir_simnet::sim::EngineMode;
+        let mini = megaflow::run(2007, &MegaflowConfig::mini(), EngineMode::Incremental, None);
+        assert_eq!(mini.boundaries, PINNED_MEGAFLOW_MINI_BOUNDARIES);
+        assert_eq!(mini.flows_completed, MegaflowConfig::mini().total_flows());
+    }
+
+    #[test]
+    fn megaflow_json_is_well_formed_enough() {
+        let s = MegaflowStats {
+            flows: 51_200,
+            nodes: 2_113,
+            boundaries: 130,
+            component_solves: 4_000,
+            completion_batches: 64,
+            mini_boundaries: PINNED_MEGAFLOW_MINI_BOUNDARIES,
+            threads: 8,
+            incremental_ns_per_boundary: 2_000_000,
+            sharded_ns_per_boundary: 500_000,
+        };
+        assert!((s.speedup() - 4.0).abs() < 1e-9);
+        let j = render_megaflow_json(&s);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"speedup\": 4.000"), "{j}");
+        assert!(j.contains("\"pinned_megaflow_mini_boundaries\""), "{j}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::faults::FaultCell;
 use crate::headroom::Headroom;
+use crate::megaflow::{MegaflowConfig, MegaflowResult};
 use crate::runner::{MeasurementData, PairRun, SelectionData, SelectionRun};
 use crate::sites::SiteResult;
 use crate::tournament::TournamentCell;
@@ -449,6 +450,71 @@ pub fn decode_tournament(bytes: &[u8]) -> Option<Vec<TournamentCell>> {
     Some(out)
 }
 
+/// Encodes a megaflow result for the cache.
+pub fn encode_megaflow(r: &MegaflowResult) -> Vec<u8> {
+    let MegaflowResult {
+        cfg,
+        nodes,
+        flows_started,
+        flows_completed,
+        boundaries,
+        full_solves,
+        incremental_solves,
+        component_solves,
+        completion_batches,
+        makespan_us,
+    } = *r;
+    let mut w = ByteWriter::new();
+    w.put_u32(cfg.racks);
+    w.put_u32(cfg.hosts_per_rack);
+    w.put_u32(cfg.flows_per_host);
+    w.put_u32(cfg.waves);
+    w.put_u64(cfg.wave_stagger_ms);
+    w.put_u64(cfg.file_bytes);
+    w.put_u64(cfg.host_rate);
+    w.put_u64(cfg.rack_base_rate);
+    w.put_u64(nodes);
+    w.put_u64(flows_started);
+    w.put_u64(flows_completed);
+    w.put_u64(boundaries);
+    w.put_u64(full_solves);
+    w.put_u64(incremental_solves);
+    w.put_u64(component_solves);
+    w.put_u64(completion_batches);
+    w.put_u64(makespan_us);
+    w.into_bytes()
+}
+
+/// Decodes a megaflow result; `None` on any malformation.
+pub fn decode_megaflow(bytes: &[u8]) -> Option<MegaflowResult> {
+    let mut r = ByteReader::new(bytes);
+    let out = MegaflowResult {
+        cfg: MegaflowConfig {
+            racks: r.get_u32()?,
+            hosts_per_rack: r.get_u32()?,
+            flows_per_host: r.get_u32()?,
+            waves: r.get_u32()?,
+            wave_stagger_ms: r.get_u64()?,
+            file_bytes: r.get_u64()?,
+            host_rate: r.get_u64()?,
+            rack_base_rate: r.get_u64()?,
+        },
+        nodes: r.get_u64()?,
+        flows_started: r.get_u64()?,
+        flows_completed: r.get_u64()?,
+        boundaries: r.get_u64()?,
+        full_solves: r.get_u64()?,
+        incremental_solves: r.get_u64()?,
+        component_solves: r.get_u64()?,
+        completion_batches: r.get_u64()?,
+        makespan_us: r.get_u64()?,
+    };
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,5 +629,26 @@ mod tests {
         assert_eq!(back[0].goodput_ratio.to_bits(), 0.93f64.to_bits());
         assert!(back[0].mean_improvement_pct.is_nan());
         assert!(decode_faults(&bytes[..5]).is_none());
+    }
+
+    #[test]
+    fn megaflow_round_trips_bit_exactly() {
+        let r = MegaflowResult {
+            cfg: MegaflowConfig::mini(),
+            nodes: 41,
+            flows_started: 160,
+            flows_completed: 160,
+            boundaries: 23,
+            full_solves: 5,
+            incremental_solves: 18,
+            component_solves: 170,
+            completion_batches: 16,
+            makespan_us: 123_456_789,
+        };
+        let bytes = encode_megaflow(&r);
+        let back = decode_megaflow(&bytes).expect("round trip");
+        assert_eq!(back, r);
+        assert!(decode_megaflow(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_megaflow(&[]).is_none());
     }
 }

@@ -38,6 +38,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod headroom;
 pub mod inspect;
+pub mod megaflow;
 pub mod overhead;
 pub mod report;
 pub mod robustness;

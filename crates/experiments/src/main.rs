@@ -13,6 +13,12 @@
 //!            sites       (per-site 33-49% range, extension)
 //!            headroom    (oracle-attainable vs captured, extension)
 //!            faults      (availability under overlay faults, extension)
+//!            megaflow    (partition-sharded engine at scale: the
+//!                         mini fan-in at --scale quick, 1.01M flows
+//!                         over 10,401 nodes at --scale paper;
+//!                         --threads N > 1 runs it on the sharded
+//!                         engine — results are bit-identical at any
+//!                         thread count)
 //!            tournament  (policy × scenario table: every path-selection
 //!                         policy on every tournament scenario, with
 //!                         improvement, penalty rate, probe overhead and
@@ -33,7 +39,9 @@
 //!                         study, enforces the boundary-count canary,
 //!                         writes BENCH_PR4.json; --out FILE overrides;
 //!                         also times the pinned mini sweep cold vs
-//!                         warm and writes BENCH_PR5.json)
+//!                         warm (BENCH_PR5.json), the path plane
+//!                         (BENCH_PR6.json), and the megaflow study
+//!                         incremental vs sharded (BENCH_PR7.json))
 //!            all         (everything except bench-gate, no cache)
 //! ```
 //!
@@ -89,7 +97,7 @@ fn usage() -> ! {
          \x20                           [--cache-dir DIR|none] [--max-bytes N]\n\
          artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3\n\
          \x20          variability overhead\n\
-         \x20          measurement selection sites headroom faults tournament\n\
+         \x20          measurement selection sites headroom faults megaflow tournament\n\
          \x20          scenario robustness sweep cache-gc bench-gate all"
     );
     std::process::exit(2);
@@ -280,6 +288,7 @@ fn main() -> ExitCode {
     let needs_sites = matches!(args.artefact.as_str(), "sites" | "all");
     let needs_headroom = matches!(args.artefact.as_str(), "headroom" | "all");
     let needs_faults = matches!(args.artefact.as_str(), "faults" | "all");
+    let needs_megaflow = matches!(args.artefact.as_str(), "megaflow" | "all");
     let needs_tournament = matches!(args.artefact.as_str(), "tournament" | "all");
     let needs_scenario = args.artefact == "scenario";
     let needs_robustness = matches!(args.artefact.as_str(), "robustness" | "all");
@@ -289,6 +298,7 @@ fn main() -> ExitCode {
         && !needs_sites
         && !needs_headroom
         && !needs_faults
+        && !needs_megaflow
         && !needs_tournament
         && !needs_scenario
         && !needs_robustness
@@ -470,6 +480,28 @@ fn main() -> ExitCode {
             args.seed, args.scale
         );
         let r = ir_experiments::faults::report(args.seed, args.scale);
+        ok &= emit(&[r], &args.csv_dir);
+    }
+
+    if needs_megaflow {
+        let cfg = ir_experiments::sweep::megaflow_config(args.scale);
+        // The engine is an execution knob: any thread count produces
+        // bit-identical results (the differential suite's guarantee),
+        // so `--threads` only selects how the study is *run*.
+        let engine = match args.threads {
+            Some(t) if t > 1 => ir_simnet::sim::EngineMode::Sharded { threads: t },
+            _ => ir_simnet::sim::EngineMode::Incremental,
+        };
+        eprintln!(
+            "running megaflow study (seed {}, {:?} scale, {} flows, {:?})...",
+            args.seed,
+            args.scale,
+            cfg.total_flows(),
+            engine
+        );
+        let t0 = std::time::Instant::now();
+        let r = ir_experiments::megaflow::report(args.seed, &cfg, engine);
+        eprintln!("megaflow study: done in {:.1}s", t0.elapsed().as_secs_f64());
         ok &= emit(&[r], &args.csv_dir);
     }
 

@@ -160,6 +160,7 @@ fn run_task(
 ) -> Vec<TransferRecord> {
     let mut net = scenario.network.clone();
     net.set_telemetry(tel.cloned());
+    net.set_engine_mode(session.engine);
     let mut transport = SimTransport::new(net);
     let mut predictor = FirstPortion;
     let mut records = Vec::with_capacity(schedule.count as usize);

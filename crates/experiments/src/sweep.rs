@@ -11,6 +11,7 @@
 //! | sites (per destination site) | sites |
 //! | headroom (oracle replica) | headroom |
 //! | faults (overlay outages) | faults |
+//! | megaflow (sharded engine at scale) | megaflow |
 //! | tournament/`<policy>` (one study **per policy**) | tournament |
 //!
 //! Study fingerprints hash **every input that determines the output**:
@@ -29,8 +30,8 @@ use crate::runner::{
     MeasurementData, Scale, SelectionData, FIG6_KS,
 };
 use crate::{
-    faults, fig1, fig2, fig3, fig4, fig5, fig6, headroom, overhead, sites, table1, table2, table3,
-    tournament, variability,
+    faults, fig1, fig2, fig3, fig4, fig5, fig6, headroom, megaflow, overhead, sites, table1,
+    table2, table3, tournament, variability,
 };
 use ir_artifact::{
     execute, ArtefactOutput, ArtefactSpec, ArtifactCache, ExecReport, Fingerprint, StableHash,
@@ -72,6 +73,7 @@ pub const SALTS: &[(&str, u64)] = &[
     ("sites", 1),
     ("headroom", 1),
     ("faults", 1),
+    ("megaflow", 1),
     ("tournament", 1),
 ];
 
@@ -223,8 +225,18 @@ pub fn headroom_transfers(scale: Scale) -> u64 {
     }
 }
 
-/// The full evaluation: the five shared studies plus one tournament
-/// study per policy, feeding fifteen artefacts. `tel` is
+/// Megaflow geometry at a scale (shared by the `megaflow` CLI artefact
+/// and the sweep): the seconds-scale mini fan-in at Quick, the
+/// million-flow headline geometry at Paper.
+pub fn megaflow_config(scale: Scale) -> megaflow::MegaflowConfig {
+    match scale {
+        Scale::Quick => megaflow::MegaflowConfig::mini(),
+        Scale::Paper => megaflow::MegaflowConfig::paper(),
+    }
+}
+
+/// The full evaluation: the six shared studies plus one tournament
+/// study per policy, feeding sixteen artefacts. `tel` is
 /// shared by the measurement/selection studies (simnet, session, and
 /// runner layers report into it), exactly as the per-artefact CLI paths
 /// do.
@@ -409,6 +421,49 @@ pub fn full_plan(seed: u64, scale: Scale, tel: Option<Arc<Telemetry>>) -> SweepP
         }),
     };
 
+    // Megaflow: the sharded engine's scale study. Engine-mode
+    // invariant (the differential suite's guarantee), so the engine is
+    // an execution knob here, not a fingerprint input — one cached
+    // result serves every `--threads` setting.
+    let mega_cfg = megaflow_config(scale);
+    let mega_fp = {
+        let mut h = StableHasher::new();
+        "study/megaflow".stable_hash(&mut h);
+        CODEC_VERSION.stable_hash(&mut h);
+        seed.stable_hash(&mut h);
+        (mega_cfg.racks as u64).stable_hash(&mut h);
+        (mega_cfg.hosts_per_rack as u64).stable_hash(&mut h);
+        (mega_cfg.flows_per_host as u64).stable_hash(&mut h);
+        (mega_cfg.waves as u64).stable_hash(&mut h);
+        mega_cfg.wave_stagger_ms.stable_hash(&mut h);
+        mega_cfg.file_bytes.stable_hash(&mut h);
+        mega_cfg.host_rate.stable_hash(&mut h);
+        mega_cfg.rack_base_rate.stable_hash(&mut h);
+        h.finish()
+    };
+    let mega_tel = tel.clone();
+    let megaflow_study = StudySpec {
+        name: format!("megaflow(seed={seed},{scale:?})"),
+        fingerprint: mega_fp,
+        run: Box::new(move || {
+            Arc::new(megaflow::run(
+                seed,
+                &mega_cfg,
+                ir_simnet::sim::EngineMode::Incremental,
+                mega_tel,
+            )) as Arc<dyn Any + Send + Sync>
+        }),
+        encode: Box::new(|out| {
+            codec::encode_megaflow(
+                out.downcast_ref::<megaflow::MegaflowResult>()
+                    .expect("megaflow output"),
+            )
+        }),
+        decode: Box::new(|bytes| {
+            codec::decode_megaflow(bytes).map(|d| Arc::new(d) as Arc<dyn Any + Send + Sync>)
+        }),
+    };
+
     // Policy tournament: one study per policy, one artefact over all.
     let mut tplan = tournament_plan(seed, scale, tournament::POLICIES);
 
@@ -465,6 +520,19 @@ pub fn full_plan(seed: u64, scale: Scale, tel: Option<Arc<Telemetry>>) -> SweepP
         }),
     });
 
+    artefacts.push(ArtefactSpec {
+        name: "megaflow".into(),
+        fingerprint: artefact_fingerprint("megaflow", &[mega_fp]),
+        deps: vec![mega_fp],
+        render: Box::new(|inputs| {
+            output_of(&megaflow::report_of(
+                inputs[0]
+                    .downcast_ref::<megaflow::MegaflowResult>()
+                    .expect("megaflow result"),
+            ))
+        }),
+    });
+
     artefacts.append(&mut tplan.artefacts);
 
     let mut studies = vec![
@@ -473,6 +541,7 @@ pub fn full_plan(seed: u64, scale: Scale, tel: Option<Arc<Telemetry>>) -> SweepP
         sites_study,
         headroom_study,
         faults_study,
+        megaflow_study,
     ];
     studies.append(&mut tplan.studies);
 
@@ -668,7 +737,7 @@ mod tests {
     #[test]
     fn every_full_plan_artefact_has_a_salt_and_unique_fingerprint() {
         let plan = full_plan(2007, Scale::Quick, None);
-        assert_eq!(plan.studies.len(), 5 + tournament::POLICIES.len());
+        assert_eq!(plan.studies.len(), 6 + tournament::POLICIES.len());
         assert_eq!(plan.artefacts.len(), SALTS.len());
         let mut fps: Vec<Fingerprint> = plan
             .artefacts

@@ -351,6 +351,7 @@ mod tests {
             control: ir_core::ControlMode::Concurrent,
             horizon: ir_simnet::time::SimDuration::from_secs(60),
             failover: None,
+            engine: ir_simnet::sim::EngineMode::Incremental,
         };
         let rec = run_session(
             &mut transport,
@@ -389,6 +390,7 @@ mod tests {
             control: ir_core::ControlMode::Concurrent,
             horizon: ir_simnet::time::SimDuration::from_secs(60),
             failover: None,
+            engine: ir_simnet::sim::EngineMode::Incremental,
         };
         let rec = run_session(
             &mut transport,

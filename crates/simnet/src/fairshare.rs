@@ -11,8 +11,8 @@
 /// Relative slack used by the freeze conditions of **both** solvers.
 /// Shared so that [`max_min_rates`] and [`reference_rates`] freeze on
 /// exactly the same comparisons — a prerequisite for their bit-level
-/// equivalence.
-const EPS: f64 = 1e-9;
+/// equivalence. (Also used by the component kernels in [`crate::soa`].)
+pub(crate) const EPS: f64 = 1e-9;
 
 /// A flow, for allocation purposes: the links it traverses and its own
 /// rate cap (`f64::INFINITY` for none).
@@ -24,25 +24,7 @@ pub struct AllocFlow {
     pub cap: f64,
 }
 
-/// Computes max–min fair rates via progressive filling.
-///
-/// * `link_caps[l]` — capacity of link `l` in bytes/sec;
-/// * `flows[f]` — the links flow `f` crosses and its own cap.
-///
-/// Returns the allocated rate of each flow. A flow crossing no links is
-/// limited only by its own cap.
-///
-/// Invariants (tested property-style):
-/// * feasibility — per-link sums never exceed capacity (up to fp slack);
-/// * cap respect — no flow exceeds its own cap;
-/// * bottleneck saturation — every flow is limited by either its cap or
-///   at least one saturated link.
-///
-/// # Panics
-///
-/// Panics if a flow references an unknown link or a cap/capacity is
-/// negative or NaN.
-pub fn max_min_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
+fn validate(link_caps: &[f64], flows: &[AllocFlow]) {
     for &c in link_caps {
         assert!(c >= 0.0 && !c.is_nan(), "bad link capacity {c}");
     }
@@ -52,89 +34,45 @@ pub fn max_min_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
             assert!(l < link_caps.len(), "unknown link index {l}");
         }
     }
+}
 
-    let nf = flows.len();
-    let nl = link_caps.len();
-    let mut rate = vec![0.0_f64; nf];
-    let mut frozen = vec![false; nf];
-    let mut residual: Vec<f64> = link_caps.to_vec();
-    // Number of unfrozen flows on each link.
-    let mut active_on: Vec<usize> = vec![0; nl];
-    for f in flows {
-        for &l in &f.links {
-            active_on[l] += 1;
-        }
-    }
-    let mut unfrozen = nf;
-
-    // Progressive filling: raise the common water level until a link
-    // saturates or a flow hits its cap, freeze, repeat.
-    while unfrozen > 0 {
-        // Largest uniform increment every unfrozen flow can take.
-        let mut inc = f64::INFINITY;
-        for l in 0..nl {
-            if active_on[l] > 0 {
-                inc = inc.min(residual[l] / active_on[l] as f64);
-            }
-        }
-        for (f, flow) in flows.iter().enumerate() {
-            if !frozen[f] {
-                inc = inc.min(flow.cap - rate[f]);
-            }
-        }
-        if !inc.is_finite() {
-            // All unfrozen flows cross no links and have infinite caps;
-            // give them "infinite" rate. (Degenerate; callers shouldn't
-            // construct this, but don't loop forever.)
-            for (f, r) in rate.iter_mut().enumerate() {
-                if !frozen[f] {
-                    *r = f64::INFINITY;
-                }
-            }
-            break;
-        }
-        let inc = inc.max(0.0);
-
-        // Apply the increment.
-        for (f, flow) in flows.iter().enumerate() {
-            if frozen[f] {
-                continue;
-            }
-            rate[f] += inc;
-            for &l in &flow.links {
-                residual[l] -= inc;
-            }
-        }
-
-        // Freeze flows that hit their cap or cross a saturated link.
-        let mut any_frozen = false;
-        for (f, flow) in flows.iter().enumerate() {
-            if frozen[f] {
-                continue;
-            }
-            let cap_hit = rate[f] >= flow.cap - EPS * flow.cap.max(1.0);
-            // Infinite-capacity links never saturate (INF - x == INF and
-            // INF <= EPS*INF would be vacuously true).
-            let link_hit = flow
-                .links
-                .iter()
-                .any(|&l| link_caps[l].is_finite() && residual[l] <= EPS * link_caps[l].max(1.0));
-            if cap_hit || link_hit {
-                frozen[f] = true;
-                any_frozen = true;
-                unfrozen -= 1;
-                for &l in &flow.links {
-                    active_on[l] -= 1;
-                }
-            }
-        }
-        // Safety: if nothing froze despite a finite increment, numerical
-        // trouble; freeze everything at current rates rather than spin.
-        if !any_frozen && inc <= 0.0 {
-            break;
-        }
-    }
-    rate
+/// Computes max–min fair rates via component-decomposed progressive
+/// filling.
+///
+/// * `link_caps[l]` — capacity of link `l` in bytes/sec;
+/// * `flows[f]` — the links flow `f` crosses and its own cap.
+///
+/// Returns the allocated rate of each flow. A flow crossing no links is
+/// limited only by its own cap.
+///
+/// The problem is first split into congestion components — maximal
+/// groups of flows transitively connected through shared finite-capacity
+/// links ([`crate::partition`]) — and progressive filling runs per
+/// component, in ascending order of each component's smallest flow
+/// index. Components are mathematically independent (no flow or
+/// saturable link spans two), so the decomposition is exact, and it is
+/// what makes million-flow problems tractable: the global filling's
+/// round count grows with the number of distinct freeze levels across
+/// the *whole* problem, the decomposed one's only per component.
+///
+/// Invariants (tested property-style):
+/// * feasibility — per-link sums never exceed capacity (up to fp slack);
+/// * cap respect — no flow exceeds its own cap;
+/// * bottleneck saturation — every flow is limited by either its cap or
+///   at least one saturated link;
+/// * rates are a pure function of each flow's own component.
+///
+/// # Panics
+///
+/// Panics if a flow references an unknown link or a cap/capacity is
+/// negative or NaN.
+pub fn max_min_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
+    validate(link_caps, flows);
+    let slab = crate::soa::ProblemSlab::from_alloc(link_caps, flows);
+    let mut scratch = crate::soa::SolveScratch::default();
+    let mut rates = Vec::new();
+    crate::soa::solve_slab(&slab, &mut scratch, &mut rates);
+    rates
 }
 
 /// Naive progressive-filling oracle: the brute-force allocator with
@@ -144,97 +82,27 @@ pub fn max_min_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
 /// test suite (`tests/engine_equivalence.rs`) and the fair-share
 /// property sweep hold the production solver to, **bitwise**.
 ///
-/// Bit-level comparability pins the arithmetic: each round's increment
-/// is computed and applied with exactly the same floating-point
-/// operations in the same order as [`max_min_rates`] (links ascending,
-/// then flows ascending; `rate += inc` / `residual -= inc` updates; the
-/// shared `EPS` freeze slack). The *bookkeeping* differs, the
-/// *arithmetic* must not — so any divergence between the two solvers is
-/// a logic bug, never fp noise.
+/// Bit-level comparability pins the arithmetic: both solvers use the
+/// identical congestion-component decomposition (components in the same
+/// stable order), and within a component each round's increment is
+/// computed and applied with exactly the same floating-point operations
+/// in the same order as [`max_min_rates`] (links ascending, then flows
+/// ascending; `rate += inc` / `residual -= inc` updates; the shared
+/// `EPS` freeze slack). The *bookkeeping* differs — per-link
+/// unfrozen-flow counts are recounted from scratch every round instead
+/// of maintained — the *arithmetic* must not, so any divergence between
+/// the two solvers is a logic bug, never fp noise.
 ///
 /// # Panics
 ///
 /// Same contract as [`max_min_rates`].
 pub fn reference_rates(link_caps: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
-    for &c in link_caps {
-        assert!(c >= 0.0 && !c.is_nan(), "bad link capacity {c}");
-    }
-    for f in flows {
-        assert!(f.cap >= 0.0 && !f.cap.is_nan(), "bad flow cap {}", f.cap);
-        for &l in &f.links {
-            assert!(l < link_caps.len(), "unknown link index {l}");
-        }
-    }
-
-    let nf = flows.len();
-    let nl = link_caps.len();
-    let mut rate = vec![0.0_f64; nf];
-    let mut frozen = vec![false; nf];
-    let mut residual: Vec<f64> = link_caps.to_vec();
-
-    while frozen.iter().any(|&f| !f) {
-        // Recount unfrozen flows per link from scratch (the production
-        // solver maintains these incrementally).
-        let mut active_on: Vec<usize> = vec![0; nl];
-        for (f, flow) in flows.iter().enumerate() {
-            if !frozen[f] {
-                for &l in &flow.links {
-                    active_on[l] += 1;
-                }
-            }
-        }
-
-        let mut inc = f64::INFINITY;
-        for l in 0..nl {
-            if active_on[l] > 0 {
-                inc = inc.min(residual[l] / active_on[l] as f64);
-            }
-        }
-        for (f, flow) in flows.iter().enumerate() {
-            if !frozen[f] {
-                inc = inc.min(flow.cap - rate[f]);
-            }
-        }
-        if !inc.is_finite() {
-            for (f, r) in rate.iter_mut().enumerate() {
-                if !frozen[f] {
-                    *r = f64::INFINITY;
-                }
-            }
-            break;
-        }
-        let inc = inc.max(0.0);
-
-        for (f, flow) in flows.iter().enumerate() {
-            if frozen[f] {
-                continue;
-            }
-            rate[f] += inc;
-            for &l in &flow.links {
-                residual[l] -= inc;
-            }
-        }
-
-        let mut any_frozen = false;
-        for (f, flow) in flows.iter().enumerate() {
-            if frozen[f] {
-                continue;
-            }
-            let cap_hit = rate[f] >= flow.cap - EPS * flow.cap.max(1.0);
-            let link_hit = flow
-                .links
-                .iter()
-                .any(|&l| link_caps[l].is_finite() && residual[l] <= EPS * link_caps[l].max(1.0));
-            if cap_hit || link_hit {
-                frozen[f] = true;
-                any_frozen = true;
-            }
-        }
-        if !any_frozen && inc <= 0.0 {
-            break;
-        }
-    }
-    rate
+    validate(link_caps, flows);
+    let slab = crate::soa::ProblemSlab::from_alloc(link_caps, flows);
+    let mut scratch = crate::soa::SolveScratch::default();
+    let mut rates = Vec::new();
+    crate::soa::solve_slab_reference(&slab, &mut scratch, &mut rates);
+    rates
 }
 
 #[cfg(test)]

@@ -40,7 +40,9 @@ pub mod bandwidth;
 pub mod events;
 pub mod fairshare;
 pub mod faults;
+pub mod partition;
 pub mod sim;
+pub mod soa;
 pub mod stable;
 pub mod time;
 pub mod topology;
@@ -55,6 +57,7 @@ pub mod prelude {
     pub use crate::events::EventQueue;
     pub use crate::fairshare::{max_min_rates, reference_rates, AllocFlow};
     pub use crate::faults::{FaultEvent, FaultPlan, FaultSpec};
+    pub use crate::partition::{Components, FlowLinkPartition, UnionFind};
     pub use crate::sim::{
         CompletedFlow, ConstCap, EngineMode, EngineStats, FlowId, Network, NoCap, RateCap,
     };

@@ -166,6 +166,10 @@ pub struct EngineStats {
     pub flows_completed: u64,
     /// Flows cancelled before completion.
     pub flows_cancelled: u64,
+    /// Congestion components solved across all full solves (the
+    /// incremental and sharded engines solve per component; the
+    /// reference engine does not track this — it stays 0 there).
+    pub component_solves: u64,
 }
 
 /// Which allocation engine [`Network`] runs; see the module docs.
@@ -185,6 +189,17 @@ pub enum EngineMode {
     /// Brute-force rebuild + [`crate::fairshare::reference_rates`]
     /// every boundary.
     Reference,
+    /// The incremental engine with its per-boundary flow loops and
+    /// per-component solves fanned out over up to `threads` workers.
+    /// Bit-identical to [`EngineMode::Incremental`] at **any** thread
+    /// count: congestion components are solved on disjoint state and
+    /// merged in stable component order, and the parallel reductions
+    /// (event-horizon minima) are order-insensitive integer/`f64::min`
+    /// folds. `threads == 0` or `1` degenerates to the sequential path.
+    Sharded {
+        /// Worker-thread budget for the parallel phases.
+        threads: usize,
+    },
 }
 
 /// Marker for "link not in the current fair-share problem" in
@@ -235,14 +250,56 @@ struct EngineCache {
     /// superseded refreshes or out-of-use links — are discarded), so
     /// duplicates are harmless.
     change_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
-    /// Solver input as of the cached solution: folded per-flow caps…
-    prob_flow_caps: Vec<f64>,
-    /// …and per-flow slot lists (rebuilt when `flows_dirty`).
-    prob_links: Vec<Vec<usize>>,
+    /// In-use links with [`Sharing::Capacity`], ascending — the links
+    /// that actually enter the max–min problem (PerFlow links fold into
+    /// flow caps and are arithmetically inert there). Rebuilt alongside
+    /// `in_use`.
+    cap_in_use: Vec<u32>,
+    /// Link index → slot in `cap_in_use`, or [`NO_SLOT`].
+    cap_slot_of: Vec<u32>,
+    /// The solver problem in struct-of-arrays form: `flow_off` /
+    /// `flow_links` (capacity-slot space) rebuilt when `flows_dirty`,
+    /// `flow_cap` re-folded every boundary, `link_cap` refilled from
+    /// `eff_rate` at each solve.
+    prob: crate::soa::ProblemSlab,
+    /// Per-active-flow [`Sharing::PerFlow`] link ids (global), CSR —
+    /// the links whose rates fold into that flow's cap.
+    fold_off: Vec<u32>,
+    /// CSR arena for `fold_off`.
+    fold_links: Vec<u32>,
+    /// Active flow indices, ascending (mirrors the `active` list the
+    /// solve was handed; these are the partition's flow elements).
+    active_slots: Vec<u32>,
+    /// Incrementally-maintained flow↔capacity-link union–find.
+    partition: crate::partition::FlowLinkPartition,
+    /// Congestion components of the current problem (solve scratch).
+    comps: crate::partition::Components,
+    /// Per-worker solver scratch (index 0 serves the sequential path).
+    workers: Vec<WorkerScratch>,
     /// The last solver output, reusable while inputs are unchanged.
     solution: Vec<f64>,
-    /// `solution`/`prob_*` describe the current active set.
+    /// `solution`/`prob` describe the current active set.
     have_solution: bool,
+}
+
+/// Per-worker scratch for component solves: full-problem-size arrays the
+/// kernels initialise per component. Workers write rates into their own
+/// `rate` buffer; the solve scatters them back in component order.
+#[derive(Clone, Default)]
+struct WorkerScratch {
+    frozen: Vec<bool>,
+    residual: Vec<f64>,
+    active_on: Vec<u32>,
+    rate: Vec<f64>,
+}
+
+impl WorkerScratch {
+    fn resize(&mut self, flows: usize, links: usize) {
+        self.frozen.resize(flows, false);
+        self.residual.resize(links, 0.0);
+        self.active_on.resize(links, 0);
+        self.rate.resize(flows, 0.0);
+    }
 }
 
 impl EngineCache {
@@ -258,8 +315,15 @@ impl EngineCache {
             rate_until: vec![SimTime::ZERO; links],
             eff_rate: vec![0.0; links],
             change_heap: BinaryHeap::new(),
-            prob_flow_caps: Vec::new(),
-            prob_links: Vec::new(),
+            cap_in_use: Vec::new(),
+            cap_slot_of: vec![NO_SLOT; links],
+            prob: crate::soa::ProblemSlab::default(),
+            fold_off: Vec::new(),
+            fold_links: Vec::new(),
+            active_slots: Vec::new(),
+            partition: crate::partition::FlowLinkPartition::new(links),
+            comps: crate::partition::Components::default(),
+            workers: Vec::new(),
             solution: Vec::new(),
             have_solution: false,
         }
@@ -289,7 +353,151 @@ impl EngineCache {
         }
         self.flows_dirty = true;
         self.have_solution = false;
+        self.partition.on_flow_end();
     }
+}
+
+/// Minimum active flows per parallel chunk: below this, thread-spawn
+/// overhead dwarfs the loop body and the engine stays sequential.
+/// Purely a performance knob — chunking never changes any output bit.
+const PAR_MIN_FLOWS: usize = 1024;
+
+/// How many chunks the engine mode wants for `n` flows' worth of
+/// per-flow work. 1 for the sequential engines and for problems too
+/// small to amortise thread spawns.
+fn par_chunk_count(mode: EngineMode, n: usize) -> usize {
+    match mode {
+        EngineMode::Sharded { threads } => {
+            let t = threads.max(1);
+            if t > 1 && n >= 2 * PAR_MIN_FLOWS {
+                t.min(n / PAR_MIN_FLOWS)
+            } else {
+                1
+            }
+        }
+        _ => 1,
+    }
+}
+
+/// A contiguous k-range of the ascending active list paired with the
+/// matching disjoint window of the flow table — the unit of work for
+/// the sharded engine's parallel per-flow loops. Flow `i` (for `i ∈
+/// active`) lives at `flows[i - base]`; dense index `k` of the `j`-th
+/// entry is `k0 + j`.
+struct FlowChunk<'a> {
+    k0: usize,
+    base: usize,
+    active: &'a [usize],
+    flows: &'a mut [FlowState],
+}
+
+/// Splits `flows` into [`FlowChunk`]s of `per` active flows each.
+/// Windows are disjoint because `active` is ascending, so the chunks can
+/// be handed to worker threads directly.
+fn chunk_active<'a>(
+    mut flows: &'a mut [FlowState],
+    active: &'a [usize],
+    per: usize,
+) -> Vec<FlowChunk<'a>> {
+    let mut out = Vec::new();
+    let mut consumed = 0usize;
+    let mut k0 = 0usize;
+    while k0 < active.len() {
+        let k1 = (k0 + per).min(active.len());
+        let lo = active[k0];
+        let hi = active[k1 - 1] + 1;
+        let rest = std::mem::take(&mut flows);
+        let (_, rest) = rest.split_at_mut(lo - consumed);
+        let (win, rest) = rest.split_at_mut(hi - lo);
+        flows = rest;
+        consumed = hi;
+        out.push(FlowChunk {
+            k0,
+            base: lo,
+            active: &active[k0..k1],
+            flows: win,
+        });
+        k0 = k1;
+    }
+    out
+}
+
+/// One chunk of the folded-cap re-query: queries each flow's own cap,
+/// folds in its PerFlow link rates, and writes the chunk's slice of the
+/// slab flow caps. Returns whether any cap moved (bitwise).
+fn fold_caps_chunk(
+    ch: &mut FlowChunk<'_>,
+    caps: &mut [f64],
+    fold_off: &[u32],
+    fold_links: &[u32],
+    eff_rate: &[f64],
+    t: SimTime,
+) -> bool {
+    let mut changed = false;
+    for (j, &i) in ch.active.iter().enumerate() {
+        let k = ch.k0 + j;
+        let f = &mut ch.flows[i - ch.base];
+        let age = t - f.started;
+        let mut cap = f.cap.cap(age, f.bytes_done as u64);
+        for &l in &fold_links[fold_off[k] as usize..fold_off[k + 1] as usize] {
+            cap = cap.min(eff_rate[l as usize]);
+        }
+        if cap.to_bits() != caps[j].to_bits() {
+            caps[j] = cap;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// One chunk of the per-flow boundary scan: min over the chunk of each
+/// flow's next cap change and projected completion time.
+fn flow_boundary_chunk(
+    ch: &mut FlowChunk<'_>,
+    rates: &[f64],
+    t: SimTime,
+    until: SimTime,
+) -> SimTime {
+    let mut boundary = until;
+    for (j, &i) in ch.active.iter().enumerate() {
+        let k = ch.k0 + j;
+        let f = &mut ch.flows[i - ch.base];
+        let age = t - f.started;
+        if let Some(next_age) = f.cap.next_cap_change(age) {
+            debug_assert!(next_age > age, "cap change not in the future");
+            boundary = boundary.min(f.started + next_age);
+        }
+        let remaining = f.bytes_total as f64 - f.bytes_done;
+        if rates[k] > 0.0 && remaining > 0.0 {
+            let dt = SimDuration::from_secs_f64_ceil(remaining / rates[k]);
+            let dt = if dt.is_zero() {
+                SimDuration::from_micros(1)
+            } else {
+                dt
+            };
+            boundary = boundary.min(t.saturating_add(dt));
+        }
+    }
+    boundary
+}
+
+/// One chunk of progress integration; returns the flow indices that
+/// completed, ascending — concatenating per-chunk results in chunk
+/// order preserves the global ascending completion order.
+fn integrate_chunk(ch: &mut FlowChunk<'_>, rates: &[f64], dt: f64) -> Vec<usize> {
+    let mut done = Vec::new();
+    for (j, &i) in ch.active.iter().enumerate() {
+        let k = ch.k0 + j;
+        let f = &mut ch.flows[i - ch.base];
+        f.bytes_done = (f.bytes_done + rates[k] * dt).min(f.bytes_total as f64);
+        // Half-byte tolerance absorbs fp residue from the ceil rounding
+        // of dt.
+        if f.bytes_total as f64 - f.bytes_done < 0.5 {
+            f.bytes_done = f.bytes_total as f64;
+            done.push(i);
+        }
+    }
+    done
 }
 
 /// Live state of an installed [`FaultPlan`]: the pending schedule plus
@@ -581,6 +789,15 @@ impl Network {
         let finished = if bytes == 0 { Some(self.now) } else { None };
         if finished.is_none() {
             self.cache.acquire(&route);
+            let topo = &self.topo;
+            self.cache.partition.on_flow_start(
+                id.0 as u32,
+                route
+                    .links
+                    .iter()
+                    .filter(|l| topo.link(**l).sharing == crate::topology::Sharing::Capacity)
+                    .map(|l| l.0),
+            );
         }
         self.flows.push(FlowState {
             route,
@@ -786,6 +1003,19 @@ impl Network {
             for k in 0..self.cache.in_use.len() {
                 self.cache.slot_of[self.cache.in_use[k] as usize] = k as u32;
             }
+            // Capacity-shared subset: the links the solver slab holds
+            // (PerFlow links fold into flow caps and never enter it).
+            self.cache.cap_in_use.clear();
+            for s in self.cache.cap_slot_of.iter_mut() {
+                *s = NO_SLOT;
+            }
+            for k in 0..self.cache.in_use.len() {
+                let l = self.cache.in_use[k];
+                if self.topo.link(LinkId(l)).sharing == Sharing::Capacity {
+                    self.cache.cap_slot_of[l as usize] = self.cache.cap_in_use.len() as u32;
+                    self.cache.cap_in_use.push(l);
+                }
+            }
             for k in 0..self.cache.in_use.len() {
                 let l = self.cache.in_use[k] as usize;
                 if t >= self.cache.rate_until[l] {
@@ -845,37 +1075,82 @@ impl Network {
         if self.cache.flows_dirty {
             self.cache.flows_dirty = false;
             self.cache.have_solution = false;
-            self.cache.prob_links.clear();
+            self.cache.prob.flow_off.clear();
+            self.cache.prob.flow_off.push(0);
+            self.cache.prob.flow_links.clear();
+            self.cache.fold_off.clear();
+            self.cache.fold_off.push(0);
+            self.cache.fold_links.clear();
+            self.cache.active_slots.clear();
             for &i in active {
-                let links: Vec<usize> = self.flows[i]
-                    .route
-                    .links
-                    .iter()
-                    .map(|l| self.cache.slot_of[l.0 as usize] as usize)
-                    .collect();
-                self.cache.prob_links.push(links);
+                self.cache.active_slots.push(i as u32);
+                for l in &self.flows[i].route.links {
+                    match self.topo.link(*l).sharing {
+                        Sharing::Capacity => self
+                            .cache
+                            .prob
+                            .flow_links
+                            .push(self.cache.cap_slot_of[l.0 as usize]),
+                        Sharing::PerFlow => self.cache.fold_links.push(l.0),
+                    }
+                }
+                self.cache
+                    .prob
+                    .flow_off
+                    .push(self.cache.prob.flow_links.len() as u32);
+                self.cache.fold_off.push(self.cache.fold_links.len() as u32);
             }
-            self.cache.prob_flow_caps.clear();
-            self.cache.prob_flow_caps.resize(active.len(), f64::NAN);
+            self.cache.prob.flow_cap.clear();
+            self.cache.prob.flow_cap.resize(active.len(), f64::NAN);
         }
 
         // Folded per-flow caps are re-queried every boundary: caps are
         // allowed to depend on flow age and progress, both of which
-        // advance each step. (The query sequence also exactly matches
-        // the scratch path, in case a cap implementation is stateful.)
-        for (k, &i) in active.iter().enumerate() {
-            let f = &mut self.flows[i];
-            let age = t - f.started;
-            let mut cap = f.cap.cap(age, f.bytes_done as u64);
-            for l in &f.route.links {
-                if self.topo.link(*l).sharing == Sharing::PerFlow {
-                    cap = cap.min(self.cache.eff_rate[l.0 as usize]);
-                }
-            }
-            if cap.to_bits() != self.cache.prob_flow_caps[k].to_bits() {
-                self.cache.prob_flow_caps[k] = cap;
-                changed = true;
-            }
+        // advance each step. (Each flow's own cap object sees the same
+        // per-flow query sequence as the scratch path regardless of how
+        // the work is chunked, so stateful cap implementations stay
+        // deterministic.)
+        let nchunks = par_chunk_count(self.mode, active.len());
+        let per = active.len().div_ceil(nchunks.max(1)).max(1);
+        {
+            let EngineCache {
+                fold_off,
+                fold_links,
+                eff_rate,
+                prob,
+                ..
+            } = &mut self.cache;
+            let fold_off = &fold_off[..];
+            let fold_links = &fold_links[..];
+            let eff_rate = &eff_rate[..];
+            let chunks = chunk_active(&mut self.flows, active, per);
+            let caps_chunks = prob.flow_cap.chunks_mut(per);
+            let results: Vec<bool> = if nchunks <= 1 {
+                chunks
+                    .into_iter()
+                    .zip(caps_chunks)
+                    .map(|(mut ch, caps)| {
+                        fold_caps_chunk(&mut ch, caps, fold_off, fold_links, eff_rate, t)
+                    })
+                    .collect()
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .zip(caps_chunks)
+                        .map(|(mut ch, caps)| {
+                            s.spawn(move || {
+                                fold_caps_chunk(&mut ch, caps, fold_off, fold_links, eff_rate, t)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fold worker panicked"))
+                        .collect()
+                })
+            };
+            changed |= results.into_iter().any(|c| c);
         }
 
         if self.cache.have_solution && !changed {
@@ -889,29 +1164,203 @@ impl Network {
             return self.cache.solution.clone();
         }
 
-        let caps: Vec<f64> = self
-            .cache
-            .in_use
-            .iter()
-            .map(|&l| match self.topo.link(LinkId(l)).sharing {
-                Sharing::Capacity => self.cache.eff_rate[l as usize],
-                Sharing::PerFlow => f64::INFINITY,
-            })
-            .collect();
-        let alloc_flows: Vec<AllocFlow> = self
-            .cache
-            .prob_links
-            .iter()
-            .zip(&self.cache.prob_flow_caps)
-            .map(|(links, &cap)| AllocFlow {
-                links: links.clone(),
-                cap,
-            })
-            .collect();
-        let rates = max_min_rates(&caps, &alloc_flows);
-        self.note_full_solve(active.len());
-        self.cache.solution.clone_from(&rates);
+        let nf = active.len();
+
+        // Slab link capacities are the cached effective rates of the
+        // in-use Capacity links.
+        let mut all_finite = true;
+        {
+            let EngineCache {
+                prob,
+                cap_in_use,
+                eff_rate,
+                ..
+            } = &mut self.cache;
+            prob.link_cap.clear();
+            for &l in cap_in_use.iter() {
+                let e = eff_rate[l as usize];
+                all_finite &= e.is_finite();
+                prob.link_cap.push(e);
+            }
+        }
+        if !all_finite {
+            // Degenerate: an in-use Capacity link with a non-finite
+            // effective rate. The solver drops such links from the
+            // problem entirely (they cannot saturate), which also
+            // changes the component structure, so take the generic path
+            // — the exact arithmetic the reference engine runs.
+            let caps: Vec<f64> = self
+                .cache
+                .in_use
+                .iter()
+                .map(|&l| match self.topo.link(LinkId(l)).sharing {
+                    Sharing::Capacity => self.cache.eff_rate[l as usize],
+                    Sharing::PerFlow => f64::INFINITY,
+                })
+                .collect();
+            let alloc_flows: Vec<AllocFlow> = active
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| AllocFlow {
+                    links: self.flows[i]
+                        .route
+                        .links
+                        .iter()
+                        .map(|l| self.cache.slot_of[l.0 as usize] as usize)
+                        .collect(),
+                    cap: self.cache.prob.flow_cap[k],
+                })
+                .collect();
+            let rates = max_min_rates(&caps, &alloc_flows);
+            self.note_full_solve(nf);
+            self.cache.solution.clone_from(&rates);
+            self.cache.have_solution = true;
+            return rates;
+        }
+
+        // Partition upkeep: arrivals were folded in incrementally;
+        // departures marked the union–find dirty and are repaired here
+        // with one rebuild over the live membership.
+        if self.cache.partition.is_dirty() {
+            let flows = &self.flows;
+            let topo = &self.topo;
+            let part = &mut self.cache.partition;
+            part.begin_rebuild();
+            for &i in active {
+                part.rebuild_flow(
+                    i as u32,
+                    flows[i]
+                        .route
+                        .links
+                        .iter()
+                        .filter(|l| topo.link(**l).sharing == Sharing::Capacity)
+                        .map(|l| l.0),
+                );
+            }
+            if let Some(tel) = &self.telemetry {
+                tel.metrics
+                    .counter("simnet_partition_rebuilds", vec![])
+                    .inc();
+                tel.tracer.record(Event::new(
+                    EventKind::PartitionRebuild,
+                    t.as_micros(),
+                    nf as u64,
+                ));
+            }
+        }
+        let ncomp;
+        {
+            let EngineCache {
+                partition,
+                active_slots,
+                cap_in_use,
+                comps,
+                ..
+            } = &mut self.cache;
+            partition.components_into(active_slots, cap_in_use, comps);
+            ncomp = comps.count();
+        }
+        self.stats.component_solves += ncomp as u64;
+
+        // The slab path bypasses `max_min_rates`' input validation; keep
+        // its contract (same panics on bad caps). Non-finite link rates
+        // took the fallback above, so only NaN/negative checks remain.
+        for &c in &self.cache.prob.flow_cap {
+            assert!(c >= 0.0 && !c.is_nan(), "bad flow cap {c}");
+        }
+        for &c in &self.cache.prob.link_cap {
+            assert!(c >= 0.0, "bad link capacity {c}");
+        }
+
+        let nworkers = par_chunk_count(self.mode, nf).min(ncomp.max(1));
+        {
+            let EngineCache {
+                prob,
+                comps,
+                workers,
+                solution,
+                ..
+            } = &mut self.cache;
+            let nl = prob.link_cap.len();
+            solution.clear();
+            solution.resize(nf, 0.0);
+            if workers.len() < nworkers.max(1) {
+                workers.resize(nworkers.max(1), WorkerScratch::default());
+            }
+            if nworkers <= 1 {
+                let w = &mut workers[0];
+                w.resize(nf, nl);
+                for c in 0..ncomp {
+                    crate::soa::solve_component(
+                        prob,
+                        comps.comp_flows(c),
+                        comps.comp_links(c),
+                        &mut w.frozen,
+                        &mut w.residual,
+                        &mut w.active_on,
+                        solution,
+                    );
+                }
+            } else {
+                // Split components into ≤ nworkers contiguous ranges of
+                // roughly equal total flows. Each worker solves its
+                // components on private scratch; component flow sets are
+                // disjoint, so the scatter below writes each slot once.
+                let mut ranges: Vec<(usize, usize)> = Vec::new();
+                let target = nf.div_ceil(nworkers);
+                let mut c0 = 0usize;
+                let mut acc = 0usize;
+                for c in 0..ncomp {
+                    acc += comps.comp_flows(c).len();
+                    if acc >= target || c + 1 == ncomp {
+                        ranges.push((c0, c + 1));
+                        c0 = c + 1;
+                        acc = 0;
+                    }
+                }
+                let prob = &*prob;
+                let comps = &*comps;
+                std::thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for (w, &(r0, r1)) in workers.iter_mut().zip(&ranges) {
+                        w.resize(nf, nl);
+                        handles.push(s.spawn(move || {
+                            for c in r0..r1 {
+                                crate::soa::solve_component(
+                                    prob,
+                                    comps.comp_flows(c),
+                                    comps.comp_links(c),
+                                    &mut w.frozen,
+                                    &mut w.residual,
+                                    &mut w.active_on,
+                                    &mut w.rate,
+                                );
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.join().expect("solve worker panicked");
+                    }
+                });
+                // Deterministic merge: scatter per-worker rates back in
+                // stable component order.
+                for (w, &(r0, r1)) in workers.iter().zip(&ranges) {
+                    for c in r0..r1 {
+                        for &f in comps.comp_flows(c) {
+                            solution[f as usize] = w.rate[f as usize];
+                        }
+                    }
+                }
+            }
+        }
+        let rates = self.cache.solution.clone();
+        self.note_full_solve(nf);
         self.cache.have_solution = true;
+        if let Some(tel) = &self.telemetry {
+            tel.metrics
+                .counter("simnet_component_solves", vec![])
+                .add(ncomp as u64);
+        }
         rates
     }
 
@@ -938,7 +1387,7 @@ impl Network {
             return Vec::new();
         }
         let rates = match self.mode {
-            EngineMode::Incremental => self.incremental_rates(&active),
+            EngineMode::Incremental | EngineMode::Sharded { .. } => self.incremental_rates(&active),
             EngineMode::Reference => {
                 let (caps, alloc_flows) = self.scratch_problem(&active);
                 let rates = crate::fairshare::reference_rates(&caps, &alloc_flows);
@@ -958,7 +1407,7 @@ impl Network {
         let mut boundary = until;
         // Earliest upcoming link-rate change among in-use links.
         match self.mode {
-            EngineMode::Incremental => {
+            EngineMode::Incremental | EngineMode::Sharded { .. } => {
                 // The change heap's first *valid* entry is the earliest
                 // cached segment end; stale entries (superseded
                 // refreshes, out-of-use links) are discarded on the
@@ -989,22 +1438,36 @@ impl Network {
                 }
             }
         }
-        for (k, &i) in active.iter().enumerate() {
-            let f = &mut self.flows[i];
-            let age = t - f.started;
-            if let Some(next_age) = f.cap.next_cap_change(age) {
-                debug_assert!(next_age > age, "cap change not in the future");
-                boundary = boundary.min(f.started + next_age);
-            }
-            let remaining = f.bytes_total as f64 - f.bytes_done;
-            if rates[k] > 0.0 && remaining > 0.0 {
-                let dt = SimDuration::from_secs_f64_ceil(remaining / rates[k]);
-                let dt = if dt.is_zero() {
-                    SimDuration::from_micros(1)
-                } else {
-                    dt
-                };
-                boundary = boundary.min(t.saturating_add(dt));
+        // Per-flow boundary candidates: each flow's next cap change and
+        // projected completion. Chunked for the sharded engine;
+        // `SimTime` minima are integer, so folding per-chunk results in
+        // chunk order is exact regardless of the split.
+        let nchunks = par_chunk_count(self.mode, active.len());
+        let per = active.len().div_ceil(nchunks.max(1)).max(1);
+        {
+            let rates = &rates[..];
+            let chunks = chunk_active(&mut self.flows, &active, per);
+            let mins: Vec<SimTime> = if nchunks <= 1 {
+                chunks
+                    .into_iter()
+                    .map(|mut ch| flow_boundary_chunk(&mut ch, rates, t, until))
+                    .collect()
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|mut ch| {
+                            s.spawn(move || flow_boundary_chunk(&mut ch, rates, t, until))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("boundary worker panicked"))
+                        .collect()
+                })
+            };
+            for m in mins {
+                boundary = boundary.min(m);
             }
         }
         // A scheduled fault is a rate-change boundary like any other
@@ -1020,26 +1483,45 @@ impl Network {
         }
         let dt = (boundary - self.now).as_secs_f64();
 
-        // Integrate progress and collect completions at `boundary`.
+        // Integrate progress (chunked like the scan above) and collect
+        // completions at `boundary`. Completion side effects — release,
+        // active-set removal, stats — run sequentially afterwards in
+        // ascending flow order, identical to the sequential engines.
+        let completed: Vec<usize> = {
+            let rates = &rates[..];
+            let chunks = chunk_active(&mut self.flows, &active, per);
+            let parts: Vec<Vec<usize>> = if nchunks <= 1 {
+                chunks
+                    .into_iter()
+                    .map(|mut ch| integrate_chunk(&mut ch, rates, dt))
+                    .collect()
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|mut ch| s.spawn(move || integrate_chunk(&mut ch, rates, dt)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("integrate worker panicked"))
+                        .collect()
+                })
+            };
+            parts.into_iter().flatten().collect()
+        };
         let mut done = Vec::new();
-        for (k, &i) in active.iter().enumerate() {
+        for i in completed {
             let f = &mut self.flows[i];
-            f.bytes_done = (f.bytes_done + rates[k] * dt).min(f.bytes_total as f64);
-            // Half-byte tolerance absorbs fp residue from the ceil
-            // rounding of dt.
-            if f.bytes_total as f64 - f.bytes_done < 0.5 {
-                f.bytes_done = f.bytes_total as f64;
-                f.finished = Some(boundary);
-                self.cache.release(&f.route);
-                self.active.remove(&i);
-                self.stats.flows_completed += 1;
-                done.push(CompletedFlow {
-                    id: FlowId(i as u64),
-                    bytes: f.bytes_total,
-                    started: f.started,
-                    finished: boundary,
-                });
-            }
+            f.finished = Some(boundary);
+            self.cache.release(&f.route);
+            self.active.remove(&i);
+            self.stats.flows_completed += 1;
+            done.push(CompletedFlow {
+                id: FlowId(i as u64),
+                bytes: f.bytes_total,
+                started: f.started,
+                finished: boundary,
+            });
         }
         self.now = boundary;
         if let Some(tel) = &self.telemetry {

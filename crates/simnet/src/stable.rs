@@ -7,6 +7,7 @@
 //! stale cache entries are retired rather than wrongly reused.
 
 use crate::faults::{FaultEvent, FaultPlan, FaultSpec};
+use crate::sim::EngineMode;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId};
 use ir_artifact::{StableHash, StableHasher};
@@ -32,6 +33,23 @@ impl StableHash for NodeId {
 impl StableHash for LinkId {
     fn stable_hash(&self, h: &mut StableHasher) {
         self.0.stable_hash(h);
+    }
+}
+
+impl StableHash for EngineMode {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // The sharded engine's thread count is deliberately *excluded*:
+        // every engine produces bit-identical results at any thread
+        // count (enforced by the cross-engine differential suite), so
+        // threads is an execution knob, not a semantic input — hashing
+        // it would force spurious cache misses between `--threads`
+        // settings. The variant tag stays in so a future mode whose
+        // semantics *do* diverge gets its own cache lineage.
+        h.write_tag(match self {
+            EngineMode::Incremental => 0,
+            EngineMode::Reference => 1,
+            EngineMode::Sharded { .. } => 2,
+        });
     }
 }
 
@@ -102,6 +120,17 @@ mod tests {
         let node = fingerprint_of(&FaultEvent::NodeDown(NodeId(3)));
         assert_ne!(down, up);
         assert_ne!(down, node);
+    }
+
+    #[test]
+    fn engine_mode_hashes_variant_but_not_thread_count() {
+        let inc = fingerprint_of(&EngineMode::Incremental);
+        let refc = fingerprint_of(&EngineMode::Reference);
+        let s2 = fingerprint_of(&EngineMode::Sharded { threads: 2 });
+        let s8 = fingerprint_of(&EngineMode::Sharded { threads: 8 });
+        assert_ne!(inc, refc);
+        assert_ne!(inc, s2);
+        assert_eq!(s2, s8, "thread count must not change the fingerprint");
     }
 
     #[test]

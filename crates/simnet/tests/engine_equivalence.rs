@@ -1,16 +1,17 @@
-//! Differential suite: the incremental allocation engine must be
-//! **bit-identical** to the naive reference engine
-//! ([`EngineMode::Reference`], which rebuilds the fair-share problem
-//! from scratch every boundary and solves it with
+//! Differential suite: the incremental allocation engine **and** the
+//! partition-sharded engine must both be **bit-identical** to the naive
+//! reference engine ([`EngineMode::Reference`], which rebuilds the
+//! fair-share problem from scratch every boundary and solves it with
 //! `fairshare::reference_rates`).
 //!
 //! Each case builds one network, clones it (clones replay identical
 //! randomness), runs one clone per engine mode through an identical
 //! scripted call sequence, and asserts after **every** boundary step
 //! that the clock, the per-flow rates (bitwise), and the completion
-//! records agree. Any divergence is an invalidation bug in the
-//! incremental engine, never fp noise — both engines share the same
-//! solver arithmetic (see `fairshare.rs`).
+//! records agree across all three engines. Any divergence is an
+//! invalidation bug (incremental) or a partition/merge bug (sharded),
+//! never fp noise — all engines share the same solver arithmetic (see
+//! `fairshare.rs` and `soa.rs`).
 
 use ir_simnet::bandwidth::{
     BandwidthProcess, ConstantProcess, PiecewiseProcess, RegimeSwitchingProcess,
@@ -266,45 +267,51 @@ fn apply(net: &mut Network, action: &Action) {
     }
 }
 
-/// Steps both engines boundary-by-boundary to `until`, asserting
-/// bitwise agreement after every step.
-fn lockstep(case: u64, inc: &mut Network, refc: &mut Network, until: SimTime) {
+/// Steps every engine boundary-by-boundary to `until`, asserting
+/// bitwise agreement with the first (pivot) engine after every step.
+fn lockstep(case: u64, nets: &mut [&mut Network], until: SimTime) {
+    let rates_of = |net: &Network| -> Vec<(u64, u64)> {
+        net.last_boundary_rates()
+            .iter()
+            .map(|&(id, r)| (id.0, r.to_bits()))
+            .collect()
+    };
     loop {
-        let da = inc.step_boundary(until);
-        let db = refc.step_boundary(until);
-        assert_eq!(
-            inc.now(),
-            refc.now(),
-            "case {case}: boundary clocks diverged"
-        );
-        let ra: Vec<(u64, u64)> = inc
-            .last_boundary_rates()
-            .iter()
-            .map(|&(id, r)| (id.0, r.to_bits()))
-            .collect();
-        let rb: Vec<(u64, u64)> = refc
-            .last_boundary_rates()
-            .iter()
-            .map(|&(id, r)| (id.0, r.to_bits()))
-            .collect();
-        assert_eq!(ra, rb, "case {case}: rates diverged at t={:?}", inc.now());
-        assert_eq!(da, db, "case {case}: completions diverged");
-        assert_eq!(
-            inc.stats().boundaries,
-            refc.stats().boundaries,
-            "case {case}: boundary counts diverged"
-        );
-        if inc.now() >= until {
+        let (pivot, rest) = nets.split_first_mut().expect("at least one engine");
+        let da = pivot.step_boundary(until);
+        let ra = rates_of(pivot);
+        for other in rest.iter_mut() {
+            let db = other.step_boundary(until);
+            assert_eq!(
+                pivot.now(),
+                other.now(),
+                "case {case}: boundary clocks diverged"
+            );
+            assert_eq!(
+                ra,
+                rates_of(other),
+                "case {case}: rates diverged at t={:?}",
+                pivot.now()
+            );
+            assert_eq!(da, db, "case {case}: completions diverged");
+            assert_eq!(
+                pivot.stats().boundaries,
+                other.stats().boundaries,
+                "case {case}: boundary counts diverged"
+            );
+        }
+        if pivot.now() >= until {
             break;
         }
     }
 }
 
 #[test]
-fn incremental_engine_is_bitwise_identical_to_reference() {
+fn incremental_and_sharded_engines_are_bitwise_identical_to_reference() {
     let mut total_skips = 0u64;
     let mut total_boundaries = 0u64;
     let mut total_full = 0u64;
+    let mut total_components = 0u64;
     for case in 0..220u64 {
         let Case {
             net,
@@ -312,21 +319,25 @@ fn incremental_engine_is_bitwise_identical_to_reference() {
             horizon,
         } = arb_case(0xE9_0000 + case);
         let mut inc = net.clone();
+        let mut shard = net.clone();
         let mut refc = net;
         inc.set_engine_mode(EngineMode::Incremental);
+        shard.set_engine_mode(EngineMode::Sharded { threads: 4 });
         refc.set_engine_mode(EngineMode::Reference);
 
         for (at, action) in &script {
-            lockstep(case, &mut inc, &mut refc, *at);
+            lockstep(case, &mut [&mut inc, &mut refc, &mut shard], *at);
             apply(&mut inc, action);
             apply(&mut refc, action);
+            apply(&mut shard, action);
         }
-        lockstep(case, &mut inc, &mut refc, horizon);
+        lockstep(case, &mut [&mut inc, &mut refc, &mut shard], horizon);
 
         // Final records, bitwise: every flow's completion (or absence)
-        // must match.
+        // must match across all three engines.
         let sa = inc.stats();
         let sb = refc.stats();
+        let ss = shard.stats();
         for k in 0..sa.flows_started {
             let id = FlowId(k);
             assert_eq!(
@@ -334,7 +345,13 @@ fn incremental_engine_is_bitwise_identical_to_reference() {
                 refc.completion(id),
                 "case {case}: final record diverged for flow {k}"
             );
+            assert_eq!(
+                inc.completion(id),
+                shard.completion(id),
+                "case {case}: sharded final record diverged for flow {k}"
+            );
             assert_eq!(inc.flow_progress(id), refc.flow_progress(id));
+            assert_eq!(inc.flow_progress(id), shard.flow_progress(id));
         }
         assert_eq!(sa.boundaries, sb.boundaries, "case {case}");
         assert_eq!(sa.flows_completed, sb.flows_completed, "case {case}");
@@ -348,9 +365,22 @@ fn incremental_engine_is_bitwise_identical_to_reference() {
             sb.full_solves,
             "case {case}: every allocation is either solved or provably reused"
         );
+        // The sharded engine runs the incremental code path with chunked
+        // execution: its bookkeeping must match the incremental engine
+        // counter-for-counter, not just its outputs.
+        assert_eq!(sa.boundaries, ss.boundaries, "case {case}");
+        assert_eq!(sa.full_solves, ss.full_solves, "case {case}");
+        assert_eq!(sa.incremental_solves, ss.incremental_solves, "case {case}");
+        assert_eq!(sa.flows_completed, ss.flows_completed, "case {case}");
+        assert_eq!(sa.flows_cancelled, ss.flows_cancelled, "case {case}");
+        assert_eq!(
+            sa.component_solves, ss.component_solves,
+            "case {case}: partition decompositions diverged"
+        );
         total_skips += sa.incremental_solves;
         total_full += sa.full_solves;
         total_boundaries += sa.boundaries;
+        total_components += sa.component_solves;
     }
     // The optimization must actually fire across the sweep, not just be
     // correct: fewer full solves than boundaries overall.
@@ -358,6 +388,13 @@ fn incremental_engine_is_bitwise_identical_to_reference() {
     assert!(
         total_full < total_boundaries,
         "full_solves ({total_full}) should undercut boundaries ({total_boundaries})"
+    );
+    // Multi-component decompositions must actually occur across the
+    // sweep (disjoint segments + express hops guarantee them), or the
+    // partitioner is vacuously untested here.
+    assert!(
+        total_components > total_full,
+        "components ({total_components}) should exceed solves ({total_full})"
     );
 }
 

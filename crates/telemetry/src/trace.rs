@@ -28,6 +28,10 @@ pub enum EventKind {
     /// A scheduled fault event (link outage/repair, brownout, node
     /// crash/restart) was applied; attrs carry the kind and factor.
     FaultInjected,
+    /// The engine rebuilt its flow↔link congestion partition from the
+    /// live membership (departures invalidate the incremental
+    /// union–find); `id` carries the active-flow count.
+    PartitionRebuild,
     /// A probe race began (one event per session).
     ProbeStart,
     /// A probe race was decided; the attrs name the winning path.
@@ -81,6 +85,7 @@ impl EventKind {
             EventKind::FlowCancel => "flow_cancel",
             EventKind::FairShareRecompute => "fair_share_recompute",
             EventKind::FaultInjected => "fault_injected",
+            EventKind::PartitionRebuild => "partition_rebuild",
             EventKind::ProbeStart => "probe_start",
             EventKind::ProbeWon => "probe_won",
             EventKind::ProbeTimeout => "probe_timeout",
@@ -108,7 +113,8 @@ impl EventKind {
             | EventKind::FlowComplete
             | EventKind::FlowCancel
             | EventKind::FairShareRecompute
-            | EventKind::FaultInjected => "simnet",
+            | EventKind::FaultInjected
+            | EventKind::PartitionRebuild => "simnet",
             EventKind::ProbeStart
             | EventKind::ProbeWon
             | EventKind::ProbeTimeout

@@ -156,6 +156,71 @@ fn golden_tournament_csv_bytes_unchanged() {
     }
 }
 
+/// The partition-sharded engine's thread count is an execution knob,
+/// never a semantic one: the pinned seed-42 Fig 1 study must render
+/// byte-identical Fig 1 / Table I CSVs at `threads` 1, 2, 4 and 8, all
+/// equal to the incremental engine's bytes (which the golden test above
+/// pins), and every run must hit the pinned boundary-count canary.
+#[test]
+fn sharded_engine_thread_count_never_moves_study_bytes() {
+    use indirect_routing::core::EngineMode;
+    use ir_telemetry::Telemetry;
+    use std::sync::Arc;
+
+    let study = |engine: EngineMode| {
+        let sc = workload::build(
+            42,
+            &workload::roster::CLIENTS[..4],
+            &workload::roster::INTERMEDIATES[..4],
+            &workload::roster::SERVERS[..1],
+            workload::Calibration::default(),
+            false,
+        );
+        let mut cfg = SessionConfig::paper_defaults();
+        cfg.engine = engine;
+        let tel = Arc::new(Telemetry::new());
+        let data = runner::run_measurement_study_traced(
+            &sc,
+            0,
+            workload::Schedule::measurement_study().spread(8),
+            cfg,
+            Some(Arc::clone(&tel)),
+        );
+        let boundaries = tel
+            .metrics
+            .snapshot()
+            .counter("simnet_boundaries", &vec![])
+            .unwrap_or(0);
+        (
+            fig1::report(&data).csv[0].1.clone(),
+            table1::report(&data).csv[0].1.clone(),
+            boundaries,
+        )
+    };
+
+    let base = study(EngineMode::Incremental);
+    assert_eq!(
+        base.2,
+        indirect_routing::experiments::bench_gate::PINNED_FIG1_BOUNDARIES,
+        "incremental run missed the pinned boundary canary"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let sharded = study(EngineMode::Sharded { threads });
+        assert_eq!(
+            sharded.0, base.0,
+            "fig1 CSV bytes moved at --threads {threads}"
+        );
+        assert_eq!(
+            sharded.1, base.1,
+            "table1 CSV bytes moved at --threads {threads}"
+        );
+        assert_eq!(
+            sharded.2, base.2,
+            "boundary canary moved at --threads {threads}"
+        );
+    }
+}
+
 #[test]
 fn selection_study_deterministic() {
     let mk = || {

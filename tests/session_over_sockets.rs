@@ -23,6 +23,7 @@ fn session_cfg(file: u64, probe: u64) -> SessionConfig {
         control: ControlMode::Concurrent,
         horizon: SimDuration::from_secs(120),
         failover: None,
+        engine: EngineMode::Incremental,
     }
 }
 
