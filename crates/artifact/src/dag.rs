@@ -75,6 +75,7 @@ pub struct ArtefactSpec {
     /// expects them.
     pub deps: Vec<Fingerprint>,
     /// Renders the artefact from its resolved study outputs.
+    // boxed render closure; aliasing it would obscure the artefact contract
     #[allow(clippy::type_complexity)]
     pub render: Box<dyn FnOnce(&[StudyOutput]) -> ArtefactOutput>,
 }

@@ -1,0 +1,21 @@
+// Seeded hazards: ambient nondeterminism (rule 2), unsafe without a
+// SAFETY comment (rule 5), and an unjustified allow (rule 6).
+pub mod stable;
+
+pub struct Config {
+    pub seed: u64,
+    pub retries: u32,
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn opt_in() -> bool {
+    std::env::var_os("FIXTURE_FLAG").is_some()
+}
+
+#[allow(dead_code)]
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,12 @@
+// Seeded hazard: a StableHash impl that skips `retries` (rule 3).
+use super::Config;
+
+pub trait StableHash {
+    fn stable_hash(&self, h: &mut Vec<u8>);
+}
+
+impl StableHash for Config {
+    fn stable_hash(&self, h: &mut Vec<u8>) {
+        h.extend_from_slice(&self.seed.to_le_bytes());
+    }
+}

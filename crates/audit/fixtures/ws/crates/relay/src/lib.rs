@@ -1,0 +1,7 @@
+// An I/O crate: hash containers and wall clocks are fine here —
+// rules 1/2/4 must NOT fire on this file (rules 5/6 still apply).
+use std::collections::HashMap;
+
+pub fn connections() -> HashMap<u32, std::time::Instant> {
+    HashMap::new()
+}

@@ -1,0 +1,15 @@
+// Seeded hazards: unordered iteration (rule 1) and a float-order
+// reduction over a hash-iterated source (rule 4).
+use std::collections::HashMap;
+
+pub fn total(rates: &HashMap<u32, f64>) -> f64 {
+    rates.values().sum::<f64>()
+}
+
+pub fn keys_sorted(rates: &HashMap<u32, f64>) -> Vec<u32> {
+    // Immediately sorted: the auditor must NOT flag this iteration
+    // (the container declarations above still fire sub-check (a)).
+    let mut ks: Vec<u32> = rates.keys().copied().collect();
+    ks.sort();
+    ks
+}

@@ -1,0 +1,82 @@
+//! `ir-audit` CLI.
+//!
+//! ```text
+//! cargo run -p ir-audit [--root DIR] [--allow FILE] [--json FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` denied findings or stale allowlist
+//! entries, `2` usage / I/O error. The findings JSON is written even
+//! when the audit fails, so CI can archive it from a failing job.
+
+use ir_audit::allowlist::Allowlist;
+use ir_audit::{audit_workspace, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    allow: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace that contains this crate.
+    let mut args = Args {
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        allow: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--allow" => args.allow = Some(PathBuf::from(value("--allow")?)),
+            "--json" => args.json = Some(PathBuf::from(value("--json")?)),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: ir-audit [--root DIR] [--allow FILE] [--json FILE] [--quiet]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = args
+        .root
+        .canonicalize()
+        .map_err(|e| format!("bad --root {}: {e}", args.root.display()))?;
+    let allow_path = args.allow.unwrap_or_else(|| root.join("audit.allow.toml"));
+    let json_path = args
+        .json
+        .unwrap_or_else(|| root.join("audit_findings.json"));
+
+    let allow = Allowlist::load(&allow_path)?;
+    let outcome = audit_workspace(&root, &allow)?;
+
+    std::fs::write(&json_path, report::to_json(&outcome, &allow))
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    if !args.quiet || !outcome.clean() {
+        print!("{}", report::to_text(&outcome, &allow));
+    }
+    Ok(outcome.clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("ir-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

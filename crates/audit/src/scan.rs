@@ -1,0 +1,334 @@
+//! Source scanning: directory walk + a comment/string-aware line view.
+//!
+//! The auditor has no `syn` (the build environment is offline), so the
+//! rule passes work over a **lexed line view** instead of an AST: for
+//! every physical line we produce the line's *code* text — with string
+//! and char literals replaced by placeholders and comments removed —
+//! and the line's *comment* text. Rules that match identifiers and
+//! call patterns use the code view (so a comment mentioning
+//! `HashMap.iter()` never fires), while hygiene rules (`// SAFETY:`,
+//! allow justifications) use the comment view.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One physical source line, split into its lexical halves.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text: string/char literals collapsed to `""`/`' '`,
+    /// comments stripped.
+    pub code: String,
+    /// Comment text (without the `//` / `/*` markers).
+    pub comment: String,
+}
+
+/// A lexed source file, path relative to the audit root.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Root-relative path with `/` separators, e.g.
+    /// `crates/simnet/src/sim.rs`.
+    pub rel_path: String,
+    /// Lexed lines (1-indexed when reported: line `i` is `lines[i-1]`).
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into per-line code/comment views.
+    pub fn lex(rel_path: String, text: &str) -> SourceFile {
+        SourceFile {
+            rel_path,
+            lines: lex_lines(text),
+        }
+    }
+
+    /// The raw code view of 1-indexed `line`, trimmed, for reports.
+    pub fn snippet(&self, line: usize) -> String {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.code.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested block comments carry their depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` `#` marks: ends at `"` followed by `n` `#`s.
+    RawStr(u32),
+}
+
+fn lex_lines(text: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in text.lines() {
+        let mut line = Line::default();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        // A line comment never spans lines.
+        if mode == Mode::LineComment {
+            mode = Mode::Code;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        line.comment.push_str(&raw[byte_at(raw, i + 2)..]);
+                        mode = Mode::LineComment;
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        line.code.push_str("\"\"");
+                        mode = Mode::Str;
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_str_start(&chars, i) => {
+                        let (hashes, skip) = raw_str_open(&chars, i);
+                        line.code.push_str("\"\"");
+                        mode = Mode::RawStr(hashes);
+                        i += skip;
+                    }
+                    '\'' => {
+                        if let Some(skip) = char_literal_len(&chars, i) {
+                            line.code.push_str("' '");
+                            i += skip;
+                        } else {
+                            // A lifetime tick.
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                },
+                Mode::LineComment => unreachable!("reset at line start"),
+                Mode::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => match c {
+                    '\\' => i += 2,
+                    '"' => {
+                        mode = Mode::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+/// Byte offset of char index `ci` in `s` (lines are short; linear is
+/// fine).
+fn byte_at(s: &str, ci: usize) -> usize {
+    s.char_indices().nth(ci).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+/// Is `chars[i..]` the start of a raw (byte) string literal —
+/// `r"`, `r#"`, `br"`, … — and not just an identifier containing `r`?
+fn is_raw_str_start(chars: &[char], i: usize) -> bool {
+    // Reject when preceded by an identifier char (e.g. `for` / `var`).
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Hash count and char length of the raw-string opener at `i`.
+fn raw_str_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, j - i)
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` marks?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Char length of a char literal starting at the `'` at `i`, or `None`
+/// when the tick is a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escape: scan to the closing quote (caps at 12 for \u{...}).
+            for k in 2..12 {
+                if chars.get(i + k) == Some(&'\'') {
+                    return Some(k + 1);
+                }
+            }
+            None
+        }
+        _ => {
+            if chars.get(i + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Directories never scanned, at any depth.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "results", "fixtures"];
+
+/// Walks `root` for `.rs` files (skipping `target`, `vendor`, `.git`,
+/// `results`, and `fixtures` at any depth) and lexes
+/// them. Paths come back root-relative, sorted, `/`-separated — the
+/// scan order is deterministic so findings reports are byte-stable.
+pub fn scan_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = fs::read_to_string(root.join(&p))
+            .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        let rel = p
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::lex(rel, &text));
+    }
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("path {} escapes root: {e}", path.display()))?;
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(text: &str) -> Vec<String> {
+        SourceFile::lex("t.rs".into(), text)
+            .lines
+            .into_iter()
+            .map(|l| l.code)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_leave_the_code_view() {
+        let code = code_of("let x = \"HashMap.iter()\"; // Instant::now\nuse a;");
+        assert_eq!(code[0], "let x = \"\"; ");
+        assert_eq!(code[1], "use a;");
+    }
+
+    #[test]
+    fn comment_view_keeps_text() {
+        let f = SourceFile::lex("t.rs".into(), "unsafe {} // SAFETY: fine");
+        assert!(f.lines[0].comment.contains("SAFETY: fine"));
+        assert!(f.lines[0].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let code = code_of("a /* x /* y */ HashMap */ b\nstill /* open\nHashMap\n*/ done");
+        assert_eq!(code[0], "a  b");
+        assert!(!code[2].contains("HashMap"));
+        assert_eq!(code[3], " done");
+    }
+
+    #[test]
+    fn raw_strings_are_collapsed() {
+        let code = code_of(r####"let s = r#"Instant::now"#; let t = 1;"####);
+        assert!(!code[0].contains("Instant"));
+        assert!(code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let code = code_of("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert!(code[0].contains("<'a>"));
+        assert!(code[0].contains("&'a str"));
+        assert!(!code[0].contains("'x'"));
+    }
+
+    #[test]
+    fn line_comment_ends_at_newline() {
+        let code = code_of("// all comment\ncode();");
+        assert_eq!(code[0], "");
+        assert_eq!(code[1], "code();");
+    }
+}

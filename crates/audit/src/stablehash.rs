@@ -1,0 +1,597 @@
+//! Rule 3: `StableHash` exhaustiveness.
+//!
+//! The sweep cache keys studies by 128-bit structural fingerprints
+//! built from `StableHash` impls (`ir-artifact`). The impls use
+//! exhaustive destructuring, so a *new field on an impl'd type* is a
+//! compile error — but two hazards slip through the compiler:
+//!
+//! * an impl written with field access instead of destructuring can
+//!   silently skip a field (a cache collision between configs that
+//!   differ only in that field);
+//! * a **new nested config type** can be added as a field and hashed
+//!   via a hand-rolled encoding elsewhere — or not at all.
+//!
+//! This pass cross-references struct/enum definitions in deterministic
+//! crates against every `impl StableHash for …` in the workspace:
+//!
+//! * every impl'd local type must *mention every field/variant* in its
+//!   impl body (c1 — the destructure check);
+//! * every field type reachable from an impl'd type that names a local
+//!   struct/enum must itself have an impl (c2 — reachability);
+//! * every configured fingerprint root (`[config] fingerprint_roots`
+//!   in `audit.allow.toml`) must be defined and impl'd (c3 — the
+//!   pinned entry points of the sweep fingerprints).
+
+use crate::scan::SourceFile;
+use crate::{is_deterministic_path, Finding, Rule};
+use std::collections::BTreeMap;
+
+/// Shape of a parsed type definition.
+#[derive(Debug, Clone)]
+enum Shape {
+    /// Named-field struct: `(field name, field type text)`.
+    Named(Vec<(String, String)>),
+    /// Tuple struct with `n` fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: `(variant name, payload type text)`.
+    Enum(Vec<(String, String)>),
+}
+
+#[derive(Debug, Clone)]
+struct TypeDef {
+    shape: Shape,
+    path: String,
+    line: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ImplBlock {
+    type_name: String,
+    path: String,
+    line: usize,
+    body: String,
+}
+
+/// Std/primitive type names that always hash stably (impl'd in
+/// `ir-artifact::hash` or structurally transparent).
+const KNOWN_STABLE: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "bool", "char", "str", "String", "Vec", "Option", "Box", "Arc",
+];
+
+/// Runs the exhaustiveness pass over all lexed files.
+pub fn check(files: &[SourceFile], fingerprint_roots: &[String]) -> Vec<Finding> {
+    let mut defs: BTreeMap<String, TypeDef> = BTreeMap::new();
+    let mut impls: Vec<ImplBlock> = Vec::new();
+    for file in files {
+        if is_deterministic_path(&file.rel_path) {
+            collect_defs(file, &mut defs);
+        }
+        collect_impls(file, &mut impls);
+    }
+    let impl_names: Vec<&str> = impls.iter().map(|i| i.type_name.as_str()).collect();
+
+    let mut out = Vec::new();
+    for imp in &impls {
+        let Some(def) = defs.get(&imp.type_name) else {
+            continue; // generic/std impl (`Vec<T>`, primitives macro)
+        };
+        // c1: every field/variant mentioned in the impl body.
+        match &def.shape {
+            Shape::Named(fields) => {
+                for (name, _) in fields {
+                    if !contains_word(&imp.body, name) {
+                        out.push(finding(
+                            imp,
+                            format!(
+                                "impl StableHash for {} never mentions field `{name}`: \
+                                 a config differing only in `{name}` would collide in \
+                                 the study cache",
+                                imp.type_name
+                            ),
+                        ));
+                    }
+                }
+            }
+            Shape::Tuple(n) => {
+                let destructured = imp.body.contains(&format!("{}(", imp.type_name));
+                for i in 0..*n {
+                    if !destructured && !imp.body.contains(&format!(".{i}")) {
+                        out.push(finding(
+                            imp,
+                            format!(
+                                "impl StableHash for {} never hashes tuple field `.{i}`",
+                                imp.type_name
+                            ),
+                        ));
+                    }
+                }
+            }
+            Shape::Unit => {}
+            Shape::Enum(variants) => {
+                for (name, _) in variants {
+                    if !contains_word(&imp.body, name) {
+                        out.push(finding(
+                            imp,
+                            format!(
+                                "impl StableHash for {} never mentions variant `{name}`",
+                                imp.type_name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // c2: reachability — local types named in field/payload types
+        // must have impls of their own.
+        let field_types: Vec<(String, String)> = match &def.shape {
+            Shape::Named(fields) => fields.clone(),
+            Shape::Enum(variants) => variants.clone(),
+            _ => Vec::new(),
+        };
+        for (fname, ftype) in field_types {
+            for token in type_tokens(&ftype) {
+                if token == imp.type_name || KNOWN_STABLE.contains(&token.as_str()) {
+                    continue;
+                }
+                if defs.contains_key(&token) && !impl_names.contains(&token.as_str()) {
+                    let d = &defs[&token];
+                    out.push(Finding {
+                        rule: Rule::StableHashExhaustiveness,
+                        path: d.path.clone(),
+                        line: d.line,
+                        message: format!(
+                            "`{token}` is fingerprint-reachable (field `{fname}` of \
+                             impl'd type `{}`) but has no StableHash impl",
+                            imp.type_name
+                        ),
+                        snippet: format!("struct/enum {token}"),
+                    });
+                }
+            }
+        }
+    }
+    // c3: configured roots must exist and be impl'd.
+    for root in fingerprint_roots {
+        if !defs.contains_key(root) {
+            out.push(Finding {
+                rule: Rule::StableHashExhaustiveness,
+                path: "audit.allow.toml".to_string(),
+                line: 0,
+                message: format!(
+                    "fingerprint root `{root}` is not defined in any deterministic \
+                     crate (stale config entry?)"
+                ),
+                snippet: format!("fingerprint_roots: {root}"),
+            });
+        } else if !impl_names.contains(&root.as_str()) {
+            let d = &defs[root];
+            out.push(Finding {
+                rule: Rule::StableHashExhaustiveness,
+                path: d.path.clone(),
+                line: d.line,
+                message: format!("fingerprint root `{root}` has no StableHash impl"),
+                snippet: format!("struct/enum {root}"),
+            });
+        }
+    }
+    out
+}
+
+fn finding(imp: &ImplBlock, message: String) -> Finding {
+    Finding {
+        rule: Rule::StableHashExhaustiveness,
+        path: imp.path.clone(),
+        line: imp.line,
+        message,
+        snippet: format!("impl StableHash for {}", imp.type_name),
+    }
+}
+
+fn contains_word(body: &str, word: &str) -> bool {
+    let bytes = body.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = body[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len().max(1);
+    }
+    false
+}
+
+fn ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Type-name tokens of a field type text: identifiers starting with an
+/// uppercase letter (`Vec<Option<FaultSpec>>` → `Vec`, `Option`,
+/// `FaultSpec`).
+fn type_tokens(ftype: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in ftype.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            push_token(&mut tokens, &mut cur);
+        }
+    }
+    push_token(&mut tokens, &mut cur);
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, cur: &mut String) {
+    if cur.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        tokens.push(std::mem::take(cur));
+    } else {
+        cur.clear();
+    }
+}
+
+/// Extracts struct/enum definitions from one file's code view.
+fn collect_defs(file: &SourceFile, defs: &mut BTreeMap<String, TypeDef>) {
+    let joined = joined_code(file);
+    for kw in ["struct", "enum"] {
+        let mut from = 0;
+        while let Some((at, line)) = next_word(&joined, kw, from) {
+            from = at + kw.len();
+            let Some(name) = crate::rules::ident_after(&joined.text, at + kw.len()) else {
+                continue;
+            };
+            // Skip generics to the body opener.
+            let mut i = at + kw.len();
+            let bytes = joined.text.as_bytes();
+            let mut angle = 0i32;
+            let (mut opener, mut opener_at) = (' ', joined.text.len());
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'<' => angle += 1,
+                    b'>' => angle -= 1,
+                    b'{' | b'(' | b';' if angle <= 0 => {
+                        opener = bytes[i] as char;
+                        opener_at = i;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            let shape = match opener {
+                ';' => Shape::Unit,
+                '(' => {
+                    let inner = balanced(&joined.text, opener_at, '(', ')');
+                    let n = if inner.trim().is_empty() {
+                        0
+                    } else {
+                        top_level_split(&inner).len()
+                    };
+                    Shape::Tuple(n)
+                }
+                '{' => {
+                    let inner = balanced(&joined.text, opener_at, '{', '}');
+                    if kw == "struct" {
+                        Shape::Named(parse_named_fields(&inner))
+                    } else {
+                        Shape::Enum(parse_variants(&inner))
+                    }
+                }
+                _ => continue,
+            };
+            defs.entry(name).or_insert(TypeDef {
+                shape,
+                path: file.rel_path.clone(),
+                line,
+            });
+        }
+    }
+}
+
+/// Extracts `impl StableHash for X { … }` blocks.
+fn collect_impls(file: &SourceFile, impls: &mut Vec<ImplBlock>) {
+    let joined = joined_code(file);
+    let pat = "StableHash for ";
+    let mut from = 0;
+    while let Some((at, line)) = next_substr(&joined, pat, from) {
+        from = at + pat.len();
+        let Some(name) = crate::rules::ident_after(&joined.text, at + pat.len()) else {
+            continue;
+        };
+        // Body: from the next `{` to its matching `}`.
+        let Some(open) = joined.text[at..].find('{').map(|o| at + o) else {
+            continue;
+        };
+        let body = balanced(&joined.text, open, '{', '}');
+        impls.push(ImplBlock {
+            type_name: name,
+            path: file.rel_path.clone(),
+            line,
+            body,
+        });
+    }
+}
+
+/// The file's code view joined with `\n`, plus line-offset table.
+struct Joined {
+    text: String,
+    line_starts: Vec<usize>,
+}
+
+fn joined_code(file: &SourceFile) -> Joined {
+    let mut text = String::new();
+    let mut line_starts = Vec::with_capacity(file.lines.len());
+    for line in &file.lines {
+        line_starts.push(text.len());
+        text.push_str(&line.code);
+        text.push('\n');
+    }
+    Joined { text, line_starts }
+}
+
+impl Joined {
+    fn line_of(&self, at: usize) -> usize {
+        match self.line_starts.binary_search(&at) {
+            Ok(i) => i + 1,
+            Err(i) => i, // insertion point: at belongs to line i (1-indexed)
+        }
+    }
+}
+
+fn next_word(j: &Joined, word: &str, from: usize) -> Option<(usize, usize)> {
+    let mut start = from;
+    while let Some(pos) = j.text[start..].find(word) {
+        let at = start + pos;
+        let bytes = j.text.as_bytes();
+        let before_ok = at == 0 || !ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some((at, j.line_of(at)));
+        }
+        start = at + word.len();
+    }
+    None
+}
+
+fn next_substr(j: &Joined, pat: &str, from: usize) -> Option<(usize, usize)> {
+    j.text[from..].find(pat).map(|pos| {
+        let at = from + pos;
+        (at, j.line_of(at))
+    })
+}
+
+/// Text between the delimiter at `open` and its balanced match.
+fn balanced(text: &str, open: usize, op: char, cl: char) -> String {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == op as u8 {
+            depth += 1;
+        } else if b == cl as u8 {
+            depth -= 1;
+            if depth == 0 {
+                return text[open + 1..i].to_string();
+            }
+        }
+    }
+    text[open + 1..].to_string()
+}
+
+/// Splits `inner` on top-level commas (angle/paren/bracket aware).
+fn top_level_split(inner: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in inner.chars() {
+        match c {
+            '<' | '(' | '[' | '{' => depth += 1,
+            '>' | ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// `name: Type` pairs of a named-struct body.
+fn parse_named_fields(inner: &str) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    for part in top_level_split(inner) {
+        let part = strip_attrs(part.trim());
+        let Some((lhs, rhs)) = split_top_level_colon(&part) else {
+            continue;
+        };
+        let name = lhs.trim().trim_start_matches("pub ").trim();
+        let name = name.rsplit(' ').next().unwrap_or(name);
+        if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty() {
+            fields.push((name.to_string(), rhs.trim().to_string()));
+        }
+    }
+    fields
+}
+
+/// `(variant, payload text)` pairs of an enum body.
+fn parse_variants(inner: &str) -> Vec<(String, String)> {
+    let mut variants = Vec::new();
+    for part in top_level_split(inner) {
+        let part = strip_attrs(part.trim());
+        let name_end = part
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(part.len());
+        let name = &part[..name_end];
+        if name.is_empty() || !name.chars().next().unwrap().is_ascii_uppercase() {
+            continue;
+        }
+        let payload = part[name_end..]
+            .trim_start_matches(['(', '{'])
+            .trim_end_matches([')', '}'])
+            .to_string();
+        variants.push((name.to_string(), payload));
+    }
+    variants
+}
+
+/// Drops leading `#[...]` attributes and doc text from a field/variant
+/// chunk (the lexer already removed comments).
+fn strip_attrs(part: &str) -> String {
+    let mut s = part.trim();
+    while let Some(rest) = s.strip_prefix("#[") {
+        match rest.find(']') {
+            Some(end) => s = rest[end + 1..].trim_start(),
+            None => break,
+        }
+    }
+    s.to_string()
+}
+
+/// Splits on the first top-level `:` that is not `::`.
+fn split_top_level_colon(part: &str) -> Option<(String, String)> {
+    let bytes = part.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' | b'(' | b'[' | b'{' => depth += 1,
+            b'>' | b')' | b']' | b'}' => depth -= 1,
+            b':' if depth == 0 => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    i += 2;
+                    continue;
+                }
+                return Some((part[..i].to_string(), part[i + 1..].to_string()));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(src: &[(&str, &str)], roots: &[&str]) -> Vec<String> {
+        let files: Vec<SourceFile> = src
+            .iter()
+            .map(|(p, t)| SourceFile::lex(p.to_string(), t))
+            .collect();
+        let roots: Vec<String> = roots.iter().map(|r| r.to_string()).collect();
+        check(&files, &roots)
+            .into_iter()
+            .map(|f| f.message)
+            .collect()
+    }
+
+    const CFG: &str = "pub struct Cfg { pub seed: u64, pub nested: Nested }\n\
+                       pub struct Nested { pub k: usize }\n";
+
+    #[test]
+    fn exhaustive_impl_with_covered_nested_type_is_clean() {
+        let stable = "impl StableHash for Cfg { fn stable_hash(&self, h: &mut H) {\n\
+                      let Cfg { seed, nested } = self; seed.h(); nested.h(); } }\n\
+                      impl StableHash for Nested { fn stable_hash(&self, h: &mut H) {\n\
+                      let Nested { k } = self; k.h(); } }\n";
+        let msgs = audit(
+            &[
+                ("crates/core/src/t.rs", CFG),
+                ("crates/core/src/stable.rs", stable),
+            ],
+            &["Cfg"],
+        );
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn missing_field_mention_is_flagged() {
+        let stable = "impl StableHash for Cfg { fn stable_hash(&self, h: &mut H) {\n\
+                      self.seed.h(); } }\n\
+                      impl StableHash for Nested { fn stable_hash(&self, h: &mut H) {\n\
+                      let Nested { k } = self; k.h(); } }\n";
+        let msgs = audit(
+            &[
+                ("crates/core/src/t.rs", CFG),
+                ("crates/core/src/stable.rs", stable),
+            ],
+            &[],
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("never mentions field `nested`")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn unimpl_nested_config_struct_is_flagged() {
+        let stable = "impl StableHash for Cfg { fn stable_hash(&self, h: &mut H) {\n\
+                      let Cfg { seed, nested } = self; seed.h(); nested.h(); } }\n";
+        let msgs = audit(
+            &[
+                ("crates/core/src/t.rs", CFG),
+                ("crates/core/src/stable.rs", stable),
+            ],
+            &[],
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`Nested` is fingerprint-reachable")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn enum_variants_and_roots_are_checked() {
+        let src = "pub enum Mode { Fast, Careful { retries: u32 } }\n";
+        let stable = "impl StableHash for Mode { fn stable_hash(&self, h: &mut H) {\n\
+                      match self { Mode::Fast => h.t(0) } } }\n";
+        let msgs = audit(
+            &[
+                ("crates/simnet/src/t.rs", src),
+                ("crates/simnet/src/stable.rs", stable),
+            ],
+            &["Mode", "Ghost"],
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("never mentions variant `Careful`")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("root `Ghost` is not defined")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn tuple_struct_must_hash_every_index() {
+        let src = "pub struct Pair(pub u32, pub u32);\n";
+        let stable = "impl StableHash for Pair { fn stable_hash(&self, h: &mut H) {\n\
+                      self.0.stable_hash(h); } }\n";
+        let msgs = audit(
+            &[
+                ("crates/core/src/t.rs", src),
+                ("crates/core/src/stable.rs", stable),
+            ],
+            &[],
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("tuple field `.1`")),
+            "{msgs:?}"
+        );
+    }
+}

@@ -14,7 +14,7 @@ use ir_stats::sampling::weighted_index;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Context for a candidate-selection decision.
 #[derive(Debug, Clone)]
@@ -128,8 +128,8 @@ impl SelectionPolicy for RandomSet {
 pub struct UtilizationWeighted {
     k: usize,
     rng: StdRng,
-    appeared: HashMap<NodeId, u64>,
-    chosen: HashMap<NodeId, u64>,
+    appeared: BTreeMap<NodeId, u64>,
+    chosen: BTreeMap<NodeId, u64>,
 }
 
 impl UtilizationWeighted {
@@ -139,8 +139,8 @@ impl UtilizationWeighted {
         UtilizationWeighted {
             k,
             rng: StdRng::seed_from_u64(seed),
-            appeared: HashMap::new(),
-            chosen: HashMap::new(),
+            appeared: BTreeMap::new(),
+            chosen: BTreeMap::new(),
         }
     }
 
@@ -189,8 +189,8 @@ impl SelectionPolicy for UtilizationWeighted {
 pub struct EpsilonGreedy {
     epsilon: f64,
     rng: StdRng,
-    sum: HashMap<NodeId, f64>,
-    n: HashMap<NodeId, u64>,
+    sum: BTreeMap<NodeId, f64>,
+    n: BTreeMap<NodeId, u64>,
 }
 
 impl EpsilonGreedy {
@@ -200,8 +200,8 @@ impl EpsilonGreedy {
         EpsilonGreedy {
             epsilon,
             rng: StdRng::seed_from_u64(seed),
-            sum: HashMap::new(),
-            n: HashMap::new(),
+            sum: BTreeMap::new(),
+            n: BTreeMap::new(),
         }
     }
 
@@ -260,8 +260,8 @@ impl SelectionPolicy for EpsilonGreedy {
 /// UCB1 single-relay bandit (extension / ablation baseline).
 #[derive(Debug, Clone, Default)]
 pub struct Ucb1 {
-    sum: HashMap<NodeId, f64>,
-    n: HashMap<NodeId, u64>,
+    sum: BTreeMap<NodeId, f64>,
+    n: BTreeMap<NodeId, u64>,
     total: u64,
 }
 
@@ -448,7 +448,7 @@ mod tests {
     fn ucb1_visits_all_arms_then_prefers_best() {
         let full = nodes(&[1, 2, 3]);
         let mut p = Ucb1::new();
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..60 {
             let c = p.candidates(&ctx(&full));
             *counts.entry(c[0]).or_insert(0) += 1;

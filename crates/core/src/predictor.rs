@@ -9,7 +9,7 @@
 //! extension for the ablation benchmarks.
 
 use crate::path::PathSpec;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Predicts a path's whole-transfer throughput from a probe measurement
 /// (and possibly history).
@@ -50,7 +50,7 @@ pub struct EwmaBlend {
     probe_weight: f64,
     /// EWMA decay for history updates.
     alpha: f64,
-    history: HashMap<PathSpec, f64>,
+    history: BTreeMap<PathSpec, f64>,
 }
 
 impl EwmaBlend {
@@ -65,7 +65,7 @@ impl EwmaBlend {
         EwmaBlend {
             probe_weight,
             alpha,
-            history: HashMap::new(),
+            history: BTreeMap::new(),
         }
     }
 

@@ -219,7 +219,7 @@ pub fn run_session(
 /// session-layer events (probe race, selection decision, fallback) and
 /// metrics. Telemetry is strictly observational — the returned record
 /// is identical either way.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // traced twin of run_session; same signature
 pub fn run_session_traced(
     transport: &mut dyn Transport,
     policy: &mut dyn SelectionPolicy,
@@ -268,7 +268,7 @@ pub fn run_session_traced(
 /// the transport cannot resolve are dropped from the race — counted in
 /// the `path_unresolvable` metric and traced per path — rather than
 /// silently skipped or panicked on.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // multi-hop twin of run_session_traced; same signature
 pub fn run_paths_session_traced(
     transport: &mut dyn Transport,
     predictor: &mut dyn Predictor,
@@ -580,7 +580,7 @@ struct RemainderOutcome {
 /// file. The overall deadline is still `cfg.horizon` from the start of
 /// the remainder; when it expires (or no candidate survives) the
 /// transfer is abandoned.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // failover tail shares the session's full parameter set
 fn run_remainder_failover(
     transport: &mut dyn Transport,
     predictor: &mut dyn Predictor,

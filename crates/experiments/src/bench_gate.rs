@@ -470,9 +470,7 @@ fn megaflow_stats(samples: usize) -> MegaflowStats {
     let mini = megaflow::run(2007, &MegaflowConfig::mini(), EngineMode::Incremental, None);
     let cfg = MegaflowConfig::gate();
     let base = megaflow::run(2007, &cfg, EngineMode::Incremental, None);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = crate::runner::effective_worker_threads(usize::MAX);
     let time_ns = |engine: EngineMode| {
         median_ns(samples, 1, || {
             black_box(megaflow::run(2007, &cfg, engine, None));

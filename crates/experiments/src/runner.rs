@@ -146,7 +146,7 @@ impl MeasurementData {
 }
 
 /// Runs one scheduled task: a session per schedule instant.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // one argument per sweep axis; a struct would churn every call site
 fn run_task(
     scenario: &Scenario,
     client: NodeId,

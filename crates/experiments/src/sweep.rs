@@ -120,7 +120,7 @@ fn output_of(r: &Report) -> ArtefactOutput {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // fingerprint covers every cache-relevant input explicitly
 fn measurement_fingerprint(
     seed: u64,
     clients: &[ClientSite],
@@ -808,5 +808,71 @@ mod tests {
         assert_ne!(a.studies[0].fingerprint, full.studies[0].fingerprint);
         // Same artefact name, different deps ⇒ different artefact key.
         assert_ne!(a.artefacts[0].fingerprint, full.artefacts[0].fingerprint);
+    }
+
+    /// Pins the full plan's study and artefact *order* (the BTreeMap
+    /// conversions in core/policy and core/predictor must not have
+    /// reshuffled anything the scheduler or cache observes). The
+    /// sweep's dependency scheduler walks these lists positionally, so
+    /// a silent reorder would shuffle study execution and CSV emission
+    /// order even with identical fingerprints.
+    #[test]
+    fn full_plan_order_is_pinned() {
+        let plan = full_plan(2007, Scale::Quick, None);
+        let studies: Vec<&str> = plan.studies.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            studies,
+            [
+                "measurement(seed=2007,Quick)",
+                "selection(seed=2007,Quick)",
+                "sites(seed=2007,transfers=8)",
+                "headroom(seed=2007,transfers=30)",
+                "faults(seed=2007,Quick)",
+                "megaflow(seed=2007,Quick)",
+                "tournament/random-set(seed=2007,Quick)",
+                "tournament/utilization-weighted(seed=2007,Quick)",
+                "tournament/k-shortest(seed=2007,Quick)",
+                "tournament/adaptive(seed=2007,Quick)",
+                "tournament/backpressure(seed=2007,Quick)",
+            ]
+        );
+        let artefacts: Vec<&str> = plan.artefacts.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            artefacts,
+            [
+                "fig1",
+                "fig2",
+                "table1",
+                "table2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "variability",
+                "overhead",
+                "fig6",
+                "table3",
+                "sites",
+                "headroom",
+                "faults",
+                "megaflow",
+                "tournament",
+            ]
+        );
+        // And construction is reproducible: same order, same keys.
+        let again = full_plan(2007, Scale::Quick, None);
+        for (a, b) in plan.studies.iter().zip(&again.studies) {
+            assert_eq!(
+                (a.name.as_str(), a.fingerprint),
+                (b.name.as_str(), b.fingerprint)
+            );
+        }
+        // Tournament studies follow the declared policy roster order.
+        let t = tournament_plan(11, Scale::Quick, tournament::POLICIES);
+        let expected: Vec<String> = tournament::POLICIES
+            .iter()
+            .map(|p| format!("tournament/{p}(seed=11,Quick)"))
+            .collect();
+        let got: Vec<&str> = t.studies.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(got, expected);
     }
 }

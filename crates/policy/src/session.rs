@@ -15,7 +15,7 @@ use ir_telemetry::trace::{Event, EventKind};
 use ir_telemetry::Telemetry;
 
 /// Runs one transfer session through a path selector, untraced.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // mirrors run_session's protocol free parameters
 pub fn run_selector_session(
     transport: &mut dyn Transport,
     selector: &mut dyn PathSelector,
@@ -54,7 +54,7 @@ pub fn run_selector_session(
 /// The record's `candidates` field keeps its relay-plane meaning: the
 /// distinct first hops of the probed paths, in probe order. For ported
 /// 1-hop policies this is byte-identical to the legacy field.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // traced twin of run_selector_session; same signature
 pub fn run_selector_session_traced(
     transport: &mut dyn Transport,
     selector: &mut dyn PathSelector,

@@ -634,6 +634,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // miri: thousands of rate_at samples, minutes under the interpreter
     fn regime_switching_is_deterministic_and_positive() {
         let mk = || {
             RegimeSwitchingProcess::new(vec![1e5, 1e6, 5e6], SimDuration::from_secs(300), 0.2, 42)
@@ -648,6 +649,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // miri: thousands of rate_at samples, minutes under the interpreter
     fn regime_switching_actually_switches() {
         let mut p = RegimeSwitchingProcess::new(vec![1e5, 1e6], SimDuration::from_secs(60), 0.0, 7);
         let mut seen = std::collections::BTreeSet::new();
@@ -721,6 +723,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // miri: thousands of rate_at samples, minutes under the interpreter
     fn jump_mix_clone_matches_original() {
         let inner = Box::new(RegimeSwitchingProcess::new(
             vec![5e5, 2e6],

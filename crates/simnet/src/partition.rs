@@ -365,6 +365,58 @@ impl FlowLinkPartition {
     }
 }
 
+/// Splits components `0..comps.count()` into at most `nworkers`
+/// contiguous ranges of roughly equal total flows (`nf` is the
+/// problem's flow count). Ranges cover every component exactly once, in
+/// component order — the split is a pure function of the decomposition
+/// and the worker count, independent of which thread later solves
+/// which range.
+pub fn split_component_ranges(
+    comps: &Components,
+    nf: usize,
+    nworkers: usize,
+) -> Vec<(usize, usize)> {
+    let ncomp = comps.count();
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    if ncomp == 0 {
+        return ranges;
+    }
+    let target = nf.div_ceil(nworkers.max(1));
+    let mut c0 = 0usize;
+    let mut acc = 0usize;
+    for c in 0..ncomp {
+        acc += comps.comp_flows(c).len();
+        if acc >= target || c + 1 == ncomp {
+            ranges.push((c0, c + 1));
+            c0 = c + 1;
+            acc = 0;
+        }
+    }
+    ranges
+}
+
+/// Deterministic scatter-merge of per-worker component solutions:
+/// worker `w` solved the components of `ranges[w]` into its own
+/// full-problem-size `worker_rates[w]` buffer; each component's flow
+/// rates are copied back in **stable component order**, so the merged
+/// `solution` is a pure function of the per-component results — not of
+/// the order in which workers finished. Component flow sets are
+/// disjoint, so every slot is written exactly once.
+pub fn merge_component_rates(
+    comps: &Components,
+    ranges: &[(usize, usize)],
+    worker_rates: &[&[f64]],
+    solution: &mut [f64],
+) {
+    for (rates, &(r0, r1)) in worker_rates.iter().zip(ranges) {
+        for c in r0..r1 {
+            for &f in comps.comp_flows(c) {
+                solution[f as usize] = rates[f as usize];
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1306,18 +1306,7 @@ impl Network {
                 // roughly equal total flows. Each worker solves its
                 // components on private scratch; component flow sets are
                 // disjoint, so the scatter below writes each slot once.
-                let mut ranges: Vec<(usize, usize)> = Vec::new();
-                let target = nf.div_ceil(nworkers);
-                let mut c0 = 0usize;
-                let mut acc = 0usize;
-                for c in 0..ncomp {
-                    acc += comps.comp_flows(c).len();
-                    if acc >= target || c + 1 == ncomp {
-                        ranges.push((c0, c + 1));
-                        c0 = c + 1;
-                        acc = 0;
-                    }
-                }
+                let ranges = crate::partition::split_component_ranges(comps, nf, nworkers);
                 let prob = &*prob;
                 let comps = &*comps;
                 std::thread::scope(|s| {
@@ -1343,14 +1332,10 @@ impl Network {
                     }
                 });
                 // Deterministic merge: scatter per-worker rates back in
-                // stable component order.
-                for (w, &(r0, r1)) in workers.iter().zip(&ranges) {
-                    for c in r0..r1 {
-                        for &f in comps.comp_flows(c) {
-                            solution[f as usize] = w.rate[f as usize];
-                        }
-                    }
-                }
+                // stable component order (the loom model test permutes
+                // worker completion order over this exact helper).
+                let rate_slices: Vec<&[f64]> = workers.iter().map(|w| w.rate.as_slice()).collect();
+                crate::partition::merge_component_rates(comps, &ranges, &rate_slices, solution);
             }
         }
         let rates = self.cache.solution.clone();

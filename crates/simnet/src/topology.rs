@@ -9,7 +9,7 @@
 
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a node in the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -76,7 +76,7 @@ pub struct Link {
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    by_endpoints: HashMap<(NodeId, NodeId), LinkId>,
+    by_endpoints: BTreeMap<(NodeId, NodeId), LinkId>,
 }
 
 impl Topology {

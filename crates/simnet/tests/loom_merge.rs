@@ -1,0 +1,151 @@
+//! Loom model test of the sharded engine's scoped-worker merge.
+//!
+//! The sharded solve path splits congestion components into contiguous
+//! ranges ([`ir_simnet::partition::split_component_ranges`]), solves
+//! each range on a worker thread, and scatters the per-worker rates
+//! back in stable component order
+//! ([`ir_simnet::partition::merge_component_rates`]). The bit-identity
+//! invariant rests on that merge being a pure function of the
+//! per-component results — **not** of worker completion order.
+//!
+//! This test drives the exact split + solve + merge pipeline under the
+//! loom model checker: every permutation of worker completion order
+//! must produce a merged solution bitwise identical to the sequential
+//! reference. Gated behind `--cfg loom` (set `RUSTFLAGS="--cfg loom"`;
+//! CI's loom lane does) because model checking re-runs the body n!
+//! times and the cfg mirrors upstream loom convention.
+#![cfg(loom)]
+
+use ir_simnet::partition::{merge_component_rates, split_component_ranges, Components, UnionFind};
+use ir_simnet::soa::{solve_component, ProblemSlab};
+use loom::sync::{Arc, Mutex};
+
+/// A 9-flow, 6-link problem with four independent congestion
+/// components of uneven sizes (so ranges split unevenly too).
+fn problem() -> ProblemSlab {
+    let mut slab = ProblemSlab::default();
+    slab.clear();
+    slab.link_cap = vec![100.0, 60.0, 30.0, 45.0, 80.0, 10.0];
+    // Component A: flows 0,1,2 share links 0,1.
+    slab.push_flow(f64::INFINITY, [0u32, 1]);
+    slab.push_flow(40.0, [1u32]);
+    slab.push_flow(f64::INFINITY, [0u32]);
+    // Component B: flows 3,4 share link 2.
+    slab.push_flow(f64::INFINITY, [2u32]);
+    slab.push_flow(8.0, [2u32]);
+    // Component C: flows 5,6,7 share links 3,4.
+    slab.push_flow(f64::INFINITY, [3u32]);
+    slab.push_flow(f64::INFINITY, [3u32, 4]);
+    slab.push_flow(20.0, [4u32]);
+    // Component D: flow 8 alone on link 5.
+    slab.push_flow(f64::INFINITY, [5u32]);
+    slab
+}
+
+fn decompose(slab: &ProblemSlab) -> Components {
+    let mut uf = UnionFind::new();
+    let mut comps = Components::default();
+    comps.build_csr(
+        slab.flows(),
+        slab.link_cap.len(),
+        &slab.flow_off,
+        &slab.flow_links,
+        &mut uf,
+    );
+    comps
+}
+
+fn solve_ranges(slab: &ProblemSlab, comps: &Components, r0: usize, r1: usize) -> Vec<f64> {
+    let nf = slab.flows();
+    let nl = slab.link_cap.len();
+    let (mut frozen, mut residual, mut active_on) =
+        (vec![false; nf], vec![0.0; nl], vec![0u32; nl]);
+    let mut rate = vec![0.0; nf];
+    for c in r0..r1 {
+        solve_component(
+            slab,
+            comps.comp_flows(c),
+            comps.comp_links(c),
+            &mut frozen,
+            &mut residual,
+            &mut active_on,
+            &mut rate,
+        );
+    }
+    rate
+}
+
+#[test]
+fn permuted_worker_completion_order_merges_bit_identically() {
+    // Sequential reference: all components solved on one worker.
+    let slab = problem();
+    let comps = decompose(&slab);
+    assert_eq!(comps.count(), 4, "fixture should have 4 components");
+    let reference = solve_ranges(&slab, &comps, 0, comps.count());
+
+    let nworkers = 3;
+    let ranges = split_component_ranges(&comps, slab.flows(), nworkers);
+    assert!(ranges.len() > 1, "fixture should split across workers");
+
+    // Observed completion orders across all explored interleavings —
+    // proves the model actually permuted something.
+    let orders: std::sync::Arc<std::sync::Mutex<std::collections::BTreeSet<Vec<usize>>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(std::collections::BTreeSet::new()));
+    let orders_outer = std::sync::Arc::clone(&orders);
+
+    loom::model(move || {
+        let slab = problem();
+        let comps = decompose(&slab);
+        let ranges = split_component_ranges(&comps, slab.flows(), nworkers);
+        let reference = reference.clone();
+
+        // Each worker records (worker index, rates) when it completes;
+        // the log order is the completion order the model chose.
+        let log: Arc<Mutex<Vec<(usize, Vec<f64>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(w, &(r0, r1))| {
+                let log = Arc::clone(&log);
+                let slab = slab.clone();
+                let comps = comps.clone();
+                loom::thread::spawn(move || {
+                    let rate = solve_ranges(&slab, &comps, r0, r1);
+                    log.lock().unwrap().push((w, rate));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let completed = log.lock().unwrap().clone();
+        orders
+            .lock()
+            .unwrap()
+            .insert(completed.iter().map(|(w, _)| *w).collect());
+
+        // Merge in *stable worker order*, regardless of completion
+        // order — exactly what the engine's scatter does.
+        let mut by_worker: Vec<Vec<f64>> = vec![Vec::new(); ranges.len()];
+        for (w, rate) in completed {
+            by_worker[w] = rate;
+        }
+        let rate_slices: Vec<&[f64]> = by_worker.iter().map(|r| r.as_slice()).collect();
+        let mut solution = vec![0.0; slab.flows()];
+        merge_component_rates(&comps, &ranges, &rate_slices, &mut solution);
+
+        // Bit-identical: exact f64 equality, not an epsilon.
+        assert_eq!(
+            solution.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            "merged solution diverged from the sequential reference"
+        );
+    });
+
+    let seen = orders_outer.lock().unwrap();
+    assert!(
+        seen.len() > 1,
+        "model explored only one completion order: {seen:?}"
+    );
+}

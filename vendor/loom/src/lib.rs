@@ -1,0 +1,260 @@
+//! Offline API-compatible subset of the `loom` model checker.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the slice of loom's surface the workspace's model tests use:
+//! [`model`], [`thread::spawn`]/[`thread::JoinHandle`], and re-exported
+//! `sync` primitives.
+//!
+//! # What it models — and what it does not
+//!
+//! Real loom explores every memory-model-legal interleaving of its
+//! instrumented primitives. This shim is much narrower: it explores
+//! every **thread completion order**. Threads spawned inside the model
+//! closure do not run concurrently; their bodies execute sequentially,
+//! in an order dictated by the permutation under test, and [`model`]
+//! re-runs the closure once per permutation of `0..n` spawn slots
+//! (bounded — see [`MAX_THREADS`]).
+//!
+//! That is exactly the hazard class the simnet merge-model test fences:
+//! "do the merged rates depend on which worker finished first?" It is
+//! **not** sufficient to verify lock-free algorithms, atomics
+//! orderings, or anything sensitive to instruction-level interleaving —
+//! don't use this shim for those.
+//!
+//! # Execution model
+//!
+//! Within one iteration, [`thread::spawn`] *defers* the closure and
+//! returns a [`thread::JoinHandle`]. When a handle is joined, every
+//! not-yet-run thread that the current permutation places **before**
+//! the joined thread runs first (it "completed earlier"), then the
+//! joined thread runs and its value is returned. Threads never joined
+//! are drained, in permutation order, when the model closure returns.
+//! Spawning after the first `join` is supported only for threads the
+//! permutation places later; model tests should spawn first, then join.
+
+use std::cell::RefCell;
+
+/// Permutation-bound: `model` explores `n!` orders, so the spawn count
+/// per iteration is capped to keep runs tractable.
+pub const MAX_THREADS: usize = 7;
+
+thread_local! {
+    static SCHED: RefCell<Option<Scheduler>> = const { RefCell::new(None) };
+}
+
+#[derive(Default)]
+struct Scheduler {
+    /// Execution order under test: `perm[k]` is the spawn id that
+    /// completes k-th.
+    perm: Vec<usize>,
+    /// Deferred thread bodies by spawn id (`None` once run).
+    pending: Vec<Option<Box<dyn FnOnce()>>>,
+    /// Spawn ids already executed.
+    executed: Vec<bool>,
+}
+
+impl Scheduler {
+    /// Runs every pending thread at permutation positions `..=pos`.
+    fn run_through(&mut self, pos: usize) {
+        for k in 0..=pos.min(self.perm.len().saturating_sub(1)) {
+            let id = self.perm[k];
+            if id >= self.pending.len() || self.executed[id] {
+                continue;
+            }
+            if let Some(body) = self.pending[id].take() {
+                self.executed[id] = true;
+                body();
+            }
+        }
+    }
+
+    fn position_of(&self, id: usize) -> usize {
+        self.perm
+            .iter()
+            .position(|&p| p == id)
+            .unwrap_or(self.perm.len().saturating_sub(1))
+    }
+}
+
+/// Thread-model API mirroring `loom::thread`.
+pub mod thread {
+    use super::{Scheduler, MAX_THREADS, SCHED};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Handle to a deferred model thread; [`JoinHandle::join`] drives
+    /// the scheduled completion order (see crate docs).
+    pub struct JoinHandle<T> {
+        id: usize,
+        slot: Rc<RefCell<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Completes every thread scheduled before this one, then this
+        /// one, and returns its value (mirrors `std`'s signature).
+        pub fn join(self) -> std::thread::Result<T> {
+            SCHED.with(|s| {
+                let mut s = s.borrow_mut();
+                let sched = s
+                    .as_mut()
+                    .expect("loom::thread::JoinHandle::join outside loom::model");
+                let pos = sched.position_of(self.id);
+                sched.run_through(pos);
+            });
+            let value = self
+                .slot
+                .borrow_mut()
+                .take()
+                .expect("model thread did not produce a value");
+            Ok(value)
+        }
+    }
+
+    /// Defers `f` as the next model thread of the current iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside [`super::model`] or past [`MAX_THREADS`] spawns.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + 'static,
+        T: 'static,
+    {
+        let slot: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let writer = Rc::clone(&slot);
+        let id = SCHED.with(|s| {
+            let mut s = s.borrow_mut();
+            let sched: &mut Scheduler =
+                s.as_mut().expect("loom::thread::spawn outside loom::model");
+            let id = sched.pending.len();
+            assert!(
+                id < MAX_THREADS,
+                "loom shim explores n! completion orders; cap is {MAX_THREADS} threads"
+            );
+            sched
+                .pending
+                .push(Some(Box::new(move || *writer.borrow_mut() = Some(f()))));
+            sched.executed.push(false);
+            id
+        });
+        JoinHandle { id, slot }
+    }
+}
+
+/// Synchronization primitives mirroring `loom::sync`. Model threads run
+/// sequentially on one OS thread, so `std`'s types are already correct
+/// here; they are re-exported for API compatibility.
+pub mod sync {
+    pub use std::sync::{Arc, Mutex, MutexGuard};
+}
+
+/// All permutations of `0..n` (Heap's algorithm, deterministic order).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut a: Vec<usize> = (0..n).collect();
+    fn heap(k: usize, a: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(a.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, a, out);
+            if k.is_multiple_of(2) {
+                a.swap(i, k - 1);
+            } else {
+                a.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut a, &mut out);
+    out
+}
+
+/// Runs one iteration of `f` under completion order `perm`, returning
+/// how many threads it spawned.
+fn run_iteration<F: Fn()>(f: &F, perm: Vec<usize>) -> usize {
+    SCHED.with(|s| {
+        *s.borrow_mut() = Some(Scheduler {
+            perm,
+            ..Scheduler::default()
+        })
+    });
+    f();
+    SCHED.with(|s| {
+        let mut s = s.borrow_mut();
+        let sched = s.as_mut().expect("scheduler vanished mid-iteration");
+        // Drain threads the closure never joined, in permutation order.
+        let last = sched.perm.len().saturating_sub(1);
+        sched.run_through(last);
+        let n = sched.pending.len();
+        *s = None;
+        n
+    })
+}
+
+/// Checks `f` under every thread completion order (see crate docs for
+/// the shim's exact semantics). The closure runs once to discover its
+/// spawn count `n`, then once per permutation of `0..n`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    // Discovery pass under the identity order (also a real test run).
+    let n = run_iteration(&f, (0..MAX_THREADS).collect());
+    for perm in permutations(n) {
+        run_iteration(&f, perm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn permutations_cover_n_factorial() {
+        assert_eq!(permutations(0).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        let mut p4 = permutations(4);
+        p4.sort();
+        p4.dedup();
+        assert_eq!(p4.len(), 24);
+    }
+
+    #[test]
+    fn model_explores_every_completion_order() {
+        static ORDERS: AtomicUsize = AtomicUsize::new(0);
+        ORDERS.store(0, Ordering::SeqCst);
+        model(|| {
+            let log: sync::Arc<sync::Mutex<Vec<u32>>> =
+                sync::Arc::new(sync::Mutex::new(Vec::new()));
+            let handles: Vec<_> = (0u32..3)
+                .map(|i| {
+                    let log = sync::Arc::clone(&log);
+                    thread::spawn(move || log.lock().unwrap().push(i))
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let seen = log.lock().unwrap().clone();
+            // Completion order varies; membership never does.
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            if seen == vec![2, 1, 0] {
+                ORDERS.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // The fully-reversed order was among those explored.
+        assert!(ORDERS.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn join_returns_thread_value() {
+        model(|| {
+            let h = thread::spawn(|| 41 + 1);
+            assert_eq!(h.join().unwrap(), 42);
+        });
+    }
+}
