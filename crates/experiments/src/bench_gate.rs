@@ -44,6 +44,15 @@
 //! ratio, the decomposition stats, and the pinned mini-megaflow
 //! boundary canary. It fails when the canary moves, or when the sharded
 //! engine is *slower* than incremental on a machine with ≥ 4 cores.
+//!
+//! Last, the gate soaks the event-driven relay daemon against its
+//! thread-per-connection baseline on the soak gate geometry (64
+//! concurrent racing clients over real loopback sockets, three runs
+//! per mode) and writes `BENCH_PR9.json`: the median run's p99
+//! accept-to-first-byte wait and goodput for each mode, plus the lost
+//! transfer count. It fails when any transfer is lost, when the
+//! first-byte spans go dark, or when the reactor's p99 regresses past
+//! 2× the threaded baseline (+5 ms scheduler slack).
 
 use crate::runner::run_measurement_study_traced;
 use crate::{fig1, table1};
@@ -514,6 +523,84 @@ fn render_megaflow_json(s: &MegaflowStats) -> String {
     )
 }
 
+/// Soak gate numbers: accept-to-first-byte p99 and goodput for the
+/// event-driven reactor vs the thread-per-connection baseline on the
+/// gate geometry ([`crate::soak::SoakConfig::gate`]), plus the lost
+/// transfer count summed over every run of both modes.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakGateStats {
+    /// Concurrent clients in the gate geometry.
+    pub clients: u64,
+    /// Timed runs per mode (median reported).
+    pub samples: u64,
+    /// Median-run p99 accept-to-first-byte, event reactor, µs.
+    pub event_p99_us: u64,
+    /// Median-run p99 accept-to-first-byte, threaded baseline, µs.
+    pub threaded_p99_us: u64,
+    /// Median-run goodput, event reactor, bytes/s.
+    pub event_goodput_bps: u64,
+    /// Median-run goodput, threaded baseline, bytes/s.
+    pub threaded_goodput_bps: u64,
+    /// Transfers lost across **all** runs of both modes.
+    pub lost: u64,
+}
+
+impl SoakGateStats {
+    /// Event-over-threaded p99 ratio (< 1 ⇒ the reactor's accept tail
+    /// beats the baseline's).
+    pub fn p99_ratio(&self) -> f64 {
+        self.event_p99_us as f64 / self.threaded_p99_us.max(1) as f64
+    }
+}
+
+/// Runs the soak gate geometry `samples` times per relay mode and
+/// reports the median run (by p99 first-byte wait) of each.
+fn soak_gate_stats(samples: usize) -> SoakGateStats {
+    use crate::soak::{self, SoakConfig};
+    use ir_relay::RelayMode;
+
+    let cfg = SoakConfig::gate();
+    let mut lost = 0u64;
+    let mut median_run = |mode: RelayMode| {
+        let mut runs: Vec<soak::SoakResult> =
+            (0..samples.max(1)).map(|_| soak::run(&cfg, mode)).collect();
+        lost += runs.iter().map(|r| r.lost).sum::<u64>();
+        runs.sort_by_key(|r| r.p99_first_byte_us);
+        runs.swap_remove(runs.len() / 2)
+    };
+    let event = median_run(RelayMode::Event {
+        workers: cfg.workers as usize,
+    });
+    let threaded = median_run(RelayMode::Threaded);
+    SoakGateStats {
+        clients: cfg.clients as u64,
+        samples: samples as u64,
+        event_p99_us: event.p99_first_byte_us,
+        threaded_p99_us: threaded.p99_first_byte_us,
+        event_goodput_bps: event.goodput_bps,
+        threaded_goodput_bps: threaded.goodput_bps,
+        lost,
+    }
+}
+
+fn render_soak_json(s: &SoakGateStats) -> String {
+    format!(
+        "{{\n  \"bench\": \"BENCH_PR9\",\n  \"soak\": {{\n    \"clients\": {},\n    \
+         \"samples\": {},\n    \"event_p99_first_byte_us\": {},\n    \
+         \"threaded_p99_first_byte_us\": {},\n    \"event_goodput_bps\": {},\n    \
+         \"threaded_goodput_bps\": {},\n    \"p99_ratio\": {:.3},\n    \"lost\": {}\n  }},\n  \
+         \"units\": \"median_run_p99_us\"\n}}\n",
+        s.clients,
+        s.samples,
+        s.event_p99_us,
+        s.threaded_p99_us,
+        s.event_goodput_bps,
+        s.threaded_goodput_bps,
+        s.p99_ratio(),
+        s.lost
+    )
+}
+
 fn render_json(results: &[BenchResult], stats: GateStats) -> String {
     let mut s = String::from("{\n  \"bench\": \"BENCH_PR4\",\n  \"groups\": {\n");
     for (gi, group) in ["micro", "figures"].iter().enumerate() {
@@ -620,6 +707,24 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
     );
     eprintln!("bench-gate: wrote {}", out7.display());
 
+    eprintln!("bench-gate: soaking the relay, event reactor vs threaded baseline...");
+    let soak = soak_gate_stats(3);
+    let out9 = out.with_file_name("BENCH_PR9.json");
+    std::fs::write(&out9, render_soak_json(&soak))
+        .map_err(|e| format!("cannot write {}: {e}", out9.display()))?;
+    eprintln!(
+        "bench-gate: soak {} clients — p99 first byte {}µs event vs {}µs threaded \
+         (ratio {:.2}), goodput {} vs {} B/s, {} lost",
+        soak.clients,
+        soak.event_p99_us,
+        soak.threaded_p99_us,
+        soak.p99_ratio(),
+        soak.event_goodput_bps,
+        soak.threaded_goodput_bps,
+        soak.lost,
+    );
+    eprintln!("bench-gate: wrote {}", out9.display());
+
     if stats.boundaries != PINNED_FIG1_BOUNDARIES {
         return Err(format!(
             "determinism canary: pinned Fig 1 study ran {} boundaries, expected {} — \
@@ -685,6 +790,34 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
             mega.sharded_ns_per_boundary,
             mega.incremental_ns_per_boundary,
             mega.speedup()
+        ));
+    }
+    if soak.lost != 0 {
+        return Err(format!(
+            "soak gate lost {} transfers across {} runs of {} clients — the relay dropped \
+             connections under load",
+            soak.lost,
+            soak.samples * 2,
+            soak.clients
+        ));
+    }
+    if soak.event_p99_us == 0 || soak.threaded_p99_us == 0 {
+        return Err(format!(
+            "soak gate recorded no first-byte spans (event {}µs, threaded {}µs) — the relay's \
+             accept timing instrumentation went dark",
+            soak.event_p99_us, soak.threaded_p99_us
+        ));
+    }
+    // The reactor's accept tail must stay within 2× of the baseline's
+    // (plus 5 ms of scheduler slack: at gate scale both tails are a
+    // few ms, and one preemption on a loaded box should not fail CI).
+    if soak.event_p99_us > 2 * soak.threaded_p99_us + 5_000 {
+        return Err(format!(
+            "event-driven relay's p99 accept-to-first-byte regressed past the threaded \
+             baseline: {}µs vs {}µs (ratio {:.2}, allowed 2.0× + 5ms)",
+            soak.event_p99_us,
+            soak.threaded_p99_us,
+            soak.p99_ratio()
         ));
     }
     Ok(stats)
@@ -778,6 +911,30 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"speedup\": 4.000"), "{j}");
         assert!(j.contains("\"pinned_megaflow_mini_boundaries\""), "{j}");
+    }
+
+    /// The PR9 gate arithmetic and JSON, on synthetic numbers (a real
+    /// soak run is timed in release by the gate itself; the structural
+    /// run lives in `crate::soak`'s tests).
+    #[test]
+    fn soak_json_is_well_formed_enough() {
+        let s = SoakGateStats {
+            clients: 64,
+            samples: 3,
+            event_p99_us: 4_200,
+            threaded_p99_us: 2_100,
+            event_goodput_bps: 1_500_000,
+            threaded_goodput_bps: 1_400_000,
+            lost: 0,
+        };
+        assert!((s.p99_ratio() - 2.0).abs() < 1e-9);
+        // Exactly at the allowed envelope: 2× + 5ms slack admits it.
+        assert!(s.event_p99_us <= 2 * s.threaded_p99_us + 5_000);
+        let j = render_soak_json(&s);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"bench\": \"BENCH_PR9\""), "{j}");
+        assert!(j.contains("\"p99_ratio\": 2.000"), "{j}");
+        assert!(j.contains("\"lost\": 0"), "{j}");
     }
 
     #[test]

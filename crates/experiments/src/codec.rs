@@ -14,6 +14,7 @@ use crate::headroom::Headroom;
 use crate::megaflow::{MegaflowConfig, MegaflowResult};
 use crate::runner::{MeasurementData, PairRun, SelectionData, SelectionRun};
 use crate::sites::SiteResult;
+use crate::soak::{SoakConfig, SoakResult};
 use crate::tournament::TournamentCell;
 use ir_artifact::{ByteReader, ByteWriter};
 use ir_core::{PathSpec, TransferRecord};
@@ -515,6 +516,78 @@ pub fn decode_megaflow(bytes: &[u8]) -> Option<MegaflowResult> {
     Some(out)
 }
 
+/// Encodes a soak result (see [`crate::soak`]).
+pub fn encode_soak(r: &SoakResult) -> Vec<u8> {
+    let SoakResult {
+        cfg,
+        event_mode,
+        completed,
+        lost,
+        accepted,
+        backpressure_drops,
+        p50_first_byte_us,
+        p99_first_byte_us,
+        max_first_byte_us,
+        goodput_bps,
+        wall_ms,
+        drain_completed,
+        drain_monotone,
+    } = *r;
+    let mut w = ByteWriter::new();
+    w.put_u32(cfg.clients);
+    w.put_u64(cfg.file_bytes);
+    w.put_u64(cfg.probe_bytes);
+    w.put_u64(cfg.direct_rate);
+    w.put_u64(cfg.relay_rate);
+    w.put_u32(cfg.workers);
+    w.put_u64(cfg.stagger_ms);
+    w.put_bool(event_mode);
+    w.put_u64(completed);
+    w.put_u64(lost);
+    w.put_u64(accepted);
+    w.put_u64(backpressure_drops);
+    w.put_u64(p50_first_byte_us);
+    w.put_u64(p99_first_byte_us);
+    w.put_u64(max_first_byte_us);
+    w.put_u64(goodput_bps);
+    w.put_u64(wall_ms);
+    w.put_bool(drain_completed);
+    w.put_bool(drain_monotone);
+    w.into_bytes()
+}
+
+/// Decodes a soak result; `None` on any malformation.
+pub fn decode_soak(bytes: &[u8]) -> Option<SoakResult> {
+    let mut r = ByteReader::new(bytes);
+    let out = SoakResult {
+        cfg: SoakConfig {
+            clients: r.get_u32()?,
+            file_bytes: r.get_u64()?,
+            probe_bytes: r.get_u64()?,
+            direct_rate: r.get_u64()?,
+            relay_rate: r.get_u64()?,
+            workers: r.get_u32()?,
+            stagger_ms: r.get_u64()?,
+        },
+        event_mode: r.get_bool()?,
+        completed: r.get_u64()?,
+        lost: r.get_u64()?,
+        accepted: r.get_u64()?,
+        backpressure_drops: r.get_u64()?,
+        p50_first_byte_us: r.get_u64()?,
+        p99_first_byte_us: r.get_u64()?,
+        max_first_byte_us: r.get_u64()?,
+        goodput_bps: r.get_u64()?,
+        wall_ms: r.get_u64()?,
+        drain_completed: r.get_bool()?,
+        drain_monotone: r.get_bool()?,
+    };
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -650,5 +723,29 @@ mod tests {
         assert_eq!(back, r);
         assert!(decode_megaflow(&bytes[..bytes.len() - 1]).is_none());
         assert!(decode_megaflow(&[]).is_none());
+    }
+
+    #[test]
+    fn soak_round_trips_bit_exactly() {
+        let r = SoakResult {
+            cfg: SoakConfig::quick(),
+            event_mode: true,
+            completed: 250,
+            lost: 0,
+            accepted: 251,
+            backpressure_drops: 0,
+            p50_first_byte_us: 850,
+            p99_first_byte_us: 14_200,
+            max_first_byte_us: 22_407,
+            goodput_bps: 1_935_483,
+            wall_ms: 1_550,
+            drain_completed: true,
+            drain_monotone: true,
+        };
+        let bytes = encode_soak(&r);
+        let back = decode_soak(&bytes).expect("round trip");
+        assert_eq!(back, r);
+        assert!(decode_soak(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_soak(&[]).is_none());
     }
 }

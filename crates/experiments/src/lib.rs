@@ -13,11 +13,14 @@
 //! | Fig 6 (improvement vs random-set size) | [`fig6`] | selection (§4) |
 //! | Table III (utilization vs improvement) | [`table3`] | selection |
 //!
-//! Three extension experiments go beyond the paper's artefacts:
+//! Four extension experiments go beyond the paper's artefacts:
 //! [`sites`] (the abstract's per-site 33–49% range), [`headroom`]
 //! (oracle-attainable vs captured improvement — only a simulator can
-//! measure this), and [`faults`] (availability/goodput under overlay
-//! outages and relay churn with session failover enabled).
+//! measure this), [`faults`] (availability/goodput under overlay
+//! outages and relay churn with session failover enabled), and
+//! [`soak`] (thousands of concurrent racing downloads through one
+//! event-driven relay daemon over real loopback sockets — the only
+//! wall-clock study, kept out of the byte-replayable sweep).
 //!
 //! [`runner`] drives the two studies; each artefact module turns study
 //! data into a [`report::Report`] with paper-vs-measured checks and CSV
@@ -44,6 +47,7 @@ pub mod report;
 pub mod robustness;
 pub mod runner;
 pub mod sites;
+pub mod soak;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

@@ -23,6 +23,14 @@
 //!                         policy on every tournament scenario, with
 //!                         improvement, penalty rate, probe overhead and
 //!                         multi-hop share per cell)
+//!            soak        (relay load study over real loopback sockets:
+//!                         N concurrent racing downloads through one
+//!                         event-driven relay daemon — 250 clients at
+//!                         --scale quick, 2000 at --scale paper — with
+//!                         goodput and p99 accept-to-first-byte from
+//!                         the relay's own spans; the only wall-clock
+//!                         artefact, cached as a record of its run and
+//!                         excluded from `sweep`/`all`)
 //!            scenario    (workload inspection, no study)
 //!            robustness  (headline numbers across seeds)
 //!            sweep       (every artefact through the dependency-aware
@@ -40,8 +48,10 @@
 //!                         writes BENCH_PR4.json; --out FILE overrides;
 //!                         also times the pinned mini sweep cold vs
 //!                         warm (BENCH_PR5.json), the path plane
-//!                         (BENCH_PR6.json), and the megaflow study
-//!                         incremental vs sharded (BENCH_PR7.json))
+//!                         (BENCH_PR6.json), the megaflow study
+//!                         incremental vs sharded (BENCH_PR7.json),
+//!                         and the relay soak, event reactor vs
+//!                         threaded baseline (BENCH_PR9.json))
 //!            all         (everything except bench-gate, no cache)
 //! ```
 //!
@@ -98,7 +108,7 @@ fn usage() -> ! {
          artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3\n\
          \x20          variability overhead\n\
          \x20          measurement selection sites headroom faults megaflow tournament\n\
-         \x20          scenario robustness sweep cache-gc bench-gate all"
+         \x20          soak scenario robustness sweep cache-gc bench-gate all"
     );
     std::process::exit(2);
 }
@@ -293,6 +303,9 @@ fn main() -> ExitCode {
     let needs_scenario = args.artefact == "scenario";
     let needs_robustness = matches!(args.artefact.as_str(), "robustness" | "all");
     let needs_sweep = args.artefact == "sweep";
+    // Real sockets + wall clock: the soak never rides along with the
+    // deterministic `all`/`sweep` bundles.
+    let needs_soak = args.artefact == "soak";
     if !needs_measurement
         && !needs_selection
         && !needs_sites
@@ -303,6 +316,7 @@ fn main() -> ExitCode {
         && !needs_scenario
         && !needs_robustness
         && !needs_sweep
+        && !needs_soak
     {
         usage();
     }
@@ -380,6 +394,48 @@ fn main() -> ExitCode {
             t0.elapsed().as_secs_f64()
         );
         println!();
+        ok &= report.all_pass();
+    }
+
+    if needs_soak {
+        let cache = match &args.cache_dir {
+            Some(dir) => match ir_artifact::ArtifactCache::open(dir) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!("cannot open cache at {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let cfg = ir_experiments::sweep::soak_config(args.scale);
+        eprintln!(
+            "running relay soak (seed {}, {:?} scale, {} clients)...",
+            args.seed, args.scale, cfg.clients
+        );
+        let t0 = std::time::Instant::now();
+        let plan = ir_experiments::sweep::soak_plan(args.seed, args.scale);
+        let report = match ir_experiments::sweep::run_sweep(
+            plan,
+            cache.as_ref(),
+            args.csv_dir.as_deref(),
+            tel.as_ref(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("soak failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for a in &report.artefacts {
+            println!("{}", a.output.text);
+            println!();
+        }
+        eprintln!(
+            "soak: {:?} in {:.1}s",
+            report.artefacts[0].source,
+            t0.elapsed().as_secs_f64()
+        );
         ok &= report.all_pass();
     }
 

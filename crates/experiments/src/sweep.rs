@@ -30,7 +30,7 @@ use crate::runner::{
     MeasurementData, Scale, SelectionData, FIG6_KS,
 };
 use crate::{
-    faults, fig1, fig2, fig3, fig4, fig5, fig6, headroom, megaflow, overhead, sites, table1,
+    faults, fig1, fig2, fig3, fig4, fig5, fig6, headroom, megaflow, overhead, sites, soak, table1,
     table2, table3, tournament, variability,
 };
 use ir_artifact::{
@@ -75,6 +75,7 @@ pub const SALTS: &[(&str, u64)] = &[
     ("faults", 1),
     ("megaflow", 1),
     ("tournament", 1),
+    ("soak", 1),
 ];
 
 fn salt_of(name: &str) -> u64 {
@@ -232,6 +233,75 @@ pub fn megaflow_config(scale: Scale) -> megaflow::MegaflowConfig {
     match scale {
         Scale::Quick => megaflow::MegaflowConfig::mini(),
         Scale::Paper => megaflow::MegaflowConfig::paper(),
+    }
+}
+
+/// Soak geometry at a scale (shared by the `soak` CLI artefact and
+/// [`soak_plan`]): 250 concurrent clients at Quick, the 2000-client
+/// headline herd at Paper.
+pub fn soak_config(scale: Scale) -> soak::SoakConfig {
+    match scale {
+        Scale::Quick => soak::SoakConfig::quick(),
+        Scale::Paper => soak::SoakConfig::paper(),
+    }
+}
+
+/// The soak as its own fingerprinted plan: one study (the real-socket
+/// load run) feeding one artefact. Deliberately **not** part of
+/// [`full_plan`]: soak results measure this machine's wall clock, so
+/// folding them into the sweep would break the byte-identical
+/// cold/warm/cacheless replays CI diffs. A cached soak artefact is a
+/// *record* of the run that produced it, keyed on `(seed, config,
+/// codec version)` like every other study.
+pub fn soak_plan(seed: u64, scale: Scale) -> SweepPlan {
+    let cfg = soak_config(scale);
+    let fp = {
+        let mut h = StableHasher::new();
+        "study/soak".stable_hash(&mut h);
+        CODEC_VERSION.stable_hash(&mut h);
+        seed.stable_hash(&mut h);
+        (cfg.clients as u64).stable_hash(&mut h);
+        cfg.file_bytes.stable_hash(&mut h);
+        cfg.probe_bytes.stable_hash(&mut h);
+        cfg.direct_rate.stable_hash(&mut h);
+        cfg.relay_rate.stable_hash(&mut h);
+        (cfg.workers as u64).stable_hash(&mut h);
+        cfg.stagger_ms.stable_hash(&mut h);
+        h.finish()
+    };
+    let study = StudySpec {
+        name: format!("soak(seed={seed},{scale:?})"),
+        fingerprint: fp,
+        run: Box::new(move || {
+            Arc::new(soak::run(
+                &cfg,
+                ir_relay::RelayMode::Event {
+                    workers: cfg.workers as usize,
+                },
+            )) as Arc<dyn Any + Send + Sync>
+        }),
+        encode: Box::new(|out| {
+            codec::encode_soak(out.downcast_ref::<soak::SoakResult>().expect("soak output"))
+        }),
+        decode: Box::new(|bytes| {
+            codec::decode_soak(bytes).map(|d| Arc::new(d) as Arc<dyn Any + Send + Sync>)
+        }),
+    };
+    let artefact = ArtefactSpec {
+        name: "soak".into(),
+        fingerprint: artefact_fingerprint("soak", &[fp]),
+        deps: vec![fp],
+        render: Box::new(|inputs| {
+            output_of(&soak::report_of(
+                inputs[0]
+                    .downcast_ref::<soak::SoakResult>()
+                    .expect("soak result"),
+            ))
+        }),
+    };
+    SweepPlan {
+        studies: vec![study],
+        artefacts: vec![artefact],
     }
 }
 
@@ -738,7 +808,10 @@ mod tests {
     fn every_full_plan_artefact_has_a_salt_and_unique_fingerprint() {
         let plan = full_plan(2007, Scale::Quick, None);
         assert_eq!(plan.studies.len(), 6 + tournament::POLICIES.len());
-        assert_eq!(plan.artefacts.len(), SALTS.len());
+        // `soak` carries a salt but lives in its own plan (wall-clock
+        // results must not enter the byte-replayable sweep), so the
+        // full plan renders every salted artefact except that one.
+        assert_eq!(plan.artefacts.len(), SALTS.len() - 1);
         let mut fps: Vec<Fingerprint> = plan
             .artefacts
             .iter()
@@ -874,5 +947,27 @@ mod tests {
             .collect();
         let got: Vec<&str> = t.studies.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(got, expected);
+    }
+
+    /// The soak plan is fingerprinted like any other study — stable
+    /// under identical inputs, moved by seed and scale — without ever
+    /// running the (wall-clock) study itself.
+    #[test]
+    fn soak_plan_is_fingerprinted_and_separate_from_full() {
+        let a = soak_plan(2007, Scale::Quick);
+        let b = soak_plan(2007, Scale::Quick);
+        assert_eq!(a.studies.len(), 1);
+        assert_eq!(a.artefacts.len(), 1);
+        assert_eq!(a.studies[0].name, "soak(seed=2007,Quick)");
+        assert_eq!(a.studies[0].fingerprint, b.studies[0].fingerprint);
+        assert_eq!(a.artefacts[0].fingerprint, b.artefacts[0].fingerprint);
+        assert_eq!(a.artefacts[0].deps, vec![a.studies[0].fingerprint]);
+        let seed_moved = soak_plan(2008, Scale::Quick);
+        assert_ne!(a.studies[0].fingerprint, seed_moved.studies[0].fingerprint);
+        let scale_moved = soak_plan(2007, Scale::Paper);
+        assert_ne!(a.studies[0].fingerprint, scale_moved.studies[0].fingerprint);
+        // And the full plan never declares it.
+        let full = full_plan(2007, Scale::Quick, None);
+        assert!(full.artefacts.iter().all(|x| x.name != "soak"));
     }
 }

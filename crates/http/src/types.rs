@@ -55,6 +55,8 @@ impl StatusCode {
     pub const RANGE_NOT_SATISFIABLE: StatusCode = StatusCode(416);
     /// 502 Bad Gateway — relay could not reach the origin.
     pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    /// 503 Service Unavailable — relay refused under backpressure.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
 
     /// Canonical reason phrase.
     pub fn reason(self) -> &'static str {
@@ -65,6 +67,7 @@ impl StatusCode {
             404 => "Not Found",
             416 => "Range Not Satisfiable",
             502 => "Bad Gateway",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }

@@ -1,0 +1,864 @@
+//! Per-connection state machine for the event-driven relay.
+//!
+//! Each accepted socket becomes a `Conn` driven entirely by
+//! readiness: `accept → read request → latency → dial origin → send
+//! upstream → read head → splice → keep-alive loop`, with error
+//! responses re-entering the keep-alive loop exactly like the threaded
+//! daemon. A connection never blocks a thread — every I/O call is
+//! non-blocking, and `Conn::step` records *why* it parked
+//! (`Blocked`) so the worker polls precisely the descriptor or timer
+//! that can unpark it (no level-triggered busy loops).
+//!
+//! Rate shaping reuses [`TokenBucket`] with a carried grant budget:
+//! tokens taken for a write that then hits `WouldBlock` are spent on
+//! the retry rather than lost, so the shaped goodput matches the
+//! blocking [`crate::stream::ThrottledStream`] path byte for byte.
+
+use crate::poller::{connect_errno, connect_nonblocking, Dial};
+use crate::shaper::TokenBucket;
+use crate::stream::SPLICE_CHUNK;
+use bytes::BytesMut;
+use ir_http::{
+    encode_request, encode_response, parse_request, parse_response, Parsed, Request, Response,
+    StatusCode,
+};
+use ir_telemetry::trace::{Event, EventKind};
+use ir_telemetry::Telemetry;
+use std::io::{Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Transition counters for the connection lifecycle, shared by every
+/// worker. Integration tests sweep seeded scenarios and assert each
+/// transition is reachable and that nothing leaks.
+#[derive(Debug, Default)]
+pub struct Lifecycle {
+    /// Connections accepted into the reactor.
+    pub accepted: AtomicU64,
+    /// Requests parsed off client sockets.
+    pub requests_read: AtomicU64,
+    /// Requests that waited in the latency state.
+    pub latency_waits: AtomicU64,
+    /// Origin dials started.
+    pub origin_dials: AtomicU64,
+    /// Upstream requests fully written to an origin.
+    pub upstream_sends: AtomicU64,
+    /// Origin response heads parsed.
+    pub heads_read: AtomicU64,
+    /// Body splices started.
+    pub splices_started: AtomicU64,
+    /// Requests relayed to completion.
+    pub requests_completed: AtomicU64,
+    /// Synthesized 4xx/5xx responses sent to clients.
+    pub error_responses: AtomicU64,
+    /// Connections closed cleanly (EOF between requests, or drain
+    /// after a completed request).
+    pub closed_clean: AtomicU64,
+    /// Connections closed on an error path.
+    pub closed_error: AtomicU64,
+    /// Connections reaped by the idle/progress deadline.
+    pub idle_timeouts: AtomicU64,
+    /// Idle connections closed immediately by a drain.
+    pub drained_idle: AtomicU64,
+    /// Connections severed by `kill()` or a drain deadline.
+    pub killed: AtomicU64,
+}
+
+/// Point-in-time copy of [`Lifecycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleSnapshot {
+    /// See [`Lifecycle::accepted`].
+    pub accepted: u64,
+    /// See [`Lifecycle::requests_read`].
+    pub requests_read: u64,
+    /// See [`Lifecycle::latency_waits`].
+    pub latency_waits: u64,
+    /// See [`Lifecycle::origin_dials`].
+    pub origin_dials: u64,
+    /// See [`Lifecycle::upstream_sends`].
+    pub upstream_sends: u64,
+    /// See [`Lifecycle::heads_read`].
+    pub heads_read: u64,
+    /// See [`Lifecycle::splices_started`].
+    pub splices_started: u64,
+    /// See [`Lifecycle::requests_completed`].
+    pub requests_completed: u64,
+    /// See [`Lifecycle::error_responses`].
+    pub error_responses: u64,
+    /// See [`Lifecycle::closed_clean`].
+    pub closed_clean: u64,
+    /// See [`Lifecycle::closed_error`].
+    pub closed_error: u64,
+    /// See [`Lifecycle::idle_timeouts`].
+    pub idle_timeouts: u64,
+    /// See [`Lifecycle::drained_idle`].
+    pub drained_idle: u64,
+    /// See [`Lifecycle::killed`].
+    pub killed: u64,
+}
+
+impl Lifecycle {
+    /// Snapshots every counter.
+    pub fn snapshot(&self) -> LifecycleSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        LifecycleSnapshot {
+            accepted: g(&self.accepted),
+            requests_read: g(&self.requests_read),
+            latency_waits: g(&self.latency_waits),
+            origin_dials: g(&self.origin_dials),
+            upstream_sends: g(&self.upstream_sends),
+            heads_read: g(&self.heads_read),
+            splices_started: g(&self.splices_started),
+            requests_completed: g(&self.requests_completed),
+            error_responses: g(&self.error_responses),
+            closed_clean: g(&self.closed_clean),
+            closed_error: g(&self.closed_error),
+            idle_timeouts: g(&self.idle_timeouts),
+            drained_idle: g(&self.drained_idle),
+            killed: g(&self.killed),
+        }
+    }
+
+    pub(crate) fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Pool of splice buffers: connections borrow one 16 KiB chunk for
+/// their lifetime and return it on close, so a soak's allocation count
+/// tracks peak concurrency instead of transfer count.
+#[derive(Debug, Default)]
+pub(crate) struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    const MAX_POOLED: usize = 256;
+
+    pub(crate) fn take(&self) -> Vec<u8> {
+        self.free
+            .lock()
+            .expect("buffer pool")
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(SPLICE_CHUNK))
+    }
+
+    pub(crate) fn give(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut free = self.free.lock().expect("buffer pool");
+        if buf.capacity() >= SPLICE_CHUNK && free.len() < Self::MAX_POOLED {
+            free.push(buf);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn pooled(&self) -> usize {
+        self.free.lock().expect("buffer pool").len()
+    }
+}
+
+/// Why a connection parked. The worker's poll set is derived from
+/// exactly this, so a blocked connection wakes only when the condition
+/// it is waiting on can have changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Blocked {
+    /// Waiting for request bytes from the client.
+    ClientRead,
+    /// Client send buffer full.
+    ClientWrite,
+    /// Waiting for origin response bytes.
+    OriginRead,
+    /// Origin send buffer full (or connect in flight).
+    OriginWrite,
+    /// Waiting on a timer (latency emulation or token refill).
+    Timer(Instant),
+}
+
+/// How a connection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CloseKind {
+    /// Orderly end: client EOF between requests, or drain completion.
+    Clean,
+    /// Any error path, including idle timeout.
+    Error,
+}
+
+/// Result of driving a connection as far as it can go right now.
+#[derive(Debug)]
+pub(crate) enum Step {
+    /// Parked; see [`Conn::blocked`].
+    Blocked,
+    /// Finished; the worker reaps the connection. Lifecycle counters
+    /// record whether the close was clean or an error.
+    Closed,
+}
+
+enum State {
+    ReadRequest,
+    Latency { until: Instant, req: Request },
+    Connecting { origin: TcpStream },
+    SendUpstream { origin: TcpStream },
+    ReadHead { origin: TcpStream },
+    Splice { origin: TcpStream, remaining: u64 },
+    Respond,
+}
+
+/// Everything a step needs from the worker.
+pub(crate) struct StepCtx<'a> {
+    pub telemetry: &'a Option<Arc<Telemetry>>,
+    pub latency: Duration,
+    pub epoch: Instant,
+    pub lifecycle: &'a Lifecycle,
+    /// Graceful drain in progress: finish the in-flight request, then
+    /// close instead of looping for keep-alive.
+    pub draining: bool,
+    pub now: Instant,
+}
+
+/// One client connection owned by a reactor worker.
+pub(crate) struct Conn {
+    pub(crate) id: u64,
+    pub(crate) client: TcpStream,
+    pub(crate) accept_at: Instant,
+    pub(crate) blocked: Blocked,
+    state: State,
+    inbuf: BytesMut,
+    headbuf: BytesMut,
+    /// Pooled scratch/output buffer: pending client-bound bytes live
+    /// in `outbuf[out_off..]`.
+    outbuf: Vec<u8>,
+    out_off: usize,
+    upbuf: BytesMut,
+    up_off: usize,
+    bucket: Option<TokenBucket>,
+    budget: usize,
+    fwd_start: Instant,
+    body_len: u64,
+    first_byte_sent: bool,
+    /// Progress deadline: no forward progress past this instant closes
+    /// the connection (half-open peers, stalled readers).
+    deadline: Instant,
+}
+
+impl Conn {
+    pub(crate) fn new(
+        id: u64,
+        client: TcpStream,
+        accept_at: Instant,
+        bucket: Option<TokenBucket>,
+        idle_timeout: Duration,
+        outbuf: Vec<u8>,
+    ) -> std::io::Result<Conn> {
+        client.set_nonblocking(true)?;
+        client.set_nodelay(true)?;
+        Ok(Conn {
+            id,
+            client,
+            accept_at,
+            blocked: Blocked::ClientRead,
+            state: State::ReadRequest,
+            inbuf: BytesMut::new(),
+            headbuf: BytesMut::new(),
+            outbuf,
+            out_off: 0,
+            upbuf: BytesMut::new(),
+            up_off: 0,
+            bucket,
+            budget: 0,
+            fwd_start: accept_at,
+            body_len: 0,
+            first_byte_sent: false,
+            deadline: accept_at + idle_timeout,
+        })
+    }
+
+    /// True when the connection sits between requests with nothing
+    /// buffered — a drain closes these immediately.
+    pub(crate) fn is_idle(&self) -> bool {
+        matches!(self.state, State::ReadRequest) && self.inbuf.is_empty()
+    }
+
+    /// Returns the pooled buffer on close.
+    pub(crate) fn into_buffer(self) -> Vec<u8> {
+        self.outbuf
+    }
+
+    /// The earliest timer that should wake this connection: the
+    /// blocked-on timer (if any) and the progress deadline.
+    pub(crate) fn next_timer(&self) -> Instant {
+        match self.blocked {
+            Blocked::Timer(t) => t.min(self.deadline),
+            _ => self.deadline,
+        }
+    }
+
+    /// The descriptor interest derived from the blocked reason:
+    /// `(client_events, origin_fd_and_events)`.
+    pub(crate) fn interest(&self) -> (i16, Option<(&TcpStream, i16)>) {
+        use crate::poller::{POLLIN, POLLOUT};
+        let origin = match &self.state {
+            State::Connecting { origin }
+            | State::SendUpstream { origin }
+            | State::ReadHead { origin }
+            | State::Splice { origin, .. } => Some(origin),
+            _ => None,
+        };
+        match self.blocked {
+            Blocked::ClientRead => (POLLIN, None),
+            Blocked::ClientWrite => (POLLOUT, None),
+            Blocked::OriginRead => (0, origin.map(|o| (o, POLLIN))),
+            Blocked::OriginWrite => (0, origin.map(|o| (o, POLLOUT))),
+            Blocked::Timer(_) => (0, None),
+        }
+    }
+
+    fn touch(&mut self, now: Instant, idle_timeout: Duration) {
+        self.deadline = now + idle_timeout;
+    }
+
+    /// Drives the state machine until it parks or closes.
+    pub(crate) fn step(&mut self, ctx: &StepCtx<'_>, idle_timeout: Duration) -> Step {
+        loop {
+            if ctx.now >= self.deadline {
+                Lifecycle::bump(&ctx.lifecycle.idle_timeouts);
+                return self.close(ctx, CloseKind::Error);
+            }
+            match std::mem::replace(&mut self.state, State::ReadRequest) {
+                State::ReadRequest => match self.on_read_request(ctx, idle_timeout) {
+                    Some(step) => return step,
+                    None => continue,
+                },
+                State::Latency { until, req } => {
+                    if ctx.now >= until {
+                        self.start_forward(ctx, req);
+                        continue;
+                    }
+                    self.state = State::Latency { until, req };
+                    self.blocked = Blocked::Timer(until);
+                    return Step::Blocked;
+                }
+                State::Connecting { origin } => {
+                    // Only a poll wakeup can resolve the handshake; the
+                    // worker re-steps us once the socket turns writable
+                    // (or errors), and `connect_errno` disambiguates.
+                    match connect_errno(&origin) {
+                        Ok(()) if writable_now(&origin) => {
+                            let _ = origin.set_nodelay(true);
+                            self.state = State::SendUpstream { origin };
+                            continue;
+                        }
+                        Ok(()) => {
+                            self.state = State::Connecting { origin };
+                            self.blocked = Blocked::OriginWrite;
+                            return Step::Blocked;
+                        }
+                        Err(_) => {
+                            self.respond(ctx, StatusCode::BAD_GATEWAY);
+                            continue;
+                        }
+                    }
+                }
+                State::SendUpstream { mut origin } => match self.pump_upstream(&mut origin) {
+                    Pump::Done => {
+                        Lifecycle::bump(&ctx.lifecycle.upstream_sends);
+                        self.touch(ctx.now, idle_timeout);
+                        self.headbuf.clear();
+                        self.state = State::ReadHead { origin };
+                        continue;
+                    }
+                    Pump::WouldBlock => {
+                        self.state = State::SendUpstream { origin };
+                        self.blocked = Blocked::OriginWrite;
+                        return Step::Blocked;
+                    }
+                    Pump::Err => {
+                        self.respond(ctx, StatusCode::BAD_GATEWAY);
+                        continue;
+                    }
+                },
+                State::ReadHead { mut origin } => match self.on_read_head(ctx, &mut origin) {
+                    HeadStep::Parked(blocked) => {
+                        self.state = State::ReadHead { origin };
+                        self.blocked = blocked;
+                        return Step::Blocked;
+                    }
+                    HeadStep::Splice { remaining } => {
+                        self.touch(ctx.now, idle_timeout);
+                        Lifecycle::bump(&ctx.lifecycle.splices_started);
+                        self.state = State::Splice { origin, remaining };
+                        continue;
+                    }
+                    HeadStep::Respond => continue,
+                },
+                State::Splice {
+                    mut origin,
+                    remaining,
+                } => {
+                    match self.on_splice(ctx, &mut origin, remaining, idle_timeout) {
+                        SpliceStep::Parked(blocked, remaining) => {
+                            self.state = State::Splice { origin, remaining };
+                            self.blocked = blocked;
+                            return Step::Blocked;
+                        }
+                        SpliceStep::Complete => {
+                            // `origin` drops here; the state machine
+                            // loops for keep-alive (or drains out).
+                            self.after_request(ctx);
+                            if ctx.draining {
+                                return self.close(ctx, CloseKind::Clean);
+                            }
+                            self.touch(ctx.now, idle_timeout);
+                            continue;
+                        }
+                        SpliceStep::Dead => {
+                            self.count_error(ctx);
+                            return self.close(ctx, CloseKind::Error);
+                        }
+                    }
+                }
+                State::Respond => match self.flush_out(ctx) {
+                    Flush::Drained => {
+                        if ctx.draining {
+                            return self.close(ctx, CloseKind::Clean);
+                        }
+                        self.touch(ctx.now, idle_timeout);
+                        self.state = State::ReadRequest;
+                        continue;
+                    }
+                    Flush::Parked(blocked) => {
+                        self.state = State::Respond;
+                        self.blocked = blocked;
+                        return Step::Blocked;
+                    }
+                    Flush::Dead => return self.close(ctx, CloseKind::Error),
+                },
+            }
+        }
+    }
+
+    /// ReadRequest: parse buffered bytes first (pipelining), then pull
+    /// more from the socket. `None` = keep stepping.
+    fn on_read_request(&mut self, ctx: &StepCtx<'_>, idle_timeout: Duration) -> Option<Step> {
+        loop {
+            match parse_request(&self.inbuf[..]) {
+                Err(_) => {
+                    // Unparseable request line: drop the connection,
+                    // matching the threaded daemon.
+                    return Some(self.close(ctx, CloseKind::Error));
+                }
+                Ok(Parsed::Complete { value, consumed }) => {
+                    let _ = self.inbuf.split_to(consumed);
+                    Lifecycle::bump(&ctx.lifecycle.requests_read);
+                    self.touch(ctx.now, idle_timeout);
+                    if ctx.latency.is_zero() {
+                        self.start_forward(ctx, value);
+                    } else {
+                        Lifecycle::bump(&ctx.lifecycle.latency_waits);
+                        self.state = State::Latency {
+                            until: ctx.now + ctx.latency,
+                            req: value,
+                        };
+                    }
+                    return None;
+                }
+                Ok(Parsed::Partial) => {
+                    self.outbuf.resize(8192, 0);
+                    match self.client.read(&mut self.outbuf[..]) {
+                        Ok(0) => {
+                            let kind = if self.inbuf.is_empty() {
+                                CloseKind::Clean
+                            } else {
+                                CloseKind::Error
+                            };
+                            self.outbuf.clear();
+                            return Some(self.close(ctx, kind));
+                        }
+                        Ok(n) => {
+                            let (filled, _) = self.outbuf.split_at(n);
+                            self.inbuf.extend_from_slice(filled);
+                            self.outbuf.clear();
+                            self.touch(ctx.now, idle_timeout);
+                            continue;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            self.outbuf.clear();
+                            self.state = State::ReadRequest;
+                            self.blocked = Blocked::ClientRead;
+                            return Some(Step::Blocked);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                            self.outbuf.clear();
+                            continue;
+                        }
+                        Err(_) => {
+                            self.outbuf.clear();
+                            return Some(self.close(ctx, CloseKind::Error));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plans the forward, starts the origin dial, and encodes the
+    /// upstream request. Any planning/dial failure turns into a
+    /// synthesized response on the keep-alive path.
+    fn start_forward(&mut self, ctx: &StepCtx<'_>, req: Request) {
+        self.fwd_start = ctx.now;
+        self.body_len = 0;
+        let plan = match ir_http::plan_forward(&req) {
+            Ok(p) => p,
+            Err(_) => {
+                // The client sent something we refuse to proxy.
+                self.respond(ctx, StatusCode::BAD_REQUEST);
+                return;
+            }
+        };
+        let addr = match resolve(&plan.host, plan.port) {
+            Some(a) => a,
+            None => {
+                self.respond(ctx, StatusCode::BAD_GATEWAY);
+                return;
+            }
+        };
+        Lifecycle::bump(&ctx.lifecycle.origin_dials);
+        self.upbuf.clear();
+        encode_request(&plan.request, &mut self.upbuf);
+        self.up_off = 0;
+        match connect_nonblocking(&addr) {
+            Ok(Dial::Ready(origin)) => {
+                let _ = origin.set_nodelay(true);
+                self.state = State::SendUpstream { origin };
+            }
+            Ok(Dial::Pending(origin)) => {
+                self.state = State::Connecting { origin };
+            }
+            Err(_) => self.respond(ctx, StatusCode::BAD_GATEWAY),
+        }
+    }
+
+    fn pump_upstream(&mut self, origin: &mut TcpStream) -> Pump {
+        while self.up_off < self.upbuf.len() {
+            match origin.write(&self.upbuf[self.up_off..]) {
+                Ok(0) => return Pump::Err,
+                Ok(n) => self.up_off += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Pump::WouldBlock,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Pump::Err,
+            }
+        }
+        Pump::Done
+    }
+
+    fn on_read_head(&mut self, ctx: &StepCtx<'_>, origin: &mut TcpStream) -> HeadStep {
+        loop {
+            match parse_response(&self.headbuf[..]) {
+                Err(_) => {
+                    // Matches the threaded path: origin protocol errors
+                    // map through `RelayError::Http` to 400.
+                    self.respond(ctx, StatusCode::BAD_REQUEST);
+                    return HeadStep::Respond;
+                }
+                Ok(Parsed::Complete {
+                    value: head,
+                    consumed,
+                }) => {
+                    let _ = self.headbuf.split_to(consumed);
+                    let body_len = match head.headers.content_length() {
+                        Err(_) => {
+                            self.respond(ctx, StatusCode::BAD_REQUEST);
+                            return HeadStep::Respond;
+                        }
+                        Ok(None) => {
+                            // "origin sent no Content-Length"
+                            self.respond(ctx, StatusCode::BAD_GATEWAY);
+                            return HeadStep::Respond;
+                        }
+                        Ok(Some(len)) => len,
+                    };
+                    Lifecycle::bump(&ctx.lifecycle.heads_read);
+                    let mut relayed = head;
+                    relayed.headers.append("Via", "1.1 ir-relay");
+                    let mut enc = BytesMut::new();
+                    encode_response(&relayed, &mut enc);
+                    self.outbuf.clear();
+                    self.out_off = 0;
+                    self.outbuf.extend_from_slice(&enc);
+                    // Body bytes already read with the head.
+                    let take = (self.headbuf.len() as u64).min(body_len) as usize;
+                    self.outbuf.extend_from_slice(&self.headbuf[..take]);
+                    self.headbuf.clear();
+                    self.body_len = body_len;
+                    return HeadStep::Splice {
+                        remaining: body_len - take as u64,
+                    };
+                }
+                Ok(Parsed::Partial) => {
+                    self.outbuf.resize(8192, 0);
+                    match origin.read(&mut self.outbuf[..]) {
+                        Ok(0) => {
+                            self.outbuf.clear();
+                            // UnexpectedEof before the head completes is
+                            // an HttpError in the threaded path → 400.
+                            self.respond(ctx, StatusCode::BAD_REQUEST);
+                            return HeadStep::Respond;
+                        }
+                        Ok(n) => {
+                            let (filled, _) = self.outbuf.split_at(n);
+                            self.headbuf.extend_from_slice(filled);
+                            self.outbuf.clear();
+                            continue;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            self.outbuf.clear();
+                            return HeadStep::Parked(Blocked::OriginRead);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                            self.outbuf.clear();
+                            continue;
+                        }
+                        Err(_) => {
+                            self.outbuf.clear();
+                            self.respond(ctx, StatusCode::BAD_GATEWAY);
+                            return HeadStep::Respond;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_splice(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        origin: &mut TcpStream,
+        mut remaining: u64,
+        idle_timeout: Duration,
+    ) -> SpliceStep {
+        loop {
+            match self.flush_out(ctx) {
+                Flush::Drained => {}
+                Flush::Parked(blocked) => return SpliceStep::Parked(blocked, remaining),
+                Flush::Dead => return SpliceStep::Dead,
+            }
+            if remaining == 0 {
+                return SpliceStep::Complete;
+            }
+            let want = (remaining as usize).min(SPLICE_CHUNK);
+            self.outbuf.resize(want, 0);
+            self.out_off = 0;
+            match origin.read(&mut self.outbuf[..want]) {
+                Ok(0) => {
+                    // Origin died mid-body: the head already went out,
+                    // so the client sees a short read, never a hang.
+                    self.outbuf.clear();
+                    return SpliceStep::Dead;
+                }
+                Ok(n) => {
+                    self.outbuf.truncate(n);
+                    remaining -= n as u64;
+                    self.touch(ctx.now, idle_timeout);
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.outbuf.clear();
+                    return SpliceStep::Parked(Blocked::OriginRead, remaining);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.outbuf.clear();
+                    continue;
+                }
+                Err(_) => {
+                    self.outbuf.clear();
+                    return SpliceStep::Dead;
+                }
+            }
+        }
+    }
+
+    /// Drains `outbuf[out_off..]` to the client through the shaper.
+    fn flush_out(&mut self, ctx: &StepCtx<'_>) -> Flush {
+        while self.out_off < self.outbuf.len() {
+            let want = (self.outbuf.len() - self.out_off).min(SPLICE_CHUNK);
+            let grant = match &mut self.bucket {
+                None => want,
+                Some(bucket) => {
+                    if self.budget == 0 {
+                        self.budget = bucket.take_at(want, ctx.now);
+                    }
+                    if self.budget == 0 {
+                        let eta = bucket.eta_at(want, ctx.now);
+                        return Flush::Parked(Blocked::Timer(ctx.now + eta));
+                    }
+                    self.budget.min(want)
+                }
+            };
+            match self
+                .client
+                .write(&self.outbuf[self.out_off..self.out_off + grant])
+            {
+                Ok(0) => return Flush::Dead,
+                Ok(n) => {
+                    self.out_off += n;
+                    if self.bucket.is_some() {
+                        self.budget -= n;
+                    }
+                    if !self.first_byte_sent {
+                        self.first_byte_sent = true;
+                        self.record_first_byte(ctx);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Flush::Parked(Blocked::ClientWrite);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Flush::Dead,
+            }
+        }
+        self.outbuf.clear();
+        self.out_off = 0;
+        Flush::Drained
+    }
+
+    /// Queues a synthesized `status` response (Content-Length 0) and
+    /// enters the Respond state.
+    fn respond(&mut self, ctx: &StepCtx<'_>, status: StatusCode) {
+        self.count_error(ctx);
+        Lifecycle::bump(&ctx.lifecycle.error_responses);
+        let resp = Response::new(status).with_header("Content-Length", "0");
+        let mut enc = BytesMut::new();
+        encode_response(&resp, &mut enc);
+        self.outbuf.clear();
+        self.out_off = 0;
+        self.outbuf.extend_from_slice(&enc);
+        self.state = State::Respond;
+    }
+
+    fn count_error(&self, ctx: &StepCtx<'_>) {
+        if let Some(tel) = ctx.telemetry {
+            tel.metrics.counter("relay_errors", vec![]).inc();
+        }
+    }
+
+    /// Telemetry for one relayed request, mirroring the threaded path.
+    fn after_request(&mut self, ctx: &StepCtx<'_>) {
+        Lifecycle::bump(&ctx.lifecycle.requests_completed);
+        if let Some(tel) = ctx.telemetry {
+            let splice_start = self.fwd_start.duration_since(ctx.epoch);
+            let dur = ctx.now.duration_since(self.fwd_start);
+            tel.metrics.counter("relay_requests", vec![]).inc();
+            tel.metrics
+                .counter("relay_bytes", vec![])
+                .add(self.body_len);
+            tel.metrics
+                .histogram("relay_splice_us", vec![])
+                .record(dur.as_micros() as u64);
+            tel.tracer.record(
+                Event::span(
+                    EventKind::RelaySplice,
+                    splice_start.as_micros() as u64,
+                    dur.as_micros() as u64,
+                    self.id,
+                )
+                .with_u64("bytes", self.body_len),
+            );
+        }
+    }
+
+    fn record_first_byte(&self, ctx: &StepCtx<'_>) {
+        if let Some(tel) = ctx.telemetry {
+            let wait = ctx.now.duration_since(self.accept_at);
+            tel.metrics
+                .histogram("relay_accept_first_byte_us", vec![])
+                .record(wait.as_micros() as u64);
+            tel.tracer.record(Event::span(
+                EventKind::RelayFirstByte,
+                self.accept_at.duration_since(ctx.epoch).as_micros() as u64,
+                wait.as_micros() as u64,
+                self.id,
+            ));
+        }
+    }
+
+    fn close(&mut self, ctx: &StepCtx<'_>, kind: CloseKind) -> Step {
+        match kind {
+            CloseKind::Clean => Lifecycle::bump(&ctx.lifecycle.closed_clean),
+            CloseKind::Error => Lifecycle::bump(&ctx.lifecycle.closed_error),
+        }
+        Step::Closed
+    }
+}
+
+enum Pump {
+    Done,
+    WouldBlock,
+    Err,
+}
+
+enum HeadStep {
+    Parked(Blocked),
+    Splice { remaining: u64 },
+    Respond,
+}
+
+enum SpliceStep {
+    Parked(Blocked, u64),
+    Complete,
+    Dead,
+}
+
+enum Flush {
+    Drained,
+    Parked(Blocked),
+    Dead,
+}
+
+/// A zero-byte write probe: distinguishes "connect still in flight"
+/// from "connected" once `SO_ERROR` reads clean.
+fn writable_now(origin: &TcpStream) -> bool {
+    use crate::poller::{poll_fds, PollFd, POLLOUT};
+    use std::os::unix::io::AsRawFd;
+    let mut fds = [PollFd::new(origin.as_raw_fd(), POLLOUT)];
+    matches!(poll_fds(&mut fds, Duration::ZERO), Ok(n) if n > 0)
+}
+
+/// Resolves `host:port`, preferring literal IPs (no blocking DNS on
+/// the reactor threads for the loopback/IP deployments this models).
+fn resolve(host: &str, port: u16) -> Option<SocketAddr> {
+    if let Ok(ip) = host.parse::<IpAddr>() {
+        return Some(SocketAddr::new(ip, port));
+    }
+    (host, port).to_socket_addrs().ok()?.next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_pool_recycles_up_to_its_cap() {
+        let pool = BufferPool::default();
+        assert_eq!(pool.pooled(), 0);
+
+        // A returned full-size buffer is kept and handed back out.
+        let buf = pool.take();
+        assert!(buf.capacity() >= SPLICE_CHUNK);
+        pool.give(buf);
+        assert_eq!(pool.pooled(), 1);
+        let again = pool.take();
+        assert_eq!(pool.pooled(), 0);
+        assert!(again.is_empty(), "recycled buffers come back cleared");
+
+        // Undersized buffers are dropped, not pooled.
+        pool.give(Vec::with_capacity(8));
+        assert_eq!(pool.pooled(), 0);
+
+        // The pool never holds more than MAX_POOLED chunks.
+        for _ in 0..BufferPool::MAX_POOLED + 16 {
+            pool.give(Vec::with_capacity(SPLICE_CHUNK));
+        }
+        assert_eq!(pool.pooled(), BufferPool::MAX_POOLED);
+    }
+}

@@ -18,15 +18,20 @@
 //! * [`stream`] — write-paced stream wrapper.
 //! * [`origin`] — origin server (Range, keep-alive, deterministic
 //!   bodies).
-//! * [`relayd`] — the relay daemon (absolute-form in, origin-form out).
+//! * [`poller`] — `poll(2)`/non-blocking-connect FFI shim.
+//! * [`conn`] — per-connection state machine for the reactor.
+//! * [`relayd`] — the relay daemon (absolute-form in, origin-form out);
+//!   event-driven reactor by default, thread-per-connection baseline.
 //! * [`client`] — probe race + warm remainder download.
 //! * [`wire`] — small blocking HTTP client primitives.
 //! * [`harness`] — a one-process mini-PlanetLab for tests and examples.
 
 pub mod client;
+pub mod conn;
 pub mod error;
 pub mod harness;
 pub mod origin;
+pub mod poller;
 pub mod relayd;
 pub mod shaper;
 pub mod stream;
@@ -37,10 +42,11 @@ pub use client::{
     download, download_failover, download_with_subset, probe_race, ChosenPath, ClientConfig,
     DownloadOutcome, ProbeWin,
 };
+pub use conn::{Lifecycle, LifecycleSnapshot};
 pub use error::RelayError;
 pub use harness::{HarnessSpec, MiniPlanetLab, StudyRound};
 pub use origin::{body_byte, fill_body, OriginConfig, OriginServer};
-pub use relayd::{Relay, RelayConfig};
+pub use relayd::{Backpressure, DrainReport, Relay, RelayConfig, RelayMode};
 pub use shaper::{RateSchedule, TokenBucket};
-pub use stream::ThrottledStream;
+pub use stream::{FirstByteStamp, ThrottledStream, SPLICE_CHUNK};
 pub use transport::{RealTransport, RealWorld};

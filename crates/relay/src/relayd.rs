@@ -5,20 +5,69 @@
 //! (preserving `Range`), dials the origin, and streams the response
 //! back to the client through this relay's rate shaper (the shaper is
 //! the client→relay overlay-link bottleneck of the model).
+//!
+//! Two serving modes share one acceptor (DESIGN.md §15):
+//!
+//! * [`RelayMode::Event`] (the default) — a small sharded worker pool
+//!   drives non-blocking sockets through a `poll(2)` reactor
+//!   ([`crate::poller`]). Each connection is a `crate::conn::Conn`
+//!   state machine; splice buffers come from a shared pool; thousands
+//!   of concurrent transfers cost a handful of threads.
+//! * [`RelayMode::Threaded`] — the original thread-per-connection
+//!   path, kept as the baseline the BENCH_PR9 gate compares against.
+//!
+//! Both modes honour accept-side backpressure ([`RelayConfig::
+//! with_max_connections`]), `kill()` crash semantics (sever every
+//! splice, refuse new connections — PR 2), and graceful
+//! [`Relay::drain`].
 
+use crate::conn::{BufferPool, Conn, Lifecycle, LifecycleSnapshot, Step, StepCtx};
 use crate::error::RelayError;
 use crate::origin::read_request;
+use crate::poller::{poll_fds, PollFd};
 use crate::shaper::{RateSchedule, TokenBucket};
-use crate::stream::ThrottledStream;
+use crate::stream::{FirstByteStamp, ThrottledStream, SPLICE_CHUNK};
 use bytes::BytesMut;
 use ir_http::{encode_request, encode_response, plan_forward, Parsed, Response, StatusCode};
 use ir_telemetry::trace::{Event, EventKind};
 use ir_telemetry::Telemetry;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How the daemon serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelayMode {
+    /// Poll-reactor worker pool over non-blocking sockets.
+    Event {
+        /// Worker (shard) count; each worker owns its connections.
+        workers: usize,
+    },
+    /// One blocking serve thread per connection (the pre-reactor
+    /// baseline).
+    Threaded,
+}
+
+impl Default for RelayMode {
+    fn default() -> Self {
+        RelayMode::Event { workers: 4 }
+    }
+}
+
+/// What the acceptor does with a connection beyond the limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Answer `503 Service Unavailable` (best effort) and close.
+    Refuse,
+    /// Park the socket in an accept-side queue until a slot frees;
+    /// queue overflow falls back to refusing.
+    Queue,
+}
 
 /// Relay configuration.
 #[derive(Debug, Clone)]
@@ -33,6 +82,15 @@ pub struct RelayConfig {
     /// (the default) costs nothing. Events carry wall-clock
     /// microseconds since the daemon's accept-loop epoch.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Serving mode.
+    pub mode: RelayMode,
+    /// Concurrent-connection ceiling; `None` = unlimited.
+    pub max_connections: Option<usize>,
+    /// Policy for accepts beyond `max_connections`.
+    pub backpressure: Backpressure,
+    /// Progress deadline: a connection making no forward progress for
+    /// this long is closed (half-open peers, stalled readers).
+    pub idle_timeout: Duration,
 }
 
 impl RelayConfig {
@@ -42,6 +100,10 @@ impl RelayConfig {
             rate: None,
             latency: Duration::ZERO,
             telemetry: None,
+            mode: RelayMode::default(),
+            max_connections: None,
+            backpressure: Backpressure::Refuse,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 
@@ -49,8 +111,7 @@ impl RelayConfig {
     pub fn shaped(schedule: RateSchedule) -> Self {
         RelayConfig {
             rate: Some(schedule),
-            latency: Duration::ZERO,
-            telemetry: None,
+            ..RelayConfig::new()
         }
     }
 
@@ -65,6 +126,25 @@ impl RelayConfig {
         self.telemetry = Some(telemetry);
         self
     }
+
+    /// Selects the serving mode.
+    pub fn with_mode(mut self, mode: RelayMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Caps concurrent connections and sets the over-limit policy.
+    pub fn with_max_connections(mut self, max: usize, policy: Backpressure) -> Self {
+        self.max_connections = Some(max);
+        self.backpressure = policy;
+        self
+    }
+
+    /// Overrides the progress deadline.
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
 }
 
 impl Default for RelayConfig {
@@ -73,12 +153,52 @@ impl Default for RelayConfig {
     }
 }
 
+/// Outcome of a graceful [`Relay::drain`].
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Active-connection samples taken while draining (~2 ms cadence,
+    /// starting with the count at drain begin).
+    pub samples: Vec<u64>,
+    /// True when the active count never increased across samples.
+    pub monotone: bool,
+    /// True when every connection finished before the deadline.
+    pub completed: bool,
+    /// Connections forcibly severed at the deadline.
+    pub forced: u64,
+}
+
 /// A running relay daemon on 127.0.0.1.
 pub struct Relay {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    draining: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    wakes: Vec<Arc<WorkerLink>>,
+}
+
+/// State shared by the acceptor, the workers, and the owning `Relay`.
+struct Shared {
+    cfg: RelayConfig,
+    /// Client-socket clones keyed by connection id, so `kill` can
+    /// sever splices that are mid-flight on another thread.
+    registry: Mutex<BTreeMap<u64, TcpStream>>,
+    /// Live connection count (backpressure admission + `relay_active`).
+    active: AtomicU64,
+    lifecycle: Lifecycle,
+    pool: BufferPool,
+}
+
+impl Shared {
+    fn conn_closed(&self, id: u64) {
+        self.registry.lock().expect("relay registry").remove(&id);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        if let Some(tel) = &self.cfg.telemetry {
+            tel.metrics
+                .gauge("relay_active", vec![])
+                .set(self.active.load(Ordering::SeqCst) as f64);
+        }
+    }
 }
 
 impl Relay {
@@ -95,15 +215,68 @@ impl Relay {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Mutex::new(Vec::new()));
-        let flag = shutdown.clone();
-        let registry = conns.clone();
-        let handle = std::thread::spawn(move || accept_loop(listener, cfg, flag, registry));
+        let draining = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            cfg,
+            registry: Mutex::new(BTreeMap::new()),
+            active: AtomicU64::new(0),
+            lifecycle: Lifecycle::default(),
+            pool: BufferPool::default(),
+        });
+        let mut handles = Vec::new();
+        let mut wakes = Vec::new();
+        let epoch = Instant::now();
+
+        let dispatch = match shared.cfg.mode {
+            RelayMode::Threaded => Dispatch::Threaded,
+            RelayMode::Event { workers } => {
+                let n = workers.max(1);
+                let mut links = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (tx, rx) = UnixStream::pair()?;
+                    tx.set_nonblocking(true)?;
+                    rx.set_nonblocking(true)?;
+                    let link = Arc::new(WorkerLink {
+                        queue: Mutex::new(VecDeque::new()),
+                        wake: Mutex::new(tx),
+                    });
+                    let worker = Worker {
+                        link: link.clone(),
+                        wake_rx: rx,
+                        shared: shared.clone(),
+                        shutdown: shutdown.clone(),
+                        draining: draining.clone(),
+                        epoch,
+                    };
+                    handles.push(std::thread::spawn(move || worker.run()));
+                    links.push(link);
+                }
+                wakes = links.clone();
+                Dispatch::Event { links, next: 0 }
+            }
+        };
+
+        let accept_shared = shared.clone();
+        let accept_shutdown = shutdown.clone();
+        let accept_draining = draining.clone();
+        handles.push(std::thread::spawn(move || {
+            accept_loop(
+                listener,
+                accept_shared,
+                accept_shutdown,
+                accept_draining,
+                epoch,
+                dispatch,
+            )
+        }));
+
         Ok(Relay {
             addr,
             shutdown,
-            conns,
-            handle: Some(handle),
+            draining,
+            shared,
+            handles,
+            wakes,
         })
     }
 
@@ -112,71 +285,181 @@ impl Relay {
         self.addr
     }
 
+    /// Live connection count.
+    pub fn active_connections(&self) -> u64 {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// True when the kill-registry holds no connection handles —
+    /// nothing leaked past a drain or kill.
+    pub fn registry_is_empty(&self) -> bool {
+        self.shared
+            .registry
+            .lock()
+            .expect("relay registry")
+            .is_empty()
+    }
+
+    /// Snapshot of the connection-lifecycle transition counters.
+    pub fn lifecycle(&self) -> LifecycleSnapshot {
+        self.shared.lifecycle.snapshot()
+    }
+
+    fn wake_workers(&self) {
+        for link in &self.wakes {
+            link.wake();
+        }
+    }
+
     /// Simulates a relay-node crash: stops accepting and severs every
-    /// active connection mid-splice. Serve threads observe their socket
+    /// active connection mid-splice. Workers observe their sockets
     /// erroring out and unwind cleanly — the daemon never panics, and
     /// clients see a connection error rather than a hang. Idempotent;
     /// the relay cannot be restarted on the same `Relay` value (start a
     /// new one on the same address to model a restart).
     pub fn kill(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        for c in self.conns.lock().expect("relay registry").drain(..) {
+        for (_, c) in self.shared.registry.lock().expect("relay registry").iter() {
             let _ = c.shutdown(Shutdown::Both);
         }
-        if let Some(h) = self.handle.take() {
+        self.wake_workers();
+        for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Workers reaped their connections on the way out; clear any
+        // stragglers (threaded mode severs but lets serve threads die
+        // on their own).
+        self.shared.registry.lock().expect("relay registry").clear();
+    }
+
+    /// Gracefully drains: stops accepting, closes idle connections
+    /// immediately, lets in-flight requests finish (no keep-alive),
+    /// and severs whatever remains at `timeout`. Samples the active
+    /// count on the way down so tests can assert monotone draining.
+    pub fn drain(&mut self, timeout: Duration) -> DrainReport {
+        let t0 = Instant::now();
+        self.draining.store(true, Ordering::SeqCst);
+        self.wake_workers();
+        if let Some(tel) = &self.shared.cfg.telemetry {
+            tel.tracer.record(
+                Event::new(EventKind::RelayDrain, 0, 0)
+                    .with_u64("active", self.shared.active.load(Ordering::SeqCst)),
+            );
+        }
+        let mut samples = vec![self.shared.active.load(Ordering::SeqCst)];
+        while t0.elapsed() < timeout {
+            let n = self.shared.active.load(Ordering::SeqCst);
+            samples.push(n);
+            if n == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let forced = self.shared.active.load(Ordering::SeqCst);
+        let completed = forced == 0;
+        // Deadline: hard-sever the stragglers, then stop the daemon.
+        self.kill();
+        let monotone = samples.windows(2).all(|w| w[1] <= w[0]);
+        DrainReport {
+            samples,
+            monotone,
+            completed,
+            forced,
         }
     }
 }
 
 impl Drop for Relay {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.kill();
     }
+}
+
+/// Acceptor → worker handoff.
+struct Intake {
+    stream: TcpStream,
+    conn_id: u64,
+    accept_at: Instant,
+}
+
+struct WorkerLink {
+    queue: Mutex<VecDeque<Intake>>,
+    wake: Mutex<UnixStream>,
+}
+
+impl WorkerLink {
+    fn wake(&self) {
+        // A full pipe means a wakeup is already pending.
+        let _ = self.wake.lock().expect("wake pipe").write(&[1]);
+    }
+}
+
+enum Dispatch {
+    Threaded,
+    Event {
+        links: Vec<Arc<WorkerLink>>,
+        next: usize,
+    },
 }
 
 fn accept_loop(
     listener: TcpListener,
-    cfg: RelayConfig,
+    shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
-    registry: Arc<Mutex<Vec<TcpStream>>>,
+    draining: Arc<AtomicBool>,
+    epoch: Instant,
+    mut dispatch: Dispatch,
 ) {
-    // One path timeline shared by all connections (see origin).
-    let epoch = std::time::Instant::now();
     let mut conns = 0u64;
-    while !shutdown.load(Ordering::SeqCst) {
+    let mut parked: VecDeque<Intake> = VecDeque::new();
+    while !shutdown.load(Ordering::SeqCst) && !draining.load(Ordering::SeqCst) {
+        // Admit parked connections as slots free up.
+        while let Some(intake) = parked.pop_front() {
+            if at_capacity(&shared) {
+                parked.push_front(intake);
+                break;
+            }
+            admit(&shared, epoch, intake, &mut dispatch, &shutdown, &draining);
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let conn_id = conns;
                 conns += 1;
-                if let Some(tel) = &cfg.telemetry {
-                    tel.metrics.counter("relay_connections", vec![]).inc();
-                    tel.tracer.record(Event::new(
-                        EventKind::RelayAccept,
-                        epoch.elapsed().as_micros() as u64,
-                        conn_id,
-                    ));
+                let intake = Intake {
+                    stream,
+                    conn_id,
+                    accept_at: Instant::now(),
+                };
+                if at_capacity(&shared) {
+                    match shared.cfg.backpressure {
+                        Backpressure::Queue
+                            if parked.len() < shared.cfg.max_connections.unwrap_or(0) =>
+                        {
+                            if let Some(tel) = &shared.cfg.telemetry {
+                                tel.metrics
+                                    .counter("relay_backpressure_queued", vec![])
+                                    .inc();
+                            }
+                            parked.push_back(intake);
+                        }
+                        _ => refuse(&shared, intake.stream),
+                    }
+                    continue;
                 }
-                // Register a handle so `kill` can sever the connection
-                // even while a serve thread is blocked mid-splice.
-                if let Ok(clone) = stream.try_clone() {
-                    registry.lock().expect("relay registry").push(clone);
-                }
-                let cfg = cfg.clone();
-                std::thread::spawn(move || {
-                    let _ = serve_client(stream, &cfg, epoch, conn_id);
-                });
+                admit(&shared, epoch, intake, &mut dispatch, &shutdown, &draining);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(Duration::from_millis(if parked.is_empty() { 5 } else { 1 }));
             }
             Err(_) => break,
         }
     }
-    if let Some(tel) = &cfg.telemetry {
+    // Sockets parked in the backpressure queue get a clean refusal
+    // rather than a silent drop.
+    for intake in parked {
+        refuse(&shared, intake.stream);
+    }
+    if let Some(tel) = &shared.cfg.telemetry {
         tel.tracer.record(
             Event::new(
                 EventKind::RelayShutdown,
@@ -188,33 +471,314 @@ fn accept_loop(
     }
 }
 
+fn at_capacity(shared: &Shared) -> bool {
+    match shared.cfg.max_connections {
+        Some(max) => shared.active.load(Ordering::SeqCst) as usize >= max,
+        None => false,
+    }
+}
+
+/// Best-effort `503` + close for a connection over the limit.
+fn refuse(shared: &Shared, mut stream: TcpStream) {
+    if let Some(tel) = &shared.cfg.telemetry {
+        tel.metrics
+            .counter("relay_backpressure_drops", vec![])
+            .inc();
+    }
+    let resp = Response::new(StatusCode::SERVICE_UNAVAILABLE).with_header("Content-Length", "0");
+    let mut buf = BytesMut::new();
+    encode_response(&resp, &mut buf);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.write_all(&buf);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn admit(
+    shared: &Arc<Shared>,
+    epoch: Instant,
+    intake: Intake,
+    dispatch: &mut Dispatch,
+    shutdown: &Arc<AtomicBool>,
+    draining: &Arc<AtomicBool>,
+) {
+    shared.active.fetch_add(1, Ordering::SeqCst);
+    Lifecycle::bump(&shared.lifecycle.accepted);
+    if let Some(tel) = &shared.cfg.telemetry {
+        tel.metrics.counter("relay_connections", vec![]).inc();
+        tel.metrics.counter("relay_accepts", vec![]).inc();
+        tel.metrics
+            .gauge("relay_active", vec![])
+            .set(shared.active.load(Ordering::SeqCst) as f64);
+        tel.tracer.record(Event::new(
+            EventKind::RelayAccept,
+            epoch.elapsed().as_micros() as u64,
+            intake.conn_id,
+        ));
+    }
+    // Register a handle so `kill` can sever the connection even while
+    // it is mid-splice on another thread.
+    if let Ok(clone) = intake.stream.try_clone() {
+        shared
+            .registry
+            .lock()
+            .expect("relay registry")
+            .insert(intake.conn_id, clone);
+    }
+    match dispatch {
+        Dispatch::Event { links, next } => {
+            let link = &links[*next % links.len()];
+            *next = next.wrapping_add(1);
+            link.queue.lock().expect("worker queue").push_back(intake);
+            link.wake();
+        }
+        Dispatch::Threaded => {
+            let shared = shared.clone();
+            let shutdown = shutdown.clone();
+            let draining = draining.clone();
+            std::thread::spawn(move || {
+                let id = intake.conn_id;
+                let _ = serve_client(intake, &shared, epoch, &shutdown, &draining);
+                shared.conn_closed(id);
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event mode: the poll reactor.
+// ---------------------------------------------------------------------
+
+/// One reactor shard: owns its connections outright; the acceptor only
+/// touches the intake queue.
+struct Worker {
+    link: Arc<WorkerLink>,
+    wake_rx: UnixStream,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    epoch: Instant,
+}
+
+/// Poll-timeout ceiling: bounds how stale the shutdown/drain flags can
+/// get on a fully idle shard.
+const REACTOR_TICK: Duration = Duration::from_millis(10);
+
+impl Worker {
+    fn run(mut self) {
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut fds: Vec<PollFd> = Vec::new();
+        loop {
+            // Drain the wake pipe (its only content is "look again").
+            let mut sink = [0u8; 64];
+            while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+
+            let shutdown = self.shutdown.load(Ordering::SeqCst);
+            let draining = self.draining.load(Ordering::SeqCst);
+
+            // Intake: adopt newly accepted connections.
+            loop {
+                let intake = self.link.queue.lock().expect("worker queue").pop_front();
+                let Some(intake) = intake else { break };
+                if shutdown {
+                    self.shared.conn_closed(intake.conn_id);
+                    continue;
+                }
+                let bucket = self
+                    .shared
+                    .cfg
+                    .rate
+                    .as_ref()
+                    .map(|s| TokenBucket::with_epoch(s.clone(), 16_384.0, self.epoch));
+                match Conn::new(
+                    intake.conn_id,
+                    intake.stream,
+                    intake.accept_at,
+                    bucket,
+                    self.shared.cfg.idle_timeout,
+                    self.shared.pool.take(),
+                ) {
+                    Ok(conn) => conns.push(conn),
+                    Err(_) => self.shared.conn_closed(intake.conn_id),
+                }
+            }
+
+            if shutdown {
+                for conn in conns.drain(..) {
+                    Lifecycle::bump(&self.shared.lifecycle.killed);
+                    self.reap(conn);
+                }
+                return;
+            }
+            if draining {
+                // Idle keep-alive connections have nothing in flight:
+                // close them now so the drain is prompt.
+                let mut i = 0;
+                while i < conns.len() {
+                    if conns[i].is_idle() {
+                        Lifecycle::bump(&self.shared.lifecycle.drained_idle);
+                        Lifecycle::bump(&self.shared.lifecycle.closed_clean);
+                        let conn = conns.swap_remove(i);
+                        self.reap(conn);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if conns.is_empty() {
+                    return;
+                }
+            }
+
+            // Step everything that polled ready or timed out.
+            let now = Instant::now();
+            let mut i = 0;
+            while i < conns.len() {
+                let due = conns[i].next_timer() <= now;
+                if due || draining {
+                    if let Step::Closed = self.step_conn(&mut conns[i], now, draining) {
+                        let conn = conns.swap_remove(i);
+                        self.reap(conn);
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+
+            // Build the poll set: wake pipe first, then two slots per
+            // connection (client, origin) so revents map back by index.
+            fds.clear();
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), crate::poller::POLLIN));
+            let mut next_timer: Option<Instant> = None;
+            for conn in &conns {
+                let (client_ev, origin) = conn.interest();
+                fds.push(if client_ev != 0 {
+                    PollFd::new(conn.client.as_raw_fd(), client_ev)
+                } else {
+                    PollFd::ignored()
+                });
+                fds.push(match origin {
+                    Some((stream, ev)) => PollFd::new(stream.as_raw_fd(), ev),
+                    None => PollFd::ignored(),
+                });
+                let t = conn.next_timer();
+                next_timer = Some(next_timer.map_or(t, |cur: Instant| cur.min(t)));
+            }
+            let now = Instant::now();
+            let timeout = match next_timer {
+                Some(t) => t.saturating_duration_since(now).min(REACTOR_TICK),
+                None => REACTOR_TICK,
+            };
+            // Round up so sub-millisecond shaper timers sleep ~1 ms
+            // instead of spinning on a zero-timeout poll.
+            let timeout = Duration::from_millis(timeout.as_micros().div_ceil(1000) as u64);
+            if poll_fds(&mut fds, timeout).is_err() {
+                // poll only fails on EINVAL/ENOMEM-class conditions;
+                // back off rather than spin.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+
+            let now = Instant::now();
+            let mut i = 0;
+            while i < conns.len() {
+                let ready = fds[1 + 2 * i].is_ready() || fds[2 + 2 * i].is_ready();
+                let due = conns[i].next_timer() <= now;
+                if ready || due {
+                    if let Step::Closed = self.step_conn(&mut conns[i], now, false) {
+                        // Keep fd indices aligned with `conns`.
+                        let last = conns.len() - 1;
+                        fds.swap(1 + 2 * i, 1 + 2 * last);
+                        fds.swap(2 + 2 * i, 2 + 2 * last);
+                        let conn = conns.swap_remove(i);
+                        self.reap(conn);
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    fn step_conn(&self, conn: &mut Conn, now: Instant, draining: bool) -> Step {
+        let ctx = StepCtx {
+            telemetry: &self.shared.cfg.telemetry,
+            latency: self.shared.cfg.latency,
+            epoch: self.epoch,
+            lifecycle: &self.shared.lifecycle,
+            draining: draining || self.draining.load(Ordering::Relaxed),
+            now,
+        };
+        conn.step(&ctx, self.shared.cfg.idle_timeout)
+    }
+
+    fn reap(&self, conn: Conn) {
+        let id = conn.id;
+        self.shared.pool.give(conn.into_buffer());
+        self.shared.conn_closed(id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threaded mode: the baseline serve path.
+// ---------------------------------------------------------------------
+
 fn serve_client(
-    mut client: TcpStream,
-    cfg: &RelayConfig,
-    epoch: std::time::Instant,
-    conn_id: u64,
+    intake: Intake,
+    shared: &Shared,
+    epoch: Instant,
+    shutdown: &AtomicBool,
+    draining: &AtomicBool,
 ) -> Result<(), RelayError> {
-    client.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let cfg = &shared.cfg;
+    let mut client = intake.stream;
+    let conn_id = intake.conn_id;
+    client.set_read_timeout(Some(cfg.idle_timeout))?;
     client.set_nodelay(true)?;
     let mut inbuf = BytesMut::new();
+    let mut first_byte_done = false;
     loop {
         let Some(req) = read_request(&mut client, &mut inbuf)? else {
+            Lifecycle::bump(&shared.lifecycle.closed_clean);
             return Ok(());
         };
+        Lifecycle::bump(&shared.lifecycle.requests_read);
         if !cfg.latency.is_zero() {
+            Lifecycle::bump(&shared.lifecycle.latency_waits);
             std::thread::sleep(cfg.latency);
         }
-        // Shaped writer towards the client.
+        // Stamp the first client-bound byte of this connection
+        // (accept-to-first-byte), then shape towards the client.
+        let stamp = FirstByteStamp::new(client.try_clone()?, {
+            let telemetry = cfg.telemetry.clone();
+            let accept_at = intake.accept_at;
+            let already = first_byte_done;
+            move || {
+                if already {
+                    return;
+                }
+                if let Some(tel) = &telemetry {
+                    let wait = accept_at.elapsed();
+                    tel.metrics
+                        .histogram("relay_accept_first_byte_us", vec![])
+                        .record(wait.as_micros() as u64);
+                    tel.tracer.record(Event::span(
+                        EventKind::RelayFirstByte,
+                        accept_at.duration_since(epoch).as_micros() as u64,
+                        wait.as_micros() as u64,
+                        conn_id,
+                    ));
+                }
+            }
+        });
         let mut down: Box<dyn Write> = match &cfg.rate {
             Some(schedule) => Box::new(ThrottledStream::new(
-                client.try_clone()?,
+                stamp,
                 TokenBucket::with_epoch(schedule.clone(), 16_384.0, epoch),
             )),
-            None => Box::new(client.try_clone()?),
+            None => Box::new(stamp),
         };
         let splice_start = epoch.elapsed();
-        match forward_one(&req, &mut *down) {
+        match forward_one(&req, &mut *down, &shared.lifecycle) {
             Ok(bytes) => {
+                Lifecycle::bump(&shared.lifecycle.requests_completed);
                 if let Some(tel) = &cfg.telemetry {
                     let dur = epoch.elapsed() - splice_start;
                     tel.metrics.counter("relay_requests", vec![]).inc();
@@ -235,6 +799,7 @@ fn serve_client(
             }
             Err(RelayError::Http(_)) => {
                 // The client sent something we refuse to proxy.
+                Lifecycle::bump(&shared.lifecycle.error_responses);
                 if let Some(tel) = &cfg.telemetry {
                     tel.metrics.counter("relay_errors", vec![]).inc();
                 }
@@ -245,6 +810,7 @@ fn serve_client(
                 down.write_all(&buf)?;
             }
             Err(_) => {
+                Lifecycle::bump(&shared.lifecycle.error_responses);
                 if let Some(tel) = &cfg.telemetry {
                     tel.metrics.counter("relay_errors", vec![]).inc();
                 }
@@ -256,13 +822,29 @@ fn serve_client(
             }
         }
         down.flush()?;
+        first_byte_done = true;
+        if shutdown.load(Ordering::SeqCst) {
+            Lifecycle::bump(&shared.lifecycle.killed);
+            return Ok(());
+        }
+        if draining.load(Ordering::SeqCst) {
+            // Finish the in-flight request, then bow out instead of
+            // holding keep-alive open.
+            Lifecycle::bump(&shared.lifecycle.closed_clean);
+            return Ok(());
+        }
     }
 }
 
 /// Forwards a single request to its origin and streams the response
 /// into `down`. Returns the number of body bytes spliced through.
-fn forward_one(req: &ir_http::Request, down: &mut dyn Write) -> Result<u64, RelayError> {
+fn forward_one(
+    req: &ir_http::Request,
+    down: &mut dyn Write,
+    lifecycle: &Lifecycle,
+) -> Result<u64, RelayError> {
     let plan = plan_forward(req)?;
+    Lifecycle::bump(&lifecycle.origin_dials);
     let mut origin = TcpStream::connect((plan.host.as_str(), plan.port))?;
     origin.set_read_timeout(Some(Duration::from_secs(30)))?;
     origin.set_nodelay(true)?;
@@ -270,6 +852,7 @@ fn forward_one(req: &ir_http::Request, down: &mut dyn Write) -> Result<u64, Rela
     let mut buf = BytesMut::new();
     encode_request(&plan.request, &mut buf);
     origin.write_all(&buf)?;
+    Lifecycle::bump(&lifecycle.upstream_sends);
 
     // Read the response head.
     let mut headbuf = BytesMut::new();
@@ -294,6 +877,7 @@ fn forward_one(req: &ir_http::Request, down: &mut dyn Write) -> Result<u64, Rela
         .content_length()
         .map_err(RelayError::Http)?
         .ok_or_else(|| RelayError::BadResponse("origin sent no Content-Length".into()))?;
+    Lifecycle::bump(&lifecycle.heads_read);
 
     // Relay the head (annotated) and the body.
     let mut relayed = head.clone();
@@ -301,6 +885,7 @@ fn forward_one(req: &ir_http::Request, down: &mut dyn Write) -> Result<u64, Rela
     let mut out = BytesMut::new();
     encode_response(&relayed, &mut out);
     down.write_all(&out)?;
+    Lifecycle::bump(&lifecycle.splices_started);
 
     // Body bytes already read with the head.
     let mut sent = 0u64;
@@ -310,7 +895,7 @@ fn forward_one(req: &ir_http::Request, down: &mut dyn Write) -> Result<u64, Rela
         down.write_all(&prefix[..take])?;
         sent += take as u64;
     }
-    let mut chunk = vec![0u8; 16 * 1024];
+    let mut chunk = vec![0u8; SPLICE_CHUNK];
     while sent < body_len {
         let want = ((body_len - sent) as usize).min(chunk.len());
         let n = origin.read(&mut chunk[..want])?;
@@ -559,5 +1144,41 @@ mod tests {
             assert_eq!(head.status, StatusCode::PARTIAL_CONTENT);
             assert_eq!(body[0], body_byte(k * 10));
         }
+    }
+
+    #[test]
+    fn threaded_mode_still_serves() {
+        let origin = OriginServer::start(OriginConfig::new(20_000)).unwrap();
+        let relay = Relay::start(RelayConfig::new().with_mode(RelayMode::Threaded)).unwrap();
+        let (head, body) = fetch_via(relay.addr(), origin.addr(), None);
+        assert_eq!(head.status, StatusCode::OK);
+        assert!(head.headers.get("Via").unwrap().contains("ir-relay"));
+        assert_eq!(body.len(), 20_000);
+    }
+
+    #[test]
+    fn drain_finishes_inflight_and_reports_monotone() {
+        let origin = OriginServer::start(OriginConfig::new(120_000)).unwrap();
+        let mut relay =
+            Relay::start(RelayConfig::shaped(RateSchedule::constant(400_000.0))).unwrap();
+        let addr = relay.addr();
+        let o = origin.addr();
+        let t = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let req = via_proxy(&o.ip().to_string(), o.port(), "/f");
+            let mut buf = BytesMut::new();
+            encode_request(&req, &mut buf);
+            stream.write_all(&buf).unwrap();
+            read_response(&mut stream)
+        });
+        // Let the splice start, then drain.
+        std::thread::sleep(Duration::from_millis(60));
+        let report = relay.drain(Duration::from_secs(10));
+        let (head, body) = t.join().expect("client must finish its transfer");
+        assert_eq!(head.status, StatusCode::OK);
+        assert_eq!(body.len(), 120_000);
+        assert!(report.monotone, "samples rose: {:?}", report.samples);
+        assert!(report.completed && report.forced == 0);
+        assert!(relay.registry_is_empty(), "drain leaked registry entries");
     }
 }

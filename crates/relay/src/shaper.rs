@@ -119,6 +119,15 @@ impl TokenBucket {
         Duration::from_secs_f64((missing / rate).clamp(0.0005, 0.25))
     }
 
+    /// Deterministic variant of [`TokenBucket::eta`]: the wait as of
+    /// `now`, using the rate scheduled at that instant. The reactor
+    /// turns this into a poll timeout instead of sleeping.
+    pub fn eta_at(&self, want: usize, now: Instant) -> Duration {
+        let missing = (want as f64 - self.tokens).max(0.0);
+        let rate = self.schedule.rate_at(now.duration_since(self.epoch));
+        Duration::from_secs_f64((missing / rate).clamp(0.0005, 0.25))
+    }
+
     /// The currently scheduled rate (bytes/sec).
     pub fn current_rate(&self) -> f64 {
         self.schedule

@@ -179,6 +179,12 @@ impl RealTransport {
         std::thread::spawn(move || {
             let started = SimTime::from_micros(epoch.elapsed().as_micros() as u64);
             let run = || -> Result<(TcpStream, u64), RelayError> {
+                // A cancel that lands before the dial skips the socket
+                // work entirely — a relay refusing under backpressure
+                // should not also absorb doomed connects.
+                if shared.slots.lock().expect("poisoned")[idx].cancelled {
+                    return Err(RelayError::Timeout);
+                }
                 let mut conn = match warm_conn {
                     Some(c) => c,
                     None => {

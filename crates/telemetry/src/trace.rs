@@ -55,6 +55,11 @@ pub enum EventKind {
     RelayAccept,
     /// The relay spliced one request's response from origin to client.
     RelaySplice,
+    /// The relay wrote the first client-bound byte of a connection;
+    /// span duration is the accept-to-first-byte wait.
+    RelayFirstByte,
+    /// The relay began a graceful drain.
+    RelayDrain,
     /// The relay daemon shut down.
     RelayShutdown,
     /// A retry or fallback (e.g. probe timeout → direct re-fetch).
@@ -96,6 +101,8 @@ impl EventKind {
             EventKind::SessionComplete => "session_complete",
             EventKind::RelayAccept => "relay_accept",
             EventKind::RelaySplice => "relay_splice",
+            EventKind::RelayFirstByte => "relay_first_byte",
+            EventKind::RelayDrain => "relay_drain",
             EventKind::RelayShutdown => "relay_shutdown",
             EventKind::Retry => "retry",
             EventKind::RunnerTask => "runner_task",
@@ -124,7 +131,11 @@ impl EventKind {
             | EventKind::SessionStart
             | EventKind::SessionComplete
             | EventKind::Retry => "session",
-            EventKind::RelayAccept | EventKind::RelaySplice | EventKind::RelayShutdown => "relay",
+            EventKind::RelayAccept
+            | EventKind::RelaySplice
+            | EventKind::RelayFirstByte
+            | EventKind::RelayDrain
+            | EventKind::RelayShutdown => "relay",
             EventKind::RunnerTask => "runner",
             EventKind::SelectionDecision => "policy",
             EventKind::StudyExec | EventKind::ArtifactRender => "sweep",

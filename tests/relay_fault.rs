@@ -6,6 +6,8 @@ use indirect_routing::relay::{
     download, download_failover, ChosenPath, ClientConfig, OriginConfig, OriginServer,
     RateSchedule, Relay, RelayConfig,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 const KB: f64 = 1000.0;
@@ -67,4 +69,87 @@ fn failover_download_recovers_over_surviving_path() {
     assert!(out.body_ok, "recovered body must reassemble byte-exactly");
     assert_eq!(out.choice, ChosenPath::Direct, "only survivor is direct");
     assert!(out.failovers >= 1, "failover path was not exercised");
+}
+
+/// The stall window: a client racing a killed relay must resolve —
+/// success or clean error — well inside this bound, never hang.
+const STALL_WINDOW: Duration = Duration::from_secs(10);
+
+/// Chaos: kill the relay at seeded random points across its whole
+/// lifecycle — before the client even connects, right after the TCP
+/// handshake, mid-splice, and while a drain is reclaiming connections.
+/// Whatever the phase, the client must observe EOF-or-error promptly
+/// and the daemon must leave no registered state behind.
+#[test]
+fn chaos_seeded_kill_points_never_hang_clients() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xC4A0_5EED ^ seed);
+        let phase = seed % 4;
+        let (origin_fast, origin_direct, mut relay, cfg) = rig();
+        let direct = origin_direct.addr();
+        let for_relays = origin_fast.addr();
+        let relay_addr = relay.addr();
+
+        let t0 = Instant::now();
+        match phase {
+            // Pre-accept: the relay is already dead when the client
+            // arrives. The probe race must settle on the direct path.
+            0 => {
+                relay.kill();
+                let out = download(direct, for_relays, &[relay_addr], &cfg)
+                    .expect("direct path must carry the transfer");
+                assert_eq!(out.choice, ChosenPath::Direct, "seed {seed}");
+                assert!(out.body_ok, "seed {seed}");
+            }
+            // Mid-handshake: kill lands just as the connection opens,
+            // before the splice is established.
+            1 => {
+                let delay = rng.gen_range(0..20u64);
+                let worker =
+                    std::thread::spawn(move || download(direct, for_relays, &[relay_addr], &cfg));
+                std::thread::sleep(Duration::from_millis(delay));
+                relay.kill();
+                // Either the direct path won the race anyway, or the
+                // client saw a clean relay error — both are fine; a
+                // hang is not.
+                if let Ok(out) = worker.join().expect("client must not panic") {
+                    assert!(out.body_ok, "seed {seed}");
+                }
+            }
+            // Mid-splice: the remainder is flowing when the kill lands.
+            2 => {
+                let delay = rng.gen_range(500..900u64);
+                let worker =
+                    std::thread::spawn(move || download(direct, for_relays, &[relay_addr], &cfg));
+                std::thread::sleep(Duration::from_millis(delay));
+                relay.kill();
+                if let Ok(out) = worker.join().expect("client must not panic") {
+                    assert!(out.body_ok, "seed {seed}");
+                }
+            }
+            // During drain: a too-short drain deadline forces the
+            // daemon from graceful reclaim into a sever while the
+            // transfer is still in flight.
+            _ => {
+                let worker =
+                    std::thread::spawn(move || download(direct, for_relays, &[relay_addr], &cfg));
+                std::thread::sleep(Duration::from_millis(rng.gen_range(500..700u64)));
+                let report = relay.drain(Duration::from_millis(rng.gen_range(50..150u64)));
+                assert!(report.monotone, "seed {seed}: drain went backwards");
+                if let Ok(out) = worker.join().expect("client must not panic") {
+                    assert!(out.body_ok, "seed {seed}");
+                }
+            }
+        }
+        let wall = t0.elapsed();
+        assert!(
+            wall < STALL_WINDOW,
+            "seed {seed} phase {phase}: client stalled for {wall:?}"
+        );
+        assert!(
+            relay.registry_is_empty(),
+            "seed {seed} phase {phase}: registry leaked"
+        );
+        assert_eq!(relay.active_connections(), 0, "seed {seed} phase {phase}");
+    }
 }
