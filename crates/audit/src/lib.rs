@@ -43,12 +43,12 @@ use std::path::Path;
 
 /// Crates whose results must be bit-reproducible: the engine, the
 /// session/model layers, the workload generators, the artefact cache,
-/// the experiment runners, the policy plane, and the statistics
-/// kernels — plus the root package's `src/` and `tests/` (golden
-/// comparisons). `relay` (real sockets), `telemetry` (export-only),
-/// `http`/`tcp` (protocol plumbing exercised via simnet), `bench`, and
-/// this crate are I/O or tooling and exempt from rules 1–4; rules 5–6
-/// apply everywhere.
+/// the experiment runners, the policy plane, the striped chunk
+/// scheduler, and the statistics kernels — plus the root package's
+/// `src/` and `tests/` (golden comparisons). `relay` (real sockets),
+/// `telemetry` (export-only), `http`/`tcp` (protocol plumbing
+/// exercised via simnet), `bench`, and this crate are I/O or tooling
+/// and exempt from rules 1–4; rules 5–6 apply everywhere.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
     "simnet",
     "core",
@@ -57,6 +57,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "experiments",
     "policy",
     "stats",
+    "stripe",
 ];
 
 /// True when `rel_path` belongs to a crate that must stay

@@ -44,8 +44,8 @@ pub use policy::{
 pub use predictor::{EwmaBlend, FirstPortion, Predictor};
 pub use record::{improvement, TransferRecord, UtilizationTracker};
 pub use session::{
-    run_paths_session_traced, run_session, run_session_traced, ControlMode, EngineMode,
-    FailoverConfig, ProbeMode, SessionConfig,
+    run_paths_session_traced, run_session, run_session_traced, select_measure_all, ControlMode,
+    EngineMode, FailoverConfig, ProbeMode, RebalanceConfig, SessionConfig, SessionMode,
 };
 pub use sim_transport::{SimTransport, TcpDerivation};
 pub use transport::{Handle, RaceWin, Timing, Transport};

@@ -87,6 +87,93 @@ impl FailoverConfig {
     }
 }
 
+/// Chunk-rebalancing parameters for [`SessionMode::Striped`].
+///
+/// The striper (the `ir-stripe` crate) keeps a per-path EWMA rate
+/// estimate seeded from the probe race. A free path steals the
+/// straggler chunk of a path whose observed rate has drifted below its
+/// own by more than `drift_ratio`, and a path that delivers zero bytes
+/// for a whole `stall_window` is declared dead and its chunk is
+/// reassigned (the per-chunk generalization of [`FailoverConfig`]'s
+/// stall→re-race machinery).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// A free path steals a straggler's remaining bytes only when its
+    /// EWMA rate exceeds the straggler's observed rate by this factor.
+    pub drift_ratio: f64,
+    /// A chunk that delivers zero bytes for this long kills its path.
+    pub stall_window: SimDuration,
+    /// EWMA smoothing for per-path rate estimates (0 < alpha <= 1).
+    pub alpha: f64,
+}
+
+impl RebalanceConfig {
+    /// Defaults used by the striping experiments: steal past 2× drift,
+    /// 30 s stall window, EWMA alpha 0.3.
+    pub fn paper_defaults() -> Self {
+        RebalanceConfig {
+            drift_ratio: 2.0,
+            stall_window: SimDuration::from_secs(30),
+            alpha: 0.3,
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) {
+        assert!(
+            self.drift_ratio.is_finite() && self.drift_ratio > 1.0,
+            "drift ratio must exceed 1 ({})",
+            self.drift_ratio
+        );
+        assert!(!self.stall_window.is_zero(), "zero stall window");
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "alpha out of (0, 1] ({})",
+            self.alpha
+        );
+    }
+}
+
+/// How the selecting process carries the remainder after the probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionMode {
+    /// The paper's protocol: the probe winner carries the whole
+    /// remainder, winner-take-all. This module implements it.
+    Racing,
+    /// mHTTP-style multi-source striping: the remainder is partitioned
+    /// into `chunks` ranges fetched concurrently over the direct path
+    /// plus the best `k` indirect candidates, rebalanced per
+    /// `rebalance`. Executed by the `ir-stripe` crate's runner (this
+    /// crate's runner is the racing path); with one chunk and `k = 1`
+    /// the striper's record is bit-identical to [`SessionMode::Racing`]
+    /// on a healthy network.
+    Striped {
+        /// Ranges the remainder is split into (>= 1).
+        chunks: u32,
+        /// Indirect candidates striped over, capping the probe set
+        /// (>= 1; the `PathSelector` plane's `best_k` feeds this).
+        k: u32,
+        /// Straggler-steal and stall-death knobs.
+        rebalance: RebalanceConfig,
+    },
+}
+
+impl SessionMode {
+    /// Validates invariants.
+    pub fn validate(&self) {
+        if let SessionMode::Striped {
+            chunks,
+            k,
+            rebalance,
+        } = self
+        {
+            assert!(*chunks >= 1, "zero chunks");
+            assert!(*k >= 1, "zero stripe width");
+            rebalance.validate();
+        }
+    }
+}
+
 /// Session parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SessionConfig {
@@ -108,6 +195,11 @@ pub struct SessionConfig {
     /// Every mode is bit-identical (enforced by the cross-engine
     /// differential suite); this knob trades wall-clock, not results.
     pub engine: EngineMode,
+    /// Remainder strategy. [`SessionMode::Racing`] (the paper's
+    /// protocol) is what this module's runners execute; striped
+    /// configs are dispatched by the `ir-stripe` crate's runner, which
+    /// delegates back here for `Racing`.
+    pub mode: SessionMode,
 }
 
 impl SessionConfig {
@@ -122,6 +214,7 @@ impl SessionConfig {
             horizon: SimDuration::from_secs(600),
             failover: None,
             engine: EngineMode::Incremental,
+            mode: SessionMode::Racing,
         }
     }
 
@@ -138,6 +231,7 @@ impl SessionConfig {
         if let Some(fo) = &self.failover {
             fo.validate();
         }
+        self.mode.validate();
     }
 }
 
@@ -156,7 +250,11 @@ enum Control {
 /// Among the survivors the strictly highest prediction wins; a tie
 /// keeps the earliest path, and the direct path probes first, so
 /// direct wins prediction ties.
-fn select_measure_all(
+///
+/// Public because `ir-stripe`'s runner replays the identical probe
+/// phase: both modes must make the same decision from the same
+/// measurements.
+pub fn select_measure_all(
     paths: &[PathSpec],
     outcomes: &[Option<(f64, f64)>],
 ) -> Option<(PathSpec, f64)> {

@@ -7,7 +7,9 @@
 //! stale cache entries are retired rather than wrongly reused.
 
 use crate::path::PathSpec;
-use crate::session::{ControlMode, FailoverConfig, ProbeMode, SessionConfig};
+use crate::session::{
+    ControlMode, FailoverConfig, ProbeMode, RebalanceConfig, SessionConfig, SessionMode,
+};
 use ir_artifact::{StableHash, StableHasher};
 
 impl StableHash for PathSpec {
@@ -61,6 +63,37 @@ impl StableHash for FailoverConfig {
     }
 }
 
+impl StableHash for RebalanceConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let RebalanceConfig {
+            drift_ratio,
+            stall_window,
+            alpha,
+        } = *self;
+        drift_ratio.stable_hash(h);
+        stall_window.stable_hash(h);
+        alpha.stable_hash(h);
+    }
+}
+
+impl StableHash for SessionMode {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            SessionMode::Racing => h.write_tag(0),
+            SessionMode::Striped {
+                chunks,
+                k,
+                rebalance,
+            } => {
+                h.write_tag(1);
+                chunks.stable_hash(h);
+                k.stable_hash(h);
+                rebalance.stable_hash(h);
+            }
+        }
+    }
+}
+
 impl StableHash for SessionConfig {
     fn stable_hash(&self, h: &mut StableHasher) {
         let SessionConfig {
@@ -71,6 +104,7 @@ impl StableHash for SessionConfig {
             horizon,
             failover,
             engine,
+            mode,
         } = *self;
         probe_bytes.stable_hash(h);
         file_bytes.stable_hash(h);
@@ -79,6 +113,7 @@ impl StableHash for SessionConfig {
         horizon.stable_hash(h);
         failover.stable_hash(h);
         engine.stable_hash(h);
+        mode.stable_hash(h);
     }
 }
 
@@ -111,5 +146,36 @@ mod tests {
         s8.engine = crate::session::EngineMode::Sharded { threads: 8 };
         assert_eq!(fingerprint_of(&s2), fingerprint_of(&s8));
         assert_ne!(fingerprint_of(&base), fingerprint_of(&s2));
+        let striped = |chunks, k, rebalance| {
+            let mut c = base;
+            c.mode = SessionMode::Striped {
+                chunks,
+                k,
+                rebalance,
+            };
+            c
+        };
+        let rb = RebalanceConfig::paper_defaults();
+        assert_ne!(fingerprint_of(&base), fingerprint_of(&striped(8, 2, rb)));
+        assert_ne!(
+            fingerprint_of(&striped(8, 2, rb)),
+            fingerprint_of(&striped(4, 2, rb))
+        );
+        assert_ne!(
+            fingerprint_of(&striped(8, 2, rb)),
+            fingerprint_of(&striped(8, 3, rb))
+        );
+        let mut drift = rb;
+        drift.drift_ratio = 3.0;
+        assert_ne!(
+            fingerprint_of(&striped(8, 2, rb)),
+            fingerprint_of(&striped(8, 2, drift))
+        );
+        let mut alpha = rb;
+        alpha.alpha = 0.5;
+        assert_ne!(
+            fingerprint_of(&striped(8, 2, rb)),
+            fingerprint_of(&striped(8, 2, alpha))
+        );
     }
 }

@@ -45,7 +45,7 @@
 //! boundary canary. It fails when the canary moves, or when the sharded
 //! engine is *slower* than incremental on a machine with ≥ 4 cores.
 //!
-//! Last, the gate soaks the event-driven relay daemon against its
+//! Next, the gate soaks the event-driven relay daemon against its
 //! thread-per-connection baseline on the soak gate geometry (64
 //! concurrent racing clients over real loopback sockets, three runs
 //! per mode) and writes `BENCH_PR9.json`: the median run's p99
@@ -53,6 +53,18 @@
 //! transfer count. It fails when any transfer is lost, when the
 //! first-byte spans go dark, or when the reactor's p99 regresses past
 //! 2× the threaded baseline (+5 ms scheduler slack).
+//!
+//! Last, the gate runs the pinned striping sweep
+//! ([`crate::striping::run`], seed 2007 Quick — the stale-prediction
+//! geometry) and writes `BENCH_PR10.json`: the striped-over-raced
+//! completion-time ratios on the penalty-tail (stale) and healthy
+//! cells, the rebalancer's reassignment counts, and the
+//! chunk-assignment canary (total chunks the direct path carried over
+//! the whole grid — a pure function of the scheduler, pinned like the
+//! boundary counts). It fails when striping loses any stale cell
+//! (`worst ratio ≥ 1`), when the healthy-cell overhead exceeds the
+//! report band, when no stale cell engaged the rebalancer, or when
+//! the chunk-assignment canary moves.
 
 use crate::runner::run_measurement_study_traced;
 use crate::{fig1, table1};
@@ -601,6 +613,82 @@ fn render_soak_json(s: &SoakGateStats) -> String {
     )
 }
 
+/// Total chunks the direct path carries across the pinned striping
+/// sweep (seed 2007, Quick). A pure function of the chunk scheduler —
+/// EWMA seeds, drift thresholds, claim order — so any drift here means
+/// the striper's assignment sequence changed and the golden CSV is
+/// suspect. Re-pin only after `tests/golden/striping_cells.csv` has
+/// been deliberately regenerated.
+pub const PINNED_STRIPE_DIRECT_CHUNKS: u64 = 33;
+
+/// Striping gate numbers over the pinned sweep: penalty-tail and
+/// healthy completion ratios plus the rebalancer's activity and the
+/// chunk-assignment canary.
+#[derive(Debug, Clone, Copy)]
+pub struct StripeGateStats {
+    /// Cells in the pinned sweep.
+    pub cells: u64,
+    /// Stale-prediction (penalty-tail) cells among them.
+    pub stale_cells: u64,
+    /// Worst (highest) striped/raced ratio over the stale cells —
+    /// must stay < 1: striping strictly wins the penalty tail.
+    pub worst_stale_ratio: f64,
+    /// Best (lowest) striped/raced ratio over the stale cells.
+    pub best_stale_ratio: f64,
+    /// Worst striped/raced ratio over the healthy (no-fault) cells —
+    /// the straggler-tail overhead bound.
+    pub worst_healthy_ratio: f64,
+    /// Chunk reassignments summed over the stale cells.
+    pub stale_reassignments: u64,
+    /// Path deaths summed over every cell.
+    pub deaths: u64,
+    /// Chunks the direct path carried over the whole grid (canary).
+    pub direct_chunks: u64,
+}
+
+/// Runs the pinned striping sweep and folds it into gate numbers.
+fn stripe_gate_stats() -> StripeGateStats {
+    let cells = crate::striping::run(2007, crate::runner::Scale::Quick);
+    let stale: Vec<_> = cells.iter().filter(|c| c.stale).collect();
+    let healthy: Vec<_> = cells.iter().filter(|c| !c.stale).collect();
+    StripeGateStats {
+        cells: cells.len() as u64,
+        stale_cells: stale.len() as u64,
+        worst_stale_ratio: stale
+            .iter()
+            .map(|c| c.ratio)
+            .fold(f64::NEG_INFINITY, f64::max),
+        best_stale_ratio: stale.iter().map(|c| c.ratio).fold(f64::INFINITY, f64::min),
+        worst_healthy_ratio: healthy
+            .iter()
+            .map(|c| c.ratio)
+            .fold(f64::NEG_INFINITY, f64::max),
+        stale_reassignments: stale.iter().map(|c| c.reassignments as u64).sum(),
+        deaths: cells.iter().map(|c| c.deaths as u64).sum(),
+        direct_chunks: cells.iter().map(|c| c.direct_chunks).sum(),
+    }
+}
+
+fn render_stripe_json(s: &StripeGateStats) -> String {
+    format!(
+        "{{\n  \"bench\": \"BENCH_PR10\",\n  \"striping\": {{\n    \"cells\": {},\n    \
+         \"stale_cells\": {},\n    \"worst_stale_ratio\": {:.4},\n    \
+         \"best_stale_ratio\": {:.4},\n    \"worst_healthy_ratio\": {:.4},\n    \
+         \"stale_reassignments\": {},\n    \"deaths\": {}\n  }},\n  \"canary\": {{\n    \
+         \"pinned_direct_chunks\": {PINNED_STRIPE_DIRECT_CHUNKS},\n    \
+         \"observed_direct_chunks\": {}\n  }},\n  \
+         \"units\": \"striped_over_raced_completion_ratio\"\n}}\n",
+        s.cells,
+        s.stale_cells,
+        s.worst_stale_ratio,
+        s.best_stale_ratio,
+        s.worst_healthy_ratio,
+        s.stale_reassignments,
+        s.deaths,
+        s.direct_chunks
+    )
+}
+
 fn render_json(results: &[BenchResult], stats: GateStats) -> String {
     let mut s = String::from("{\n  \"bench\": \"BENCH_PR4\",\n  \"groups\": {\n");
     for (gi, group) in ["micro", "figures"].iter().enumerate() {
@@ -725,6 +813,25 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
     );
     eprintln!("bench-gate: wrote {}", out9.display());
 
+    eprintln!("bench-gate: running the pinned striping sweep, striped vs raced...");
+    let stripe = stripe_gate_stats();
+    let out10 = out.with_file_name("BENCH_PR10.json");
+    std::fs::write(&out10, render_stripe_json(&stripe))
+        .map_err(|e| format!("cannot write {}: {e}", out10.display()))?;
+    eprintln!(
+        "bench-gate: striping {} cells ({} stale) — stale ratio worst {:.3} best {:.3}, \
+         healthy worst {:.3}, {} stale reassignments, direct chunks {} (pinned {})",
+        stripe.cells,
+        stripe.stale_cells,
+        stripe.worst_stale_ratio,
+        stripe.best_stale_ratio,
+        stripe.worst_healthy_ratio,
+        stripe.stale_reassignments,
+        stripe.direct_chunks,
+        PINNED_STRIPE_DIRECT_CHUNKS,
+    );
+    eprintln!("bench-gate: wrote {}", out10.display());
+
     if stats.boundaries != PINNED_FIG1_BOUNDARIES {
         return Err(format!(
             "determinism canary: pinned Fig 1 study ran {} boundaries, expected {} — \
@@ -818,6 +925,35 @@ pub fn run(out: &Path) -> Result<GateStats, String> {
             soak.event_p99_us,
             soak.threaded_p99_us,
             soak.p99_ratio()
+        ));
+    }
+    if stripe.worst_stale_ratio >= 1.0 {
+        return Err(format!(
+            "striping lost a penalty-tail cell: worst stale striped/raced ratio {:.3} — the \
+             rebalancer no longer beats the stale single-path prediction",
+            stripe.worst_stale_ratio
+        ));
+    }
+    if stripe.worst_healthy_ratio > 1.1 {
+        return Err(format!(
+            "striping overhead on healthy cells regressed: worst ratio {:.3} (allowed 1.10) — \
+             the straggler tail outgrew its budget",
+            stripe.worst_healthy_ratio
+        ));
+    }
+    if stripe.stale_reassignments == 0 {
+        return Err(
+            "no stale cell engaged the rebalancer — stale wins are coming from somewhere else; \
+             the drift/stall machinery went dark"
+                .into(),
+        );
+    }
+    if stripe.direct_chunks != PINNED_STRIPE_DIRECT_CHUNKS {
+        return Err(format!(
+            "chunk-assignment canary: pinned striping sweep gave the direct path {} chunks, \
+             expected {} — the scheduler's assignment sequence moved; investigate before \
+             re-pinning",
+            stripe.direct_chunks, PINNED_STRIPE_DIRECT_CHUNKS
         ));
     }
     Ok(stats)
@@ -935,6 +1071,40 @@ mod tests {
         assert!(j.contains("\"bench\": \"BENCH_PR9\""), "{j}");
         assert!(j.contains("\"p99_ratio\": 2.000"), "{j}");
         assert!(j.contains("\"lost\": 0"), "{j}");
+    }
+
+    /// The PR10 gate conditions, on the real pinned sweep (it is pure
+    /// simulation, cheap enough to run in debug): the penalty tail is
+    /// a strict striping win, healthy overhead stays in band, the
+    /// rebalancer engages, and the chunk-assignment canary holds.
+    #[test]
+    fn stripe_gate_conditions_hold() {
+        let s = stripe_gate_stats();
+        assert_eq!(s.cells, 12);
+        assert_eq!(s.stale_cells, 4);
+        assert!(s.worst_stale_ratio < 1.0, "{s:?}");
+        assert!(s.worst_healthy_ratio <= 1.1, "{s:?}");
+        assert!(s.stale_reassignments > 0, "{s:?}");
+        assert_eq!(s.direct_chunks, PINNED_STRIPE_DIRECT_CHUNKS, "{s:?}");
+    }
+
+    #[test]
+    fn stripe_json_is_well_formed_enough() {
+        let s = StripeGateStats {
+            cells: 12,
+            stale_cells: 4,
+            worst_stale_ratio: 0.306,
+            best_stale_ratio: 0.040,
+            worst_healthy_ratio: 0.963,
+            stale_reassignments: 6,
+            deaths: 0,
+            direct_chunks: PINNED_STRIPE_DIRECT_CHUNKS,
+        };
+        let j = render_stripe_json(&s);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"bench\": \"BENCH_PR10\""), "{j}");
+        assert!(j.contains("\"worst_stale_ratio\": 0.3060"), "{j}");
+        assert!(j.contains("\"pinned_direct_chunks\""), "{j}");
     }
 
     #[test]

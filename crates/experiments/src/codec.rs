@@ -15,6 +15,7 @@ use crate::megaflow::{MegaflowConfig, MegaflowResult};
 use crate::runner::{MeasurementData, PairRun, SelectionData, SelectionRun};
 use crate::sites::SiteResult;
 use crate::soak::{SoakConfig, SoakResult};
+use crate::striping::StripeCell;
 use crate::tournament::TournamentCell;
 use ir_artifact::{ByteReader, ByteWriter};
 use ir_core::{PathSpec, TransferRecord};
@@ -400,6 +401,66 @@ pub fn decode_faults(bytes: &[u8]) -> Option<Vec<FaultCell>> {
     Some(out)
 }
 
+/// Encodes the striping-sweep cells for the cache.
+pub fn encode_striping(cells: &[StripeCell]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(cells.len() as u64);
+    for c in cells {
+        let StripeCell {
+            scenario,
+            k,
+            chunks,
+            stale,
+            raced_secs,
+            striped_secs,
+            ratio,
+            reassignments,
+            deaths,
+            direct_chunks,
+            overlay_chunks,
+        } = c;
+        w.put_str(scenario);
+        w.put_u32(*k);
+        w.put_u32(*chunks);
+        w.put_bool(*stale);
+        w.put_f64(*raced_secs);
+        w.put_f64(*striped_secs);
+        w.put_f64(*ratio);
+        w.put_u32(*reassignments);
+        w.put_u32(*deaths);
+        w.put_u64(*direct_chunks);
+        w.put_u64(*overlay_chunks);
+    }
+    w.into_bytes()
+}
+
+/// Decodes the striping-sweep cells; `None` on any malformation.
+pub fn decode_striping(bytes: &[u8]) -> Option<Vec<StripeCell>> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_len()?;
+    let out: Vec<StripeCell> = (0..n)
+        .map(|_| {
+            Some(StripeCell {
+                scenario: r.get_str()?,
+                k: r.get_u32()?,
+                chunks: r.get_u32()?,
+                stale: r.get_bool()?,
+                raced_secs: r.get_f64()?,
+                striped_secs: r.get_f64()?,
+                ratio: r.get_f64()?,
+                reassignments: r.get_u32()?,
+                deaths: r.get_u32()?,
+                direct_chunks: r.get_u64()?,
+                overlay_chunks: r.get_u64()?,
+            })
+        })
+        .collect::<Option<_>>()?;
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some(out)
+}
+
 /// Encodes one policy's tournament cells.
 pub fn encode_tournament(cells: &[TournamentCell]) -> Vec<u8> {
     let mut w = ByteWriter::new();
@@ -702,6 +763,33 @@ mod tests {
         assert_eq!(back[0].goodput_ratio.to_bits(), 0.93f64.to_bits());
         assert!(back[0].mean_improvement_pct.is_nan());
         assert!(decode_faults(&bytes[..5]).is_none());
+    }
+
+    #[test]
+    fn striping_cells_round_trip_with_nan() {
+        let cells = vec![StripeCell {
+            scenario: "stale-brownout".into(),
+            k: 2,
+            chunks: 8,
+            stale: true,
+            raced_secs: 112.9,
+            striped_secs: 4.5,
+            ratio: f64::NAN,
+            reassignments: 2,
+            deaths: 1,
+            direct_chunks: 0,
+            overlay_chunks: 8,
+        }];
+        let bytes = encode_striping(&cells);
+        let back = decode_striping(&bytes).unwrap();
+        assert_eq!(back[0].scenario, "stale-brownout");
+        assert_eq!(back[0].k, 2);
+        assert!(back[0].stale);
+        assert_eq!(back[0].raced_secs.to_bits(), 112.9f64.to_bits());
+        assert!(back[0].ratio.is_nan());
+        assert_eq!(back[0].overlay_chunks, 8);
+        assert!(decode_striping(&bytes[..5]).is_none());
+        assert!(decode_striping(&bytes[..bytes.len() - 1]).is_none());
     }
 
     #[test]

@@ -13,12 +13,14 @@
 //! | Fig 6 (improvement vs random-set size) | [`fig6`] | selection (§4) |
 //! | Table III (utilization vs improvement) | [`table3`] | selection |
 //!
-//! Four extension experiments go beyond the paper's artefacts:
+//! Five extension experiments go beyond the paper's artefacts:
 //! [`sites`] (the abstract's per-site 33–49% range), [`headroom`]
 //! (oracle-attainable vs captured improvement — only a simulator can
 //! measure this), [`faults`] (availability/goodput under overlay
-//! outages and relay churn with session failover enabled), and
-//! [`soak`] (thousands of concurrent racing downloads through one
+//! outages and relay churn with session failover enabled),
+//! [`striping`] (multi-source range striping vs racing on the
+//! variability grid, including the stale-prediction penalty tail),
+//! and [`soak`] (thousands of concurrent racing downloads through one
 //! event-driven relay daemon over real loopback sockets — the only
 //! wall-clock study, kept out of the byte-replayable sweep).
 //!
@@ -48,6 +50,7 @@ pub mod robustness;
 pub mod runner;
 pub mod sites;
 pub mod soak;
+pub mod striping;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

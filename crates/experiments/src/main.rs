@@ -13,6 +13,11 @@
 //!            sites       (per-site 33-49% range, extension)
 //!            headroom    (oracle-attainable vs captured, extension)
 //!            faults      (availability under overlay faults, extension)
+//!            striping    (multi-source range striping vs the racing
+//!                         session on the 2-relay variability grid,
+//!                         including the stale-prediction penalty-tail
+//!                         cells; stripe sets drawn from the policy
+//!                         plane's best-k, extension)
 //!            megaflow    (partition-sharded engine at scale: the
 //!                         mini fan-in at --scale quick, 1.01M flows
 //!                         over 10,401 nodes at --scale paper;
@@ -50,8 +55,10 @@
 //!                         warm (BENCH_PR5.json), the path plane
 //!                         (BENCH_PR6.json), the megaflow study
 //!                         incremental vs sharded (BENCH_PR7.json),
-//!                         and the relay soak, event reactor vs
-//!                         threaded baseline (BENCH_PR9.json))
+//!                         the relay soak, event reactor vs threaded
+//!                         baseline (BENCH_PR9.json), and the pinned
+//!                         striping sweep, striped vs raced
+//!                         (BENCH_PR10.json))
 //!            all         (everything except bench-gate, no cache)
 //! ```
 //!
@@ -107,8 +114,8 @@ fn usage() -> ! {
          \x20                           [--cache-dir DIR|none] [--max-bytes N]\n\
          artefacts: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3\n\
          \x20          variability overhead\n\
-         \x20          measurement selection sites headroom faults megaflow tournament\n\
-         \x20          soak scenario robustness sweep cache-gc bench-gate all"
+         \x20          measurement selection sites headroom faults striping megaflow\n\
+         \x20          tournament soak scenario robustness sweep cache-gc bench-gate all"
     );
     std::process::exit(2);
 }
@@ -298,6 +305,7 @@ fn main() -> ExitCode {
     let needs_sites = matches!(args.artefact.as_str(), "sites" | "all");
     let needs_headroom = matches!(args.artefact.as_str(), "headroom" | "all");
     let needs_faults = matches!(args.artefact.as_str(), "faults" | "all");
+    let needs_striping = matches!(args.artefact.as_str(), "striping" | "all");
     let needs_megaflow = matches!(args.artefact.as_str(), "megaflow" | "all");
     let needs_tournament = matches!(args.artefact.as_str(), "tournament" | "all");
     let needs_scenario = args.artefact == "scenario";
@@ -311,6 +319,7 @@ fn main() -> ExitCode {
         && !needs_sites
         && !needs_headroom
         && !needs_faults
+        && !needs_striping
         && !needs_megaflow
         && !needs_tournament
         && !needs_scenario
@@ -536,6 +545,15 @@ fn main() -> ExitCode {
             args.seed, args.scale
         );
         let r = ir_experiments::faults::report(args.seed, args.scale);
+        ok &= emit(&[r], &args.csv_dir);
+    }
+
+    if needs_striping {
+        eprintln!(
+            "running striping study (seed {}, {:?} scale)...",
+            args.seed, args.scale
+        );
+        let r = ir_experiments::striping::report(args.seed, args.scale);
         ok &= emit(&[r], &args.csv_dir);
     }
 

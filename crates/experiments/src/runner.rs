@@ -245,7 +245,7 @@ pub fn effective_worker_threads(n: usize) -> usize {
 
 /// Generic indexed parallel map over tasks. Deterministic: output `i`
 /// corresponds to input `i` regardless of scheduling.
-fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+pub(crate) fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     let workers = effective_worker_threads(n);

@@ -12,6 +12,7 @@
 //! | headroom (oracle replica) | headroom |
 //! | faults (overlay outages) | faults |
 //! | megaflow (sharded engine at scale) | megaflow |
+//! | striping (striped vs raced sessions) | striping |
 //! | tournament/`<policy>` (one study **per policy**) | tournament |
 //!
 //! Study fingerprints hash **every input that determines the output**:
@@ -30,8 +31,8 @@ use crate::runner::{
     MeasurementData, Scale, SelectionData, FIG6_KS,
 };
 use crate::{
-    faults, fig1, fig2, fig3, fig4, fig5, fig6, headroom, megaflow, overhead, sites, soak, table1,
-    table2, table3, tournament, variability,
+    faults, fig1, fig2, fig3, fig4, fig5, fig6, headroom, megaflow, overhead, sites, soak,
+    striping, table1, table2, table3, tournament, variability,
 };
 use ir_artifact::{
     execute, ArtefactOutput, ArtefactSpec, ArtifactCache, ExecReport, Fingerprint, StableHash,
@@ -39,6 +40,7 @@ use ir_artifact::{
 };
 use ir_core::SessionConfig;
 use ir_simnet::time::SimDuration;
+use ir_simnet::topology::LinkId;
 use ir_telemetry::trace::{Event, EventKind};
 use ir_telemetry::Telemetry;
 use ir_workload::roster::{ClientSite, RelaySite, ServerSite};
@@ -74,6 +76,7 @@ pub const SALTS: &[(&str, u64)] = &[
     ("headroom", 1),
     ("faults", 1),
     ("megaflow", 1),
+    ("striping", 1),
     ("tournament", 1),
     ("soak", 1),
 ];
@@ -534,6 +537,55 @@ pub fn full_plan(seed: u64, scale: Scale, tel: Option<Arc<Telemetry>>) -> SweepP
         }),
     };
 
+    // Striping sweep: raced vs striped sessions on the pinned 2-relay
+    // grid. Cells are seed-invariant (fixed geometry, like the
+    // tournament's ridge scenarios), but the seed stays a fingerprint
+    // input so the cache key moves with the CLI invocation. The fault
+    // plans are pure functions of the scenario; hash them directly so
+    // the fingerprint covers fault pressure (the uplinks are links 1
+    // and 3 of the scenario world, in construction order).
+    let striping_fp = {
+        let mut h = StableHasher::new();
+        "study/striping".stable_hash(&mut h);
+        CODEC_VERSION.stable_hash(&mut h);
+        seed.stable_hash(&mut h);
+        striping::HORIZON_SECS.stable_hash(&mut h);
+        striping::KS
+            .iter()
+            .map(|&k| k as u64)
+            .collect::<Vec<_>>()
+            .stable_hash(&mut h);
+        striping::chunk_grid(scale)
+            .iter()
+            .map(|&c| c as u64)
+            .collect::<Vec<_>>()
+            .stable_hash(&mut h);
+        striping::raced_session().stable_hash(&mut h);
+        striping::striped_session(8, 2).stable_hash(&mut h);
+        for s in striping::SCENARIOS {
+            s.name.stable_hash(&mut h);
+            s.direct_rate.to_bits().stable_hash(&mut h);
+            s.overlay1_rate.to_bits().stable_hash(&mut h);
+            s.overlay2_rate.to_bits().stable_hash(&mut h);
+            striping::scenario_fault_plan(s.fault, LinkId(1), LinkId(3)).stable_hash(&mut h);
+        }
+        h.finish()
+    };
+    let striping_study = StudySpec {
+        name: format!("striping(seed={seed},{scale:?})"),
+        fingerprint: striping_fp,
+        run: Box::new(move || Arc::new(striping::run(seed, scale)) as Arc<dyn Any + Send + Sync>),
+        encode: Box::new(|out| {
+            codec::encode_striping(
+                out.downcast_ref::<Vec<striping::StripeCell>>()
+                    .expect("striping output"),
+            )
+        }),
+        decode: Box::new(|bytes| {
+            codec::decode_striping(bytes).map(|d| Arc::new(d) as Arc<dyn Any + Send + Sync>)
+        }),
+    };
+
     // Policy tournament: one study per policy, one artefact over all.
     let mut tplan = tournament_plan(seed, scale, tournament::POLICIES);
 
@@ -603,6 +655,19 @@ pub fn full_plan(seed: u64, scale: Scale, tel: Option<Arc<Telemetry>>) -> SweepP
         }),
     });
 
+    artefacts.push(ArtefactSpec {
+        name: "striping".into(),
+        fingerprint: artefact_fingerprint("striping", &[striping_fp]),
+        deps: vec![striping_fp],
+        render: Box::new(|inputs| {
+            output_of(&striping::report_of(
+                inputs[0]
+                    .downcast_ref::<Vec<striping::StripeCell>>()
+                    .expect("striping cells"),
+            ))
+        }),
+    });
+
     artefacts.append(&mut tplan.artefacts);
 
     let mut studies = vec![
@@ -612,6 +677,7 @@ pub fn full_plan(seed: u64, scale: Scale, tel: Option<Arc<Telemetry>>) -> SweepP
         headroom_study,
         faults_study,
         megaflow_study,
+        striping_study,
     ];
     studies.append(&mut tplan.studies);
 
@@ -807,7 +873,7 @@ mod tests {
     #[test]
     fn every_full_plan_artefact_has_a_salt_and_unique_fingerprint() {
         let plan = full_plan(2007, Scale::Quick, None);
-        assert_eq!(plan.studies.len(), 6 + tournament::POLICIES.len());
+        assert_eq!(plan.studies.len(), 7 + tournament::POLICIES.len());
         // `soak` carries a salt but lives in its own plan (wall-clock
         // results must not enter the byte-replayable sweep), so the
         // full plan renders every salted artefact except that one.
@@ -902,6 +968,7 @@ mod tests {
                 "headroom(seed=2007,transfers=30)",
                 "faults(seed=2007,Quick)",
                 "megaflow(seed=2007,Quick)",
+                "striping(seed=2007,Quick)",
                 "tournament/random-set(seed=2007,Quick)",
                 "tournament/utilization-weighted(seed=2007,Quick)",
                 "tournament/k-shortest(seed=2007,Quick)",
@@ -928,6 +995,7 @@ mod tests {
                 "headroom",
                 "faults",
                 "megaflow",
+                "striping",
                 "tournament",
             ]
         );

@@ -15,6 +15,8 @@
 //!   [`bytes::BytesMut`] (bodies stream; heads are bounded).
 //! * [`proxy`] — the relay rewrite: absolute-form in, origin-form out,
 //!   `Range` preserved, `Via` annotated.
+//! * [`reassembly`] — out-of-order chunk reassembly for striped
+//!   multi-path range downloads (`ir-stripe`).
 //!
 //! Both the simulated transport (`ir-core`) and the real-socket relay
 //! (`ir-relay`) drive these same types, so the protocol logic is tested
@@ -24,6 +26,7 @@ pub mod codec;
 pub mod error;
 pub mod proxy;
 pub mod range;
+pub mod reassembly;
 pub mod types;
 pub mod uri;
 
@@ -31,5 +34,6 @@ pub use codec::{encode_request, encode_response, parse_request, parse_response, 
 pub use error::HttpError;
 pub use proxy::{plan_forward, via_proxy, ForwardPlan};
 pub use range::{ByteRange, ContentRange};
+pub use reassembly::{Reassembly, ReassemblyError};
 pub use types::{Headers, Method, Request, Response, StatusCode};
 pub use uri::Target;

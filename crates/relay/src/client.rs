@@ -312,6 +312,188 @@ pub fn download_failover(
     })
 }
 
+/// Result of a striped download ([`download_striped`]).
+#[derive(Debug)]
+pub struct StripedOutcome {
+    /// End-to-end wall time for all n bytes.
+    pub elapsed: Duration,
+    /// End-to-end throughput (n / elapsed), bytes/sec.
+    pub throughput: f64,
+    /// Whether the reassembled body matched the origin's content.
+    pub body_ok: bool,
+    /// Worker threads that died mid-transfer; their orphaned bytes were
+    /// refetched by the repair pass.
+    pub failovers: u32,
+    /// Chunks completed per path, race-target order (direct first).
+    pub chunk_counts: Vec<(ChosenPath, u64)>,
+    /// Missing intervals the repair pass refetched over the direct
+    /// path (0 on a clean run).
+    pub repaired: u64,
+}
+
+/// mHTTP-style striped download over real sockets: race the probe as
+/// in [`download`], then fetch the remainder as disjoint range chunks
+/// pulled concurrently by one worker per path — each claiming the next
+/// chunk from a shared [`ir_stripe::ChunkQueue`] (so fast paths
+/// naturally carry more chunks) and landing bytes in a shared
+/// [`ir_http::Reassembly`]. The probe winner's warm connection serves
+/// its worker's chunks; other workers fetch each chunk on a fresh
+/// connection. A worker whose path dies orphans at most its current
+/// chunk: after all workers drain, any still-missing intervals are
+/// refetched over the direct path, so a mid-transfer path death
+/// degrades throughput without corrupting content.
+pub fn download_striped(
+    direct: SocketAddr,
+    origin_for_relays: SocketAddr,
+    relays: &[SocketAddr],
+    chunks: u32,
+    cfg: &ClientConfig,
+) -> Result<StripedOutcome, RelayError> {
+    use ir_stripe::{partition, ChunkQueue};
+    use std::sync::{Arc, Mutex};
+    assert!(chunks >= 1, "zero chunks");
+    let start = Instant::now();
+    let win = probe_race(direct, origin_for_relays, relays, cfg)?;
+
+    let mut reassembly = ir_http::Reassembly::new(cfg.total_bytes);
+    reassembly
+        .insert(0, &win.body)
+        .map_err(|e| RelayError::BadResponse(e.to_string()))?;
+    let shared = Arc::new(Mutex::new(reassembly));
+    let queue = Arc::new(ChunkQueue::new(partition(
+        cfg.probe_bytes,
+        cfg.total_bytes - cfg.probe_bytes,
+        chunks,
+    )));
+
+    let mut targets: Vec<(ChosenPath, SocketAddr)> = vec![(ChosenPath::Direct, direct)];
+    for (i, &r) in relays.iter().enumerate() {
+        targets.push((ChosenPath::Relay(i), r));
+    }
+    // The first chunk is reserved for the probe winner before any
+    // worker spawns, so it deterministically rides the warm connection
+    // (the racing client's remainder request, §2.1) instead of racing
+    // the other workers for it.
+    let first_chunk = queue.claim();
+    let mut warm_conn = Some(win.conn);
+    let mut workers = Vec::new();
+    for (choice, addr) in targets {
+        let queue = Arc::clone(&queue);
+        let shared = Arc::clone(&shared);
+        let path = cfg.path.clone();
+        let timeout = cfg.timeout;
+        // The probe winner's worker keeps the warm connection.
+        let mut warm = if choice == win.choice {
+            warm_conn.take()
+        } else {
+            None
+        };
+        let mut reserved = if choice == win.choice {
+            first_chunk
+        } else {
+            None
+        };
+        workers.push(std::thread::spawn(move || {
+            let mut done = 0u64;
+            let mut failed = false;
+            while let Some(chunk) = reserved.take().or_else(|| queue.claim()) {
+                let range = ByteRange::FromTo(chunk.offset, chunk.end() - 1);
+                let fetched = match warm.as_mut() {
+                    Some(conn) => {
+                        let req = probe_request(choice, origin_for_relays, &path, range);
+                        match exchange(conn, &req) {
+                            Ok((head, body)) if head.status == StatusCode::PARTIAL_CONTENT => {
+                                Ok(body)
+                            }
+                            Ok((head, _)) => Err(RelayError::BadStatus(head.status.0)),
+                            Err(e) => Err(e),
+                        }
+                    }
+                    None => {
+                        fetch_range_fresh(addr, choice, origin_for_relays, &path, range, timeout)
+                    }
+                };
+                match fetched {
+                    Ok(body) if body.len() as u64 == chunk.len => {
+                        shared
+                            .lock()
+                            .unwrap()
+                            .insert(chunk.offset, &body)
+                            .expect("chunk scheduler produced overlapping ranges");
+                        done += 1;
+                    }
+                    // The path died (or misdelivered): orphan the
+                    // claimed chunk for the repair pass and stop
+                    // claiming — the surviving workers keep draining.
+                    _ => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            (choice, done, failed)
+        }));
+    }
+
+    let mut failovers = 0u32;
+    let mut chunk_counts = Vec::new();
+    for w in workers {
+        let (choice, done, failed) = w.join().expect("striped worker must not panic");
+        if failed {
+            failovers += 1;
+        }
+        chunk_counts.push((choice, done));
+    }
+
+    // Repair pass: whatever is still missing — orphaned chunks, or the
+    // whole tail if every worker died — comes over the direct path.
+    let missing = shared.lock().unwrap().missing();
+    let repaired = missing.len() as u64;
+    for (s, e) in missing {
+        let body = fetch_range_fresh(
+            direct,
+            ChosenPath::Direct,
+            origin_for_relays,
+            &cfg.path,
+            ByteRange::FromTo(s, e - 1),
+            cfg.timeout,
+        )?;
+        if body.len() as u64 != e - s {
+            return Err(RelayError::BadResponse(format!(
+                "repair fetch of [{s}, {e}) returned {} bytes",
+                body.len()
+            )));
+        }
+        shared
+            .lock()
+            .unwrap()
+            .insert(s, &body)
+            .map_err(|e| RelayError::BadResponse(e.to_string()))?;
+    }
+
+    let elapsed = start.elapsed();
+    let reassembly = Arc::try_unwrap(shared)
+        .expect("every worker joined")
+        .into_inner()
+        .unwrap();
+    let body = reassembly
+        .into_body()
+        .expect("repair pass left bytes missing");
+    let body_ok = body.len() as u64 == cfg.total_bytes
+        && body
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == body_byte(i as u64));
+    Ok(StripedOutcome {
+        elapsed,
+        throughput: cfg.total_bytes as f64 / elapsed.as_secs_f64(),
+        body_ok,
+        failovers,
+        chunk_counts,
+        repaired,
+    })
+}
+
 /// The §4 selection mechanism over real sockets: draw a uniform random
 /// subset of `k` relays (seeded), race the probe over the subset + the
 /// direct path, and download via the winner.

@@ -39,8 +39,8 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{
-    download, download_failover, download_with_subset, probe_race, ChosenPath, ClientConfig,
-    DownloadOutcome, ProbeWin,
+    download, download_failover, download_striped, download_with_subset, probe_race, ChosenPath,
+    ClientConfig, DownloadOutcome, ProbeWin, StripedOutcome,
 };
 pub use conn::{Lifecycle, LifecycleSnapshot};
 pub use error::RelayError;

@@ -358,6 +358,7 @@ mod tests {
             horizon: ir_simnet::time::SimDuration::from_secs(60),
             failover: None,
             engine: ir_simnet::sim::EngineMode::Incremental,
+            mode: ir_core::SessionMode::Racing,
         };
         let rec = run_session(
             &mut transport,
@@ -397,6 +398,7 @@ mod tests {
             horizon: ir_simnet::time::SimDuration::from_secs(60),
             failover: None,
             engine: ir_simnet::sim::EngineMode::Incremental,
+            mode: ir_core::SessionMode::Racing,
         };
         let rec = run_session(
             &mut transport,

@@ -1,0 +1,838 @@
+//! The striped session runner.
+//!
+//! [`run_striped_paths_session_traced`] is the striper's twin of
+//! `ir_core::run_paths_session_traced`: the prologue — control start,
+//! resolvable-filter, probe race, telemetry — is replayed instruction
+//! for instruction, so with [`SessionMode::Striped`] at one chunk and
+//! `k = 1` the returned record is **bit-identical** to the racing
+//! runner's on a healthy network (the differential tests pin this).
+//! The difference is the remainder phase: instead of winner-take-all,
+//! the remaining `n − x` bytes are partitioned into chunks fetched
+//! concurrently over the direct path plus the (at most `k`) indirect
+//! candidates, with per-path EWMA rate tracking, straggler stealing on
+//! rate drift, and per-chunk reassignment on stalls and path death —
+//! the per-chunk generalization of the racing runner's stall→re-race
+//! failover machinery.
+
+use crate::plan::{partition, ChunkRange};
+use crate::rate::EwmaRate;
+use ir_core::{
+    select_measure_all, Handle, PathSpec, Predictor, ProbeMode, RebalanceConfig, SessionConfig,
+    SessionMode, Timing, TransferRecord, Transport,
+};
+use ir_simnet::time::{SimDuration, SimTime};
+use ir_simnet::topology::NodeId;
+use ir_telemetry::trace::{Event, EventKind};
+use ir_telemetry::Telemetry;
+use std::collections::VecDeque;
+
+/// A chunk's remaining bytes are reassigned at most this many times
+/// (stall, death, or drift-steal); past the cap the current owner keeps
+/// it. Bounds rebalancing churn without bounding progress: the cap
+/// only ever pins a chunk to a live, progressing path.
+pub const MAX_CHUNK_REASSIGNS: u32 = 4;
+
+/// Per-path chunk accounting for one striped session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStripeStats {
+    /// The path.
+    pub path: PathSpec,
+    /// Chunks this path completed.
+    pub chunks: u64,
+    /// Remainder bytes this path delivered (completed chunks plus the
+    /// partial prefixes credited when a chunk was reassigned away).
+    pub bytes: u64,
+}
+
+/// Scheduler accounting for one striped session — the chunk-assignment
+/// observability the `striping` artefact's canary pins.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StripeStats {
+    /// Per-path accounting over the session's path roster (direct
+    /// first, then the striped candidates, probe order). Empty for
+    /// sessions that never reached a striped remainder phase (racing
+    /// mode, direct-only, probe timeout).
+    pub per_path: Vec<PathStripeStats>,
+    /// Chunk reassignments performed (stall + drift combined).
+    pub reassignments: u32,
+    /// Paths declared dead mid-remainder.
+    pub deaths: u32,
+}
+
+/// The striped twin of `ir_core::run_paths_session_traced`.
+///
+/// [`SessionMode::Racing`] configs are delegated to `ir-core`'s runner
+/// unchanged; [`SessionMode::Striped`] configs run the probe phase
+/// identically and then stripe the remainder. Telemetry is strictly
+/// observational either way.
+#[allow(clippy::too_many_arguments)] // striped twin of run_paths_session_traced; same signature
+pub fn run_striped_paths_session_traced(
+    transport: &mut dyn Transport,
+    predictor: &mut dyn Predictor,
+    client: NodeId,
+    server: NodeId,
+    indirect_paths: &[PathSpec],
+    candidates: Vec<NodeId>,
+    transfer_index: u64,
+    cfg: &SessionConfig,
+    tel: Option<&Telemetry>,
+) -> TransferRecord {
+    run_striped_paths_session_stats(
+        transport,
+        predictor,
+        client,
+        server,
+        indirect_paths,
+        candidates,
+        transfer_index,
+        cfg,
+        tel,
+    )
+    .0
+}
+
+/// [`run_striped_paths_session_traced`] plus the scheduler's chunk
+/// accounting — what the striping experiments aggregate into the
+/// chunk-assignment canary.
+#[allow(clippy::too_many_arguments)] // stats twin; same signature
+pub fn run_striped_paths_session_stats(
+    transport: &mut dyn Transport,
+    predictor: &mut dyn Predictor,
+    client: NodeId,
+    server: NodeId,
+    indirect_paths: &[PathSpec],
+    candidates: Vec<NodeId>,
+    transfer_index: u64,
+    cfg: &SessionConfig,
+    tel: Option<&Telemetry>,
+) -> (TransferRecord, StripeStats) {
+    let SessionMode::Striped {
+        chunks,
+        k,
+        rebalance,
+    } = cfg.mode
+    else {
+        let record = ir_core::run_paths_session_traced(
+            transport,
+            predictor,
+            client,
+            server,
+            indirect_paths,
+            candidates,
+            transfer_index,
+            cfg,
+            tel,
+        );
+        return (record, StripeStats::default());
+    };
+    cfg.validate();
+    let direct = PathSpec::direct(client, server);
+    let t0 = transport.now();
+    if let Some(tel) = tel {
+        tel.metrics.counter("session_started", vec![]).inc();
+        tel.tracer.record(
+            Event::new(EventKind::SessionStart, t0.as_micros(), transfer_index)
+                .with_u64("client", client.0 as u64)
+                .with_u64("server", server.0 as u64)
+                .with_u64("candidates", indirect_paths.len() as u64),
+        );
+    }
+
+    // Resolvable-filter, exactly as the racing runner does it, then cap
+    // the stripe width: the probe set *is* the stripe set, so `k` is
+    // applied before the race (the `PathSelector` plane's `best_k`
+    // produces the ordered candidate list this truncates).
+    let mut candidate_paths: Vec<PathSpec> = indirect_paths
+        .iter()
+        .filter(|p| {
+            let ok = transport.resolvable(p);
+            if !ok {
+                if let Some(tel) = tel {
+                    tel.metrics.counter("path_unresolvable", vec![]).inc();
+                    tel.tracer.record(
+                        Event::new(
+                            EventKind::PathUnresolvable,
+                            transport.now().as_micros(),
+                            transfer_index,
+                        )
+                        .with_str("path", p.to_string()),
+                    );
+                }
+            }
+            ok
+        })
+        .copied()
+        .collect();
+    candidate_paths.truncate(k as usize);
+
+    // Control process: whole file on the direct path.
+    enum Control {
+        Live(Handle),
+        Forked(Box<dyn Transport>, Handle),
+    }
+    let control = match cfg.control {
+        ir_core::ControlMode::Forked => match transport.fork() {
+            Some(mut forked) => {
+                let h = forked.begin(&direct, cfg.file_bytes);
+                Control::Forked(forked, h)
+            }
+            None => Control::Live(transport.begin(&direct, cfg.file_bytes)),
+        },
+        ir_core::ControlMode::Concurrent => Control::Live(transport.begin(&direct, cfg.file_bytes)),
+    };
+
+    // Selecting process.
+    let mut stats = StripeStats::default();
+    let (
+        selected,
+        probe_throughput,
+        path_rate,
+        probe_timeout,
+        finished_ok,
+        failovers,
+        stall_ms,
+        abandoned,
+    ) = if candidate_paths.is_empty() {
+        // Direct-only: nothing to stripe over; identical to racing.
+        let h = transport.begin(&direct, cfg.file_bytes);
+        let t = transport.finish(h, cfg.horizon);
+        let rate = t.map(|t| t.throughput()).unwrap_or(f64::NAN);
+        (direct, f64::NAN, rate, false, t.is_some(), 0, 0, false)
+    } else {
+        let paths: Vec<PathSpec> = std::iter::once(direct)
+            .chain(candidate_paths.iter().copied())
+            .collect();
+        let handles: Vec<Handle> = paths
+            .iter()
+            .map(|p| transport.begin(p, cfg.probe_bytes))
+            .collect();
+        let t_probe = transport.now();
+        if let Some(tel) = tel {
+            tel.metrics.counter("session_probe_races", vec![]).inc();
+            tel.tracer.record(
+                Event::new(EventKind::ProbeStart, t_probe.as_micros(), transfer_index)
+                    .with_u64("paths", handles.len() as u64)
+                    .with_u64("probe_bytes", cfg.probe_bytes),
+            );
+        }
+
+        // The probe decision, plus what racing throws away and striping
+        // needs: an initial rate estimate and a warm-connection flag per
+        // path. `progress` is a read-only observation, so the extra
+        // loser bookkeeping cannot perturb the simulation.
+        let decision: Option<(usize, f64, Vec<f64>, Vec<bool>)> = match cfg.probe_mode {
+            ProbeMode::FirstToFinish => match transport.race(&handles, cfg.horizon) {
+                Some(win) => {
+                    let mut init = vec![0.0; paths.len()];
+                    let mut warm = vec![false; paths.len()];
+                    init[win.index] = win.timing.throughput();
+                    warm[win.index] = true;
+                    let dt = (transport.now() - t_probe).as_secs_f64();
+                    for (i, &h) in handles.iter().enumerate() {
+                        if i != win.index {
+                            if dt > 0.0 {
+                                init[i] = transport.progress(h) as f64 / dt;
+                            }
+                            transport.cancel(h);
+                        }
+                    }
+                    Some((win.index, win.timing.throughput(), init, warm))
+                }
+                None => None,
+            },
+            ProbeMode::MeasureAll => {
+                let timings: Vec<Option<Timing>> = handles
+                    .iter()
+                    .map(|&h| transport.finish(h, cfg.horizon))
+                    .collect();
+                let outcomes: Vec<Option<(f64, f64)>> = timings
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        t.as_ref().map(|t| {
+                            let rate = t.throughput();
+                            (rate, predictor.predict(&paths[i], rate))
+                        })
+                    })
+                    .collect();
+                select_measure_all(&paths, &outcomes).map(|(path, rate)| {
+                    let index = paths
+                        .iter()
+                        .position(|p| *p == path)
+                        .expect("winner in roster");
+                    let init: Vec<f64> = timings
+                        .iter()
+                        .map(|t| t.as_ref().map(|t| t.throughput()).unwrap_or(0.0))
+                        .collect();
+                    let warm: Vec<bool> = timings.iter().map(|t| t.is_some()).collect();
+                    (index, rate, init, warm)
+                })
+            }
+        };
+
+        match decision {
+            Some((winner, probe_rate, init, warm)) => {
+                let path = paths[winner];
+                if let Some(tel) = tel {
+                    let now_us = transport.now().as_micros();
+                    let mut won = Event::new(EventKind::ProbeWon, now_us, transfer_index)
+                        .with_str(
+                            "path",
+                            if path.is_indirect() {
+                                "indirect"
+                            } else {
+                                "direct"
+                            },
+                        )
+                        .with_f64("probe_rate", probe_rate);
+                    if let Some(via) = path.via() {
+                        won = won.with_u64("via", via.0 as u64);
+                    }
+                    tel.tracer.record(won);
+                    if let Some(via) = path.via() {
+                        tel.metrics.counter("session_path_switches", vec![]).inc();
+                        tel.tracer.record(
+                            Event::new(EventKind::PathSwitch, now_us, transfer_index)
+                                .with_u64("via", via.0 as u64),
+                        );
+                    }
+                }
+                let out = run_striped_remainder(
+                    transport,
+                    predictor,
+                    &paths,
+                    winner,
+                    &init,
+                    &warm,
+                    chunks,
+                    &rebalance,
+                    cfg,
+                    transfer_index,
+                    tel,
+                );
+                stats = StripeStats {
+                    per_path: paths
+                        .iter()
+                        .zip(out.chunks_done.iter().zip(out.bytes_done.iter()))
+                        .map(|(&path, (&chunks, &bytes))| PathStripeStats {
+                            path,
+                            chunks,
+                            bytes,
+                        })
+                        .collect(),
+                    reassignments: out.reassignments,
+                    deaths: out.deaths,
+                };
+                (
+                    paths[out.selected],
+                    probe_rate,
+                    out.rate,
+                    false,
+                    out.finished,
+                    out.failovers,
+                    out.stall_ms,
+                    out.abandoned,
+                )
+            }
+            None => {
+                // Probe race timed out entirely; cancel everything and
+                // fall back to a direct transfer — identical to racing.
+                for &h in &handles {
+                    transport.cancel(h);
+                }
+                if let Some(tel) = tel {
+                    let now_us = transport.now().as_micros();
+                    tel.metrics.counter("session_probe_timeouts", vec![]).inc();
+                    tel.tracer
+                        .record(Event::new(EventKind::ProbeTimeout, now_us, transfer_index));
+                    tel.tracer.record(
+                        Event::new(EventKind::Retry, now_us, transfer_index)
+                            .with_str("fallback", "direct"),
+                    );
+                }
+                let h = transport.begin(&direct, cfg.file_bytes);
+                let ok = transport.finish(h, cfg.horizon).is_some();
+                (direct, f64::NAN, f64::NAN, true, ok, 0, 0, false)
+            }
+        }
+    };
+
+    // Epilogue: identical to the racing runner.
+    let t_end = transport.now();
+    let wall = (t_end - t0).as_secs_f64();
+    let selected_throughput = if finished_ok && wall > 0.0 {
+        cfg.file_bytes as f64 / wall
+    } else {
+        0.0
+    };
+    let control_horizon = SimDuration::from_micros(cfg.horizon.as_micros() * 2);
+    let direct_throughput = match control {
+        Control::Live(h) => transport
+            .finish(h, control_horizon)
+            .map(|t| t.throughput())
+            .unwrap_or(0.0),
+        Control::Forked(mut forked, h) => forked
+            .finish(h, control_horizon)
+            .map(|t| t.throughput())
+            .unwrap_or(0.0),
+    };
+
+    let record = TransferRecord {
+        client,
+        server,
+        started: t0,
+        file_bytes: cfg.file_bytes,
+        selected,
+        candidates,
+        direct_throughput,
+        selected_throughput,
+        probe_throughput,
+        selected_path_rate: path_rate,
+        probe_timeout,
+        failovers,
+        stall_ms,
+        abandoned,
+    };
+    if let Some(tel) = tel {
+        let wall_us = (t_end - t0).as_micros();
+        tel.metrics.counter("session_completed", vec![]).inc();
+        tel.metrics
+            .histogram("session_wall_us", vec![])
+            .record(wall_us);
+        tel.tracer.record(
+            Event::span(
+                EventKind::SessionComplete,
+                t0.as_micros(),
+                wall_us,
+                transfer_index,
+            )
+            .with_f64("improvement", record.improvement())
+            .with_f64("direct_bps", record.direct_throughput)
+            .with_f64("selected_bps", record.selected_throughput),
+        );
+        for s in &stats.per_path {
+            if s.chunks > 0 {
+                tel.metrics
+                    .counter("stripe_path_chunks", vec![("path", s.path.to_string())])
+                    .add(s.chunks);
+            }
+        }
+    }
+    (record, stats)
+}
+
+/// One chunk in flight on one path.
+struct Flight {
+    path: usize,
+    chunk: ChunkRange,
+    handle: Handle,
+    /// Bytes observed delivered at the last sweep.
+    seen: u64,
+    /// When the flight launched (per-chunk rate denominator).
+    launched: SimTime,
+    /// Last instant the flight was seen to move (stall-death clock).
+    last_progress_at: SimTime,
+    /// Times this chunk's bytes have been reassigned so far.
+    reassigns: u32,
+}
+
+/// Scheduler outcome, in the racing runner's remainder vocabulary plus
+/// the striping accounting.
+struct SchedOutcome {
+    /// Roster index of the path that delivered the most remainder
+    /// bytes (the winner on ties — single-chunk sessions degenerate to
+    /// the probe decision exactly).
+    selected: usize,
+    finished: bool,
+    /// Aggregate remainder rate: remainder bytes over remainder wall
+    /// time (NaN when abandoned).
+    rate: f64,
+    failovers: u32,
+    stall_ms: u64,
+    abandoned: bool,
+    chunks_done: Vec<u64>,
+    bytes_done: Vec<u64>,
+    reassignments: u32,
+    deaths: u32,
+}
+
+/// Launches `chunk` on roster path `p`, consuming its warm connection
+/// if one is available.
+fn launch(
+    transport: &mut dyn Transport,
+    paths: &[PathSpec],
+    warm: &mut [bool],
+    flights: &mut Vec<Flight>,
+    p: usize,
+    chunk: ChunkRange,
+    reassigns: u32,
+) {
+    let handle = if warm[p] {
+        transport.begin_warm(&paths[p], chunk.len)
+    } else {
+        transport.begin(&paths[p], chunk.len)
+    };
+    warm[p] = false;
+    let now = transport.now();
+    flights.push(Flight {
+        path: p,
+        chunk,
+        handle,
+        seen: 0,
+        launched: now,
+        last_progress_at: now,
+        reassigns,
+    });
+}
+
+/// Alive paths with no flight, best EWMA estimate first (ties keep the
+/// lower roster index — the direct path).
+fn free_paths(rate: &[EwmaRate], alive: &[bool], flights: &[Flight]) -> Vec<usize> {
+    let mut busy = vec![false; rate.len()];
+    for f in flights {
+        busy[f.path] = true;
+    }
+    let mut free: Vec<usize> = (0..rate.len()).filter(|&p| alive[p] && !busy[p]).collect();
+    free.sort_by(|&a, &b| rate[b].get().total_cmp(&rate[a].get()).then(a.cmp(&b)));
+    free
+}
+
+/// The striped remainder phase: partition, fan out, race completions,
+/// rebalance on drift, reassign on stall-death.
+#[allow(clippy::too_many_arguments)] // remainder tail shares the session's full parameter set
+fn run_striped_remainder(
+    transport: &mut dyn Transport,
+    predictor: &mut dyn Predictor,
+    paths: &[PathSpec],
+    winner: usize,
+    init_rates: &[f64],
+    warm_init: &[bool],
+    chunks: u32,
+    rb: &RebalanceConfig,
+    cfg: &SessionConfig,
+    transfer_index: u64,
+    tel: Option<&Telemetry>,
+) -> SchedOutcome {
+    let total = cfg.file_bytes - cfg.probe_bytes;
+    let started = transport.now();
+    let deadline = started + cfg.horizon;
+    let n = paths.len();
+    let mut rate: Vec<EwmaRate> = init_rates
+        .iter()
+        .map(|&r| EwmaRate::seeded(rb.alpha, r))
+        .collect();
+    let mut alive = vec![true; n];
+    let mut warm = warm_init.to_vec();
+    let mut chunks_done = vec![0u64; n];
+    let mut bytes_done = vec![0u64; n];
+    let mut flights: Vec<Flight> = Vec::new();
+    let mut pending: VecDeque<(ChunkRange, u32)> = partition(cfg.probe_bytes, total, chunks)
+        .into_iter()
+        .map(|c| (c, 0))
+        .collect();
+    let mut failovers = 0u32;
+    let mut stall_ms = 0u64;
+    let mut reassignments = 0u32;
+    let mut deaths = 0u32;
+
+    // The first chunk rides the probe winner's warm connection (the
+    // racing protocol's remainder request, §2.1); the rest fan out to
+    // free paths, best initial estimate first.
+    if let Some((c, r)) = pending.pop_front() {
+        launch(transport, paths, &mut warm, &mut flights, winner, c, r);
+    }
+    for p in free_paths(&rate, &alive, &flights) {
+        let Some((c, r)) = pending.pop_front() else {
+            break;
+        };
+        launch(transport, paths, &mut warm, &mut flights, p, c, r);
+    }
+
+    let abandon = |transport: &mut dyn Transport,
+                   flights: Vec<Flight>,
+                   selected: usize,
+                   failovers: u32,
+                   stall_ms: u64,
+                   chunks_done: Vec<u64>,
+                   bytes_done: Vec<u64>,
+                   reassignments: u32,
+                   deaths: u32,
+                   tel: Option<&Telemetry>| {
+        for f in &flights {
+            transport.cancel(f.handle);
+        }
+        if let Some(tel) = tel {
+            tel.metrics.counter("session_abandoned", vec![]).inc();
+        }
+        SchedOutcome {
+            selected,
+            finished: false,
+            rate: f64::NAN,
+            failovers,
+            stall_ms,
+            abandoned: true,
+            chunks_done,
+            bytes_done,
+            reassignments,
+            deaths,
+        }
+    };
+
+    loop {
+        if flights.is_empty() {
+            if pending.is_empty() {
+                break; // every chunk delivered
+            }
+            // Work left but nothing in the air: every path is dead.
+            let selected = best_path(&bytes_done, winner);
+            return abandon(
+                transport,
+                flights,
+                selected,
+                failovers,
+                stall_ms,
+                chunks_done,
+                bytes_done,
+                reassignments,
+                deaths,
+                tel,
+            );
+        }
+        let now = transport.now();
+        if now >= deadline {
+            let selected = best_path(&bytes_done, winner);
+            return abandon(
+                transport,
+                flights,
+                selected,
+                failovers,
+                stall_ms,
+                chunks_done,
+                bytes_done,
+                reassignments,
+                deaths,
+                tel,
+            );
+        }
+        let window = rb.stall_window.min(deadline - now);
+        let handles: Vec<Handle> = flights.iter().map(|f| f.handle).collect();
+        match transport.race(&handles, window) {
+            Some(win) => {
+                let f = flights.remove(win.index);
+                let p = f.path;
+                let observed = win.timing.throughput();
+                rate[p].observe(observed);
+                // Feed each realized chunk rate back, as racing does
+                // for its single remainder flow.
+                predictor.observe(&paths[p], observed);
+                chunks_done[p] += 1;
+                bytes_done[p] += f.chunk.len;
+                warm[p] = true;
+                if let Some(tel) = tel {
+                    tel.metrics.counter("stripe_chunks_completed", vec![]).inc();
+                }
+                if let Some((c, r)) = pending.pop_front() {
+                    launch(transport, paths, &mut warm, &mut flights, p, c, r);
+                } else {
+                    maybe_steal(
+                        transport,
+                        paths,
+                        &mut rate,
+                        &mut warm,
+                        &mut flights,
+                        &mut bytes_done,
+                        &mut reassignments,
+                        p,
+                        rb,
+                        transfer_index,
+                        tel,
+                    );
+                }
+            }
+            None => {
+                // Window expired with no completion: sweep for stalls.
+                let now = transport.now();
+                let mut dead: Vec<usize> = Vec::new();
+                for (i, f) in flights.iter_mut().enumerate() {
+                    let delivered = transport.progress(f.handle);
+                    if delivered > f.seen {
+                        f.seen = delivered;
+                        f.last_progress_at = now;
+                    } else if now - f.last_progress_at >= rb.stall_window {
+                        dead.push(i);
+                    }
+                }
+                for i in dead.into_iter().rev() {
+                    let f = flights.remove(i);
+                    let p = f.path;
+                    alive[p] = false;
+                    warm[p] = false;
+                    deaths += 1;
+                    failovers += 1;
+                    stall_ms += (now - f.last_progress_at).as_micros() / 1000;
+                    transport.cancel(f.handle);
+                    bytes_done[p] += f.seen;
+                    let rest = f.chunk.len - f.seen;
+                    if rest > 0 {
+                        reassignments += 1;
+                        if let Some(tel) = tel {
+                            tel.metrics.counter("stripe_path_deaths", vec![]).inc();
+                            tel.metrics
+                                .counter("stripe_chunks_reassigned", vec![])
+                                .inc();
+                            tel.tracer.record(
+                                Event::new(
+                                    EventKind::ChunkReassigned,
+                                    now.as_micros(),
+                                    transfer_index,
+                                )
+                                .with_u64("chunk", u64::from(f.chunk.id))
+                                .with_str("from", paths[p].to_string())
+                                .with_str("reason", "stall")
+                                .with_u64("remaining", rest),
+                            );
+                        }
+                        pending.push_front((
+                            ChunkRange {
+                                id: f.chunk.id,
+                                offset: f.chunk.offset + f.seen,
+                                len: rest,
+                            },
+                            f.reassigns + 1,
+                        ));
+                    } else if let Some(tel) = tel {
+                        tel.metrics.counter("stripe_path_deaths", vec![]).inc();
+                    }
+                }
+                // Hand the reassigned remainders to the survivors.
+                for p in free_paths(&rate, &alive, &flights) {
+                    let Some((c, r)) = pending.pop_front() else {
+                        break;
+                    };
+                    launch(transport, paths, &mut warm, &mut flights, p, c, r);
+                }
+            }
+        }
+    }
+
+    let end = transport.now();
+    let wall = (end - started).as_secs_f64();
+    let agg = if wall > 0.0 {
+        total as f64 / wall
+    } else {
+        f64::INFINITY
+    };
+    SchedOutcome {
+        selected: best_path(&bytes_done, winner),
+        finished: true,
+        rate: agg,
+        failovers,
+        stall_ms,
+        abandoned: false,
+        chunks_done,
+        bytes_done,
+        reassignments,
+        deaths,
+    }
+}
+
+/// The path that delivered the most remainder bytes; the probe winner
+/// keeps ties (single-chunk sessions thus report the probe decision).
+fn best_path(bytes_done: &[u64], winner: usize) -> usize {
+    let mut best = winner;
+    for (p, &b) in bytes_done.iter().enumerate() {
+        if b > bytes_done[best] {
+            best = p;
+        }
+    }
+    best
+}
+
+/// Drift rebalancing: free path `p` (just finished a chunk, queue
+/// empty) steals the largest remaining chunk whose current owner's
+/// observed rate has drifted `drift_ratio`× below `p`'s estimate. The
+/// victim's estimate is dragged down to its observed rate first, so it
+/// cannot immediately steal the chunk back.
+#[allow(clippy::too_many_arguments)] // scheduler interior; shares the loop's working set
+fn maybe_steal(
+    transport: &mut dyn Transport,
+    paths: &[PathSpec],
+    rate: &mut [EwmaRate],
+    warm: &mut [bool],
+    flights: &mut Vec<Flight>,
+    bytes_done: &mut [u64],
+    reassignments: &mut u32,
+    p: usize,
+    rb: &RebalanceConfig,
+    transfer_index: u64,
+    tel: Option<&Telemetry>,
+) {
+    if rate[p].get() <= 0.0 {
+        return;
+    }
+    let now = transport.now();
+    let mut victim: Option<(usize, u64, f64)> = None; // (flight, remaining, observed)
+    for (i, f) in flights.iter().enumerate() {
+        if f.reassigns >= MAX_CHUNK_REASSIGNS {
+            continue;
+        }
+        let delivered = transport.progress(f.handle);
+        let remaining = f.chunk.len.saturating_sub(delivered);
+        if remaining == 0 {
+            continue;
+        }
+        let dt = (now - f.launched).as_secs_f64();
+        // A flight that has moved is judged on its realized rate; one
+        // that has not yet moved is judged on its path's estimate, so a
+        // freshly-launched healthy flight is not stolen on a technicality.
+        let observed = if delivered > 0 && dt > 0.0 {
+            delivered as f64 / dt
+        } else {
+            rate[f.path].get()
+        };
+        if rate[p].get() > rb.drift_ratio * observed {
+            let better = match victim {
+                None => true,
+                Some((_, best_remaining, _)) => remaining > best_remaining,
+            };
+            if better {
+                victim = Some((i, remaining, observed));
+            }
+        }
+    }
+    let Some((i, remaining, observed)) = victim else {
+        return;
+    };
+    let f = flights.remove(i);
+    let delivered = f.chunk.len - remaining;
+    transport.cancel(f.handle);
+    warm[f.path] = false;
+    bytes_done[f.path] += delivered;
+    rate[f.path].observe(observed);
+    *reassignments += 1;
+    if let Some(tel) = tel {
+        tel.metrics
+            .counter("stripe_chunks_reassigned", vec![])
+            .inc();
+        tel.tracer.record(
+            Event::new(EventKind::ChunkReassigned, now.as_micros(), transfer_index)
+                .with_u64("chunk", u64::from(f.chunk.id))
+                .with_str("from", paths[f.path].to_string())
+                .with_str("reason", "drift")
+                .with_u64("remaining", remaining),
+        );
+    }
+    launch(
+        transport,
+        paths,
+        warm,
+        flights,
+        p,
+        ChunkRange {
+            id: f.chunk.id,
+            offset: f.chunk.offset + delivered,
+            len: remaining,
+        },
+        f.reassigns + 1,
+    );
+}

@@ -64,6 +64,10 @@ pub enum EventKind {
     RelayShutdown,
     /// A retry or fallback (e.g. probe timeout → direct re-fetch).
     Retry,
+    /// The striper reassigned a chunk's remaining bytes away from a
+    /// stalled, dead, or drifting path; attrs carry the chunk id, the
+    /// losing path, and the reason.
+    ChunkReassigned,
     /// A runner task (one (client, relay/k) schedule) ran; `dur_us`
     /// spans it.
     RunnerTask,
@@ -105,6 +109,7 @@ impl EventKind {
             EventKind::RelayDrain => "relay_drain",
             EventKind::RelayShutdown => "relay_shutdown",
             EventKind::Retry => "retry",
+            EventKind::ChunkReassigned => "chunk_reassigned",
             EventKind::RunnerTask => "runner_task",
             EventKind::SelectionDecision => "selection_decision",
             EventKind::StudyExec => "study_exec",
@@ -131,6 +136,7 @@ impl EventKind {
             | EventKind::SessionStart
             | EventKind::SessionComplete
             | EventKind::Retry => "session",
+            EventKind::ChunkReassigned => "stripe",
             EventKind::RelayAccept
             | EventKind::RelaySplice
             | EventKind::RelayFirstByte
@@ -357,6 +363,8 @@ mod tests {
         assert_eq!(EventKind::ProbeWon.category(), "session");
         assert_eq!(EventKind::RelayAccept.category(), "relay");
         assert_eq!(EventKind::RunnerTask.category(), "runner");
+        assert_eq!(EventKind::ChunkReassigned.name(), "chunk_reassigned");
+        assert_eq!(EventKind::ChunkReassigned.category(), "stripe");
         assert_eq!(EventKind::Custom("x").name(), "x");
     }
 

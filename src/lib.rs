@@ -18,6 +18,9 @@
 //!   and intermediate-node selection policies.
 //! * [`policy`] — the path-selection policy plane: selectors that pick
 //!   direct/1-hop/multi-hop candidate paths (the §6 extension space).
+//! * [`stripe`] — mHTTP-style multi-source range striping: chunked
+//!   remainder over direct + best-k indirect paths with EWMA-driven
+//!   rebalancing.
 //! * [`workload`] — PlanetLab-like scenario generator with the paper's
 //!   node roster.
 //! * [`experiments`] — the harness reproducing every table and figure of
@@ -30,5 +33,6 @@ pub use ir_policy as policy;
 pub use ir_relay as relay;
 pub use ir_simnet as simnet;
 pub use ir_stats as stats;
+pub use ir_stripe as stripe;
 pub use ir_tcp as tcp;
 pub use ir_workload as workload;

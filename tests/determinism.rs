@@ -156,6 +156,39 @@ fn golden_tournament_csv_bytes_unchanged() {
     }
 }
 
+/// Golden-artefact snapshot: the striping artefact's cells CSV,
+/// byte-exact at quick scale (seed 11, matching the faults golden).
+///
+/// The striping sweep stacks the chunk scheduler — EWMA rate seeds,
+/// drift-steal and stall-death rebalancing, best-k stripe sets from
+/// the policy plane — on top of raced baselines, so a byte-stable CSV
+/// here pins the whole striped session protocol. CI re-renders this
+/// CSV at `--threads` 1, 2 and 4 and diffs against this file.
+/// Regenerate deliberately with `UPDATE_GOLDEN=1 cargo test --test
+/// determinism golden` after a change that is *supposed* to move the
+/// numbers.
+#[test]
+fn golden_striping_csv_bytes_unchanged() {
+    use indirect_routing::experiments::striping;
+    let report = striping::report(11, runner::Scale::Quick);
+    let artefacts = [("striping_cells.csv", &report.csv[0].1)];
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, bytes) in &artefacts {
+            std::fs::write(dir.join(name), bytes).unwrap();
+        }
+        return;
+    }
+    for (name, bytes) in &artefacts {
+        let golden = std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        assert_eq!(&&golden, bytes, "{name} diverged from the golden snapshot");
+    }
+}
+
 /// The partition-sharded engine's thread count is an execution knob,
 /// never a semantic one: the pinned seed-42 Fig 1 study must render
 /// byte-identical Fig 1 / Table I CSVs at `threads` 1, 2, 4 and 8, all

@@ -24,6 +24,7 @@ fn session_cfg(file: u64, probe: u64) -> SessionConfig {
         horizon: SimDuration::from_secs(120),
         failover: None,
         engine: EngineMode::Incremental,
+        mode: indirect_routing::core::SessionMode::Racing,
     }
 }
 

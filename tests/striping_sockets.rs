@@ -1,0 +1,130 @@
+//! Striped downloads over real loopback sockets.
+//!
+//! Drives `ir-relay`'s striped client — probe race, shared chunk
+//! queue, per-path workers issuing `ir-http` range requests, shared
+//! reassembly — against event-mode relay daemons, including a relay
+//! killed mid-transfer to exercise the orphan-repair path.
+
+use indirect_routing::relay::shaper::RateSchedule;
+use indirect_routing::relay::{
+    download, download_striped, ChosenPath, ClientConfig, OriginConfig, OriginServer, Relay,
+    RelayConfig, RelayMode,
+};
+use std::time::Duration;
+
+const KB: f64 = 1000.0;
+
+fn event_relay(rate: f64) -> Relay {
+    Relay::start(
+        RelayConfig::shaped(RateSchedule::constant(rate))
+            .with_mode(RelayMode::Event { workers: 2 }),
+    )
+    .unwrap()
+}
+
+fn client_cfg(total: u64) -> ClientConfig {
+    ClientConfig {
+        path: "/striped.bin".into(),
+        probe_bytes: 50_000,
+        total_bytes: total,
+        timeout: Duration::from_secs(30),
+    }
+}
+
+/// A striped download across the direct path and two event-mode
+/// relays reassembles the exact origin content, and the fast relay
+/// carries more chunks than the slow direct path.
+#[test]
+fn striped_download_reassembles_across_event_relays() {
+    let total = 400_000;
+    let direct =
+        OriginServer::start(OriginConfig::new(total).shaped(RateSchedule::constant(120.0 * KB)))
+            .unwrap();
+    let fast_origin = OriginServer::start(OriginConfig::new(total)).unwrap();
+    let relays = [event_relay(700.0 * KB), event_relay(90.0 * KB)];
+    let addrs: Vec<_> = relays.iter().map(|r| r.addr()).collect();
+
+    let out = download_striped(
+        direct.addr(),
+        fast_origin.addr(),
+        &addrs,
+        8,
+        &client_cfg(total),
+    )
+    .unwrap();
+    assert!(out.body_ok, "reassembled content must match the origin");
+    assert_eq!(out.failovers, 0);
+    assert_eq!(out.repaired, 0);
+    let total_chunks: u64 = out.chunk_counts.iter().map(|&(_, n)| n).sum();
+    assert_eq!(total_chunks, 8, "{:?}", out.chunk_counts);
+    let fast = out
+        .chunk_counts
+        .iter()
+        .find(|&&(c, _)| c == ChosenPath::Relay(0))
+        .map(|&(_, n)| n)
+        .unwrap();
+    assert!(
+        fast >= 4,
+        "the fast relay should claim the most chunks: {:?}",
+        out.chunk_counts
+    );
+}
+
+/// One chunk degenerates to the racing client's shape: whole remainder
+/// on the probe winner's warm connection, byte-identical content.
+#[test]
+fn single_chunk_matches_racing_download() {
+    let total = 250_000;
+    let direct =
+        OriginServer::start(OriginConfig::new(total).shaped(RateSchedule::constant(150.0 * KB)))
+            .unwrap();
+    let fast_origin = OriginServer::start(OriginConfig::new(total)).unwrap();
+    let relay = event_relay(800.0 * KB);
+    let addrs = vec![relay.addr()];
+    let cfg = client_cfg(total);
+
+    let raced = download(direct.addr(), fast_origin.addr(), &addrs, &cfg).unwrap();
+    let striped = download_striped(direct.addr(), fast_origin.addr(), &addrs, 1, &cfg).unwrap();
+    assert!(raced.body_ok && striped.body_ok);
+    assert_eq!(striped.chunk_counts.iter().map(|&(_, n)| n).sum::<u64>(), 1);
+    // The one chunk rode the probe winner, as in the racing client.
+    let (winner_path, _) = *striped
+        .chunk_counts
+        .iter()
+        .find(|&&(_, n)| n == 1)
+        .expect("one path carried the chunk");
+    assert_eq!(winner_path, raced.choice);
+}
+
+/// Killing a relay mid-stripe orphans at most its current chunk; the
+/// repair pass refetches the hole over the direct path and the body
+/// still verifies.
+#[test]
+fn relay_killed_mid_stripe_is_repaired() {
+    let total = 500_000;
+    let direct =
+        OriginServer::start(OriginConfig::new(total).shaped(RateSchedule::constant(200.0 * KB)))
+            .unwrap();
+    let fast_origin = OriginServer::start(OriginConfig::new(total)).unwrap();
+    let mut relay = event_relay(250.0 * KB);
+    let addrs = vec![relay.addr()];
+    let cfg = client_cfg(total);
+
+    let (d, f) = (direct.addr(), fast_origin.addr());
+    let t = std::thread::spawn(move || download_striped(d, f, &addrs, 10, &cfg));
+    std::thread::sleep(Duration::from_millis(500));
+    relay.kill();
+    let out = t.join().expect("client must not panic").unwrap();
+    assert!(out.body_ok, "content must survive the mid-stripe kill");
+    // Either the relay died mid-chunk (orphan repaired) or it happened
+    // to be between chunks; in both cases the direct worker finishes
+    // the queue and the body verifies. The kill window is wide enough
+    // that the relay cannot have drained the whole queue first.
+    let direct_chunks = out
+        .chunk_counts
+        .iter()
+        .find(|&&(c, _)| c == ChosenPath::Direct)
+        .map(|&(_, n)| n)
+        .unwrap();
+    assert!(direct_chunks > 0, "{:?}", out.chunk_counts);
+}
